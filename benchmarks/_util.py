@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides
+the pytest-benchmark timing, the regenerated data is written to
+``benchmarks/results/<experiment>.txt`` (and echoed to stdout) so that
+``EXPERIMENTS.md``'s paper-vs-measured records can be re-derived from a
+plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(experiment: str, text: str) -> None:
+    """Persist and echo one experiment's regenerated data."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {experiment} ===")
+    print(text)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SramDramComparison
+from repro.units import kb, Mb
+
+#: Retention pinned to the DRAM-technology 6-sigma worst case (see
+#: examples/retention_monte_carlo.py) so benchmarks are deterministic
+#: and cheap; the Monte-Carlo itself is benchmarked separately.
+RETENTION = 1e-3
+
+
+@pytest.fixture(scope="session")
+def comparison() -> SramDramComparison:
+    return SramDramComparison(
+        sizes=(128 * kb, 256 * kb, 512 * kb, 1024 * kb, 2 * Mb),
+        retention_override=RETENTION,
+    )
+
+
+@pytest.fixture(scope="session")
+def two_point_comparison() -> SramDramComparison:
+    """Just the paper's two headline sizes, for the heavier benchmarks."""
+    return SramDramComparison(sizes=(128 * kb, 2 * Mb),
+                              retention_override=RETENTION)

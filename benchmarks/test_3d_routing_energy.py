@@ -1,0 +1,46 @@
+"""E11 — Paper Sec. I: the 3D-interconnect context.
+
+"3D vias are typically smaller and have less parasitic capacitance than
+off-chip connections […] a better bandwidth-energy trade off."  The
+bench regenerates the link comparison and the Fig. 2 stack.
+"""
+
+from repro.core import format_table
+from repro.stack3d import compare_links, hybrid_cache_stack
+from repro.units import pJ
+from benchmarks._util import record_result
+
+
+def test_3d_routing_energy(benchmark):
+    result = benchmark.pedantic(compare_links, rounds=1, iterations=1)
+
+    table = format_table(
+        ["link", "energy/bit (pJ)", "bandwidth (Gb/s)", "power @64Gb/s (mW)"],
+        [[name,
+          entry["energy_per_bit_j"] / pJ,
+          entry["aggregate_bandwidth_bps"] / 1e9,
+          entry["power_w"] * 1e3]
+         for name, entry in result.items()],
+    )
+    record_result("routing_3d_links", table)
+
+    tsv, off = result["3d-tsv"], result["off-chip"]
+    assert tsv["energy_per_bit_j"] < off["energy_per_bit_j"] / 100
+    assert tsv["aggregate_bandwidth_bps"] > off["aggregate_bandwidth_bps"]
+
+
+def test_3d_hybrid_stack(benchmark):
+    stack = benchmark.pedantic(hybrid_cache_stack, rounds=1, iterations=1)
+    l1, l2 = stack.dies[1].macros
+    table = format_table(
+        ["quantity", "value"],
+        [["stack footprint (mm2)", stack.footprint * 1e6],
+         ["memory capacity (Mb)", stack.memory_capacity() / (1024 * 1024)],
+         ["TSV signal links", stack.interface().max_links],
+         ["L1 access (ns)", l1.access_time() * 1e9],
+         ["L2 access (ns)", l2.access_time() * 1e9]],
+    )
+    record_result("hybrid_stack", table)
+
+    assert l2.access_time() > l1.access_time()
+    assert stack.interface().max_links > 500

@@ -1,0 +1,52 @@
+"""E10 — Ablation study of the architectural choices (ours).
+
+DESIGN.md calls out three design choices the paper motivates
+qualitatively; this bench quantifies each by disabling it:
+
+* the local write-after-read / localized refresh (Fig. 4),
+* the low-swing global bitline,
+* the fine matrix granularity (short LBLs).
+"""
+
+from repro.core import ablate_architecture, format_table, sweep_cells_per_lbl
+from benchmarks._util import record_result
+
+
+def test_ablation_architecture(benchmark):
+    results = benchmark.pedantic(ablate_architecture, rounds=1, iterations=1)
+
+    table = format_table(
+        ["feature removed", "metric", "proposed", "ablated", "change"],
+        [[r.feature, r.metric, r.proposed_value, r.ablated_value,
+          f"{r.penalty_factor:.2f}x"] for r in results],
+    )
+    record_result("ablation_architecture", table)
+
+    by_feature = {r.feature: r for r in results}
+    # Localized restore: refresh energy and hidden latency both benefit.
+    assert by_feature["local_restore"].penalty_factor > 1.1
+    assert by_feature["local_restore_latency"].penalty_factor > 1.2
+    # Low-swing GBL: read energy benefit.
+    assert by_feature["low_swing_gbl"].penalty_factor > 1.1
+    # Fine granularity: a monolithic bitline loses >90 % of the signal.
+    assert by_feature["fine_granularity_signal"].penalty_factor < 0.1
+
+
+def test_ablation_lbl_granularity_sweep(benchmark):
+    """The granularity knob as a sweep — Fig. 1's design choice."""
+    rows = benchmark.pedantic(
+        sweep_cells_per_lbl, kwargs={"values": (8, 16, 32, 64, 128, 256)},
+        rounds=1, iterations=1)
+
+    table = format_table(
+        ["cells/LBL", "signal (mV)", "access (ns)", "read E (pJ)",
+         "area (mm2)"],
+        [[r.cells_per_lbl, r.read_signal * 1e3, r.access_time * 1e9,
+          r.read_energy * 1e12, r.area * 1e6] for r in rows],
+    )
+    record_result("ablation_lbl_sweep", table)
+
+    signals = [r.read_signal for r in rows]
+    areas = [r.area for r in rows]
+    assert signals == sorted(signals, reverse=True)
+    assert areas == sorted(areas, reverse=True)

@@ -1,0 +1,58 @@
+"""E12 (extension) — adaptive refresh: temperature tracking + binning.
+
+Quantifies the refresh refinements the localized architecture enables
+beyond the paper's uniform worst-case scheme.
+"""
+
+from repro.core import FastDramDesign, format_table
+from repro.refresh import TemperatureAdaptiveRefresh, plan_binned_refresh
+from repro.units import si_format
+from benchmarks._util import record_result
+
+
+def test_extension_temperature_adaptive(benchmark):
+    adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+
+    def sweep():
+        return [(t, adaptive.refresh_period_at(t),
+                 adaptive.power_saving_vs_fixed(t, 358.0))
+                for t in (300.0, 315.0, 330.0, 345.0, 358.0)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["temperature (K)", "refresh period", "saving vs fixed-85C"],
+        [[t, si_format(period, "s"), f"{saving:.1f}x"]
+         for t, period, saving in rows],
+    )
+    record_result("extension_temperature_adaptive", table)
+
+    savings = [saving for _t, _p, saving in rows]
+    assert savings == sorted(savings, reverse=True)
+    assert savings[0] > 30.0  # room-temperature operation
+    assert savings[-1] == 1.0  # at the design point
+
+
+def test_extension_binned_refresh(benchmark):
+    retention = FastDramDesign().cell().retention_model()
+
+    def plan_both():
+        block = plan_binned_refresh(retention, n_blocks=128,
+                                    rows_per_block=32, n_bins=6)
+        row = plan_binned_refresh(retention, n_blocks=4096,
+                                  rows_per_block=1, n_bins=6)
+        return block, row
+
+    block_plan, row_plan = benchmark.pedantic(plan_both, rounds=1,
+                                              iterations=1)
+    table = format_table(
+        ["granularity", "granules", "saving vs uniform"],
+        [["per local block", block_plan.n_blocks,
+          f"{block_plan.saving_factor():.2f}x"],
+         ["per row", row_plan.n_blocks,
+          f"{row_plan.saving_factor():.2f}x"]],
+    )
+    record_result("extension_binned_refresh", table)
+
+    assert block_plan.saving_factor() > 1.1
+    assert row_plan.saving_factor() > block_plan.saving_factor()
+    assert row_plan.saving_factor() > 2.0

@@ -1,0 +1,33 @@
+"""E17 (extension) — design-space optimisation.
+
+Searches the (cells/LBL, word width, supply) grid under the paper's
+1.3 ns access constraint and reports the Pareto front — the adoption
+tool the paper's single design point invites.
+"""
+
+from repro.core import DesignOptimizer, format_table
+from repro.units import ns
+from benchmarks._util import record_result
+
+
+def test_extension_optimizer(benchmark):
+    optimizer = DesignOptimizer(max_access_time=1.3 * ns, activity=0.1)
+    result = benchmark.pedantic(optimizer.run, rounds=1, iterations=1)
+
+    rows = [[c.cells_per_lbl, c.word_bits, c.vdd,
+             c.access_time / ns, c.total_power * 1e6, c.area * 1e6]
+            for c in sorted(result.pareto_front,
+                            key=lambda c: c.access_time)]
+    record_result("extension_optimizer_front", format_table(
+        ["cells/LBL", "word", "vdd", "access (ns)", "power (uW)",
+         "area (mm2)"], rows))
+
+    assert len(result.pareto_front) >= 3
+    # The paper's design point survives on or near the front.
+    paper = next(c for c in result.candidates
+                 if c.cells_per_lbl == 32 and c.word_bits == 32
+                 and abs(c.vdd - 1.2) < 1e-9)
+    assert not any(c.dominates(paper) for c in result.candidates)
+    # Every constraint respected.
+    for candidate in result.candidates:
+        assert candidate.access_time <= 1.3 * ns

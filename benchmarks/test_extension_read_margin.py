@@ -1,0 +1,47 @@
+"""E14 (extension) — sensing-aware read margin vs refresh interval.
+
+Quantifies how conservative the paper's per-cell retention criterion is
+against the criterion that actually matters at the sense amplifier:
+the decayed charge-sharing differential must clear the SA offset.
+"""
+
+from repro.array import ReadMarginAnalysis
+from repro.core import FastDramDesign, format_table
+from repro.units import kb, si_format
+from benchmarks._util import record_result
+
+
+def test_extension_read_margin(benchmark):
+    macro = FastDramDesign().build(128 * kb, retention_override=1e-3)
+    analysis = ReadMarginAnalysis(
+        organization=macro.organization,
+        local_sa=macro.local_sa,
+        retention=macro.cell_design.retention_model(),
+        samples=3000,
+    )
+
+    def run():
+        points = analysis.sweep((1e-4, 1e-3, 5e-3, 2e-2, 1e-1))
+        threshold = analysis.max_interval_at_yield(target_failure=1e-3)
+        return points, threshold
+
+    points, threshold = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[si_format(p.refresh_interval, "s"),
+             f"{p.mean_margin * 1e3:.0f} mV",
+             f"{p.worst_margin * 1e3:.0f} mV",
+             f"{100 * p.failure_fraction:.2f} %"] for p in points]
+    rows.append(["max interval @1e-3 fails", "-", "-",
+                 si_format(threshold, "s")])
+    record_result("extension_read_margin", format_table(
+        ["refresh interval", "mean margin", "worst margin",
+         "fail fraction"], rows))
+
+    # Margin decays monotonically; failures only appear at long intervals.
+    means = [p.mean_margin for p in points]
+    assert means == sorted(means, reverse=True)
+    assert points[0].failure_fraction == 0.0
+    assert points[-1].failure_fraction > 0.05
+    # The sensing criterion beats the paper's conservative cell criterion.
+    cell_worst = macro.retention_statistics(count=600).worst_case
+    assert threshold > 2 * cell_worst

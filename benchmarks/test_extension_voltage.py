@@ -1,0 +1,30 @@
+"""E15 (extension) — supply scaling / boost mode.
+
+The baseline [10] ships a boosted-supply mode (480 MHz -> 850 MHz);
+the same knob applied to the fast DRAM: speed up with supply, dynamic
+energy up ~quadratically, minimum-EDP point inside the sweep range.
+"""
+
+from repro.core import format_table, voltage_sweep
+from repro.units import ns, pJ
+from benchmarks._util import record_result
+
+
+def test_extension_voltage_sweep(benchmark):
+    points = benchmark.pedantic(
+        voltage_sweep, kwargs={"supplies": (0.9, 1.0, 1.1, 1.2, 1.3)},
+        rounds=1, iterations=1)
+
+    table = format_table(
+        ["vdd (V)", "access (ns)", "read (pJ)", "EDP (1e-21 J*s)"],
+        [[p.vdd, p.access_time / ns, p.read_energy / pJ,
+          p.energy_delay_product * 1e21] for p in points],
+    )
+    record_result("extension_voltage_sweep", table)
+
+    times = [p.access_time for p in points]
+    energies = [p.read_energy for p in points]
+    assert times == sorted(times, reverse=True)
+    assert energies == sorted(energies)
+    # Boost headroom: >= 15 % faster from 0.9 V to 1.3 V.
+    assert times[0] / times[-1] > 1.15

@@ -1,0 +1,33 @@
+"""E2 — Paper Fig. 7(a): access time vs memory size, DRAM vs SRAM.
+
+Shape assertions: the two matrices stay within ~25 % of each other at
+128 kb ("the impact … is negligible") and the DRAM does not fall behind
+at 2 Mb ("especially for medium size (2Mb) memories").
+"""
+
+from repro.core import format_table
+from repro.units import ns
+from benchmarks._util import record_result
+
+
+def test_fig7a_access_time(benchmark, comparison):
+    rows = benchmark.pedantic(comparison.access_time, rounds=1, iterations=1)
+
+    table = format_table(
+        ["size", "SRAM (ns)", "DRAM (ns)", "SRAM/DRAM"],
+        [[r.size_label, r.sram / ns, r.dram / ns, r.ratio] for r in rows],
+    )
+    record_result("fig7a_access_time", table)
+
+    first, last = rows[0], rows[-1]
+    # 128 kb: similar, with the DRAM paying a small WL-overdrive penalty.
+    assert 0.8 < first.ratio < 1.2
+    assert first.dram >= first.sram
+    # 2 Mb: the denser DRAM has caught up (or passed) the SRAM.
+    assert last.ratio >= 1.0
+    # Both grow monotonically with size.
+    for series in ("sram", "dram"):
+        values = [getattr(r, series) for r in rows]
+        assert values == sorted(values)
+    # Headline: the 128 kb DRAM is in the paper's 1.3 ns band.
+    assert 0.78 * ns < first.dram < 1.82 * ns

@@ -1,0 +1,37 @@
+"""E3 — Paper Fig. 7(b): dynamic read and write energy vs memory size.
+
+Shape assertions: read energy similar between the matrices; write energy
+significantly better for the DRAM at large sizes.
+"""
+
+from repro.core import format_table
+from repro.units import pJ
+from benchmarks._util import record_result
+
+
+def collect(comparison):
+    return comparison.read_energy(), comparison.write_energy()
+
+
+def test_fig7b_dynamic_energy(benchmark, comparison):
+    reads, writes = benchmark.pedantic(collect, args=(comparison,),
+                                       rounds=1, iterations=1)
+
+    table = format_table(
+        ["size", "read SRAM (pJ)", "read DRAM (pJ)",
+         "write SRAM (pJ)", "write DRAM (pJ)", "write SRAM/DRAM"],
+        [[rd.size_label, rd.sram / pJ, rd.dram / pJ,
+          wr.sram / pJ, wr.dram / pJ, wr.ratio]
+         for rd, wr in zip(reads, writes)],
+    )
+    record_result("fig7b_dynamic_energy", table)
+
+    # "A similar read active power for the two matrices."
+    for row in reads:
+        assert 0.7 < row.ratio < 1.6
+    # "A significant improvement for the write energy of a large matrix."
+    assert writes[-1].ratio > 1.5
+    # The write advantage grows with size.
+    assert writes[-1].ratio > writes[0].ratio
+    # At 128 kb the DRAM read costs slightly more (WL overdrive + SA).
+    assert reads[0].dram > reads[0].sram

@@ -1,0 +1,50 @@
+"""E4 — Paper Fig. 7(c): cell static power vs memory size.
+
+SRAM leakage vs DRAM refresh power.  Shape assertion: "the cell static
+power consumption is 10 times less for DRAM than for the SRAM memory,
+for a 2 Mb memory" — accepted as a 5x-20x band.
+"""
+
+from repro.core import format_table
+from repro.units import uW
+from benchmarks._util import record_result
+
+
+def test_fig7c_static_power(benchmark, comparison):
+    rows = benchmark.pedantic(comparison.static_power, rounds=1,
+                              iterations=1)
+
+    table = format_table(
+        ["size", "SRAM leakage (uW)", "DRAM refresh (uW)", "gain"],
+        [[r.size_label, r.sram / uW, r.dram / uW, f"{r.ratio:.1f}x"]
+         for r in rows],
+    )
+    record_result("fig7c_static_power", table)
+
+    # The paper's factor 10 at 2 Mb (band: 5x-20x).
+    assert 5.0 < rows[-1].ratio < 20.0
+    # The gain holds across sizes (both mechanisms scale with bits).
+    for row in rows:
+        assert row.ratio > 5.0
+    # Both grow with capacity.
+    for series in ("sram", "dram"):
+        values = [getattr(r, series) for r in rows]
+        assert values == sorted(values)
+
+
+def test_fig7c_retention_sensitivity(benchmark):
+    """Fig. 7c's hidden axis: the assumed worst-case retention."""
+    from repro.core import sweep_retention
+
+    rows = benchmark.pedantic(
+        sweep_retention, kwargs={"values": (1e-4, 3e-4, 1e-3, 3e-3, 1e-2)},
+        rounds=1, iterations=1)
+
+    table = format_table(
+        ["retention (us)", "refresh power (uW)"],
+        [[r.retention_time * 1e6, r.static_power / uW] for r in rows],
+    )
+    record_result("fig7c_retention_sensitivity", table)
+
+    powers = [r.static_power for r in rows]
+    assert powers == sorted(powers, reverse=True)

@@ -1,0 +1,68 @@
+"""E6 — Paper Fig. 8: energy repartition in the fast DRAM.
+
+Paper values (read / write): decoder 1.0 / 1.6 pJ, global SA 0.56 pJ,
+cell 0.5 / 0.62 pJ, localblock 1.1 / 1.2 pJ.  Shape assertions: each
+category within a +-50 % band, plus the 16 -> 32 cells/LBL "marginal
+impact" finding attached to this figure in the paper text.
+"""
+
+import pytest
+
+from repro.core import FastDramDesign, format_table
+from repro.units import kb, pJ
+from benchmarks._util import record_result
+
+PAPER_READ = {"decode": 1.0, "cell": 0.50, "localblock": 1.1,
+              "global_path": 0.56}
+PAPER_WRITE = {"decode": 1.6, "cell": 0.62, "localblock": 1.2}
+
+
+def test_fig8_energy_repartition(benchmark, two_point_comparison):
+    repartition = benchmark.pedantic(
+        two_point_comparison.energy_repartition, rounds=1, iterations=1)
+
+    rows = []
+    for category in ("decode", "cell", "localblock", "global_path", "io"):
+        rows.append([
+            category,
+            repartition["read"][category] / pJ,
+            PAPER_READ.get(category, "-"),
+            repartition["write"][category] / pJ,
+            PAPER_WRITE.get(category, "-"),
+        ])
+    table = format_table(
+        ["category", "read (pJ)", "paper read", "write (pJ)", "paper write"],
+        rows)
+    record_result("fig8_energy_repartition", table)
+
+    for category, paper in PAPER_READ.items():
+        measured = repartition["read"][category] / pJ
+        assert measured == pytest.approx(paper, rel=0.5), category
+    for category, paper in PAPER_WRITE.items():
+        measured = repartition["write"][category] / pJ
+        assert measured == pytest.approx(paper, rel=0.5), category
+
+
+def test_fig8_doubling_cells_marginal(benchmark):
+    """Paper Sec. IV on Fig. 8: 'doubling the number of cells per LBL has
+    a marginal impact on the power consumption, as most of the localblock
+    power consumption is due to the local sense amplifiers'."""
+
+    def energies():
+        out = {}
+        for cells in (16, 32):
+            macro = FastDramDesign(cells_per_lbl=cells).build(
+                128 * kb, retention_override=1e-3)
+            out[cells] = macro.read_energy()
+        return out
+
+    result = benchmark.pedantic(energies, rounds=1, iterations=1)
+    table = format_table(
+        ["cells/LBL", "read total (pJ)", "localblock (pJ)"],
+        [[cells, access.total / pJ, access.localblock / pJ]
+         for cells, access in result.items()],
+    )
+    record_result("fig8_doubling_cells", table)
+
+    delta = abs(result[32].total - result[16].total) / result[16].total
+    assert delta < 0.15

@@ -1,0 +1,49 @@
+"""E7 — Paper Fig. 9: total power vs activity for different sizes.
+
+Random access pattern with as much read as write.  Shape assertions:
+the DRAM improves overall power "especially for large arrays with low
+activity" — the gain at low activity exceeds the gain at full activity,
+and grows with memory size.
+"""
+
+from repro.core import format_table
+from repro.units import uW
+from benchmarks._util import record_result
+
+ACTIVITIES = (0.001, 0.01, 0.1, 0.5, 1.0)
+
+
+def test_fig9_total_power(benchmark, two_point_comparison):
+    curves = benchmark.pedantic(
+        two_point_comparison.total_power_curves,
+        kwargs={"activities": ACTIVITIES},
+        rounds=1, iterations=1)
+
+    rows = []
+    for bits, series in curves.items():
+        for point in series:
+            activity = ACTIVITIES[series.index(point)]
+            rows.append([point.size_label, activity,
+                         point.sram / uW, point.dram / uW,
+                         f"{point.ratio:.2f}x"])
+    table = format_table(
+        ["size", "activity", "SRAM (uW)", "DRAM (uW)", "SRAM/DRAM"], rows)
+    record_result("fig9_total_power", table)
+
+    for bits, series in curves.items():
+        low_gain = series[0].ratio
+        high_gain = series[-1].ratio
+        # DRAM never loses, and the static-power win dominates at low
+        # activity.
+        assert high_gain > 0.9
+        assert low_gain > 2.0
+        assert low_gain > high_gain
+        # Power is monotone in activity for both matrices.
+        for attr in ("sram", "dram"):
+            values = [getattr(p, attr) for p in series]
+            assert values == sorted(values)
+
+    # "Especially for large arrays": the 2 Mb low-activity gain tops the
+    # 128 kb one.
+    sizes = sorted(curves)
+    assert curves[sizes[-1]][0].ratio >= 0.9 * curves[sizes[0]][0].ratio

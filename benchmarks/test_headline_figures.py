@@ -1,0 +1,52 @@
+"""E8 — The abstract's headline figures of the 128 kb macro.
+
+"an access time of 1.3 ns for a dynamic energy of less than 0.2 pJ per
+bit … a factor of 10 in static power … and a factor of 2.x in area."
+"""
+
+from repro.core import FastDramDesign, format_table
+from repro.units import kb, ns, pJ
+from benchmarks._util import record_result
+
+
+def build_and_summarise():
+    macro = FastDramDesign().build(128 * kb, retention_override=1e-3)
+    return macro.summary()
+
+
+def test_headline_figures(benchmark):
+    summary = benchmark.pedantic(build_and_summarise, rounds=1, iterations=1)
+
+    table = format_table(
+        ["figure", "paper", "measured"],
+        [
+            ["access time (ns)", 1.3, summary["access_time_s"] / ns],
+            ["energy per bit (pJ)", "< 0.2",
+             summary["read_energy_per_bit_j"] / pJ],
+            ["read energy (pJ)", "~3.2 (Fig. 8 sum)",
+             summary["read_energy_j"] / pJ],
+            ["area (mm2)", "Table I",
+             summary["area_m2"] / 1e-6],
+        ],
+    )
+    record_result("headline_figures", table)
+
+    assert 0.78 * ns < summary["access_time_s"] < 1.82 * ns
+    assert summary["read_energy_per_bit_j"] < 0.2 * pJ
+
+
+def test_headline_retention_monte_carlo(benchmark):
+    """The 6-sigma retention Monte-Carlo behind the static-power figure
+    (timed: it is the costly part of a full evaluation)."""
+    macro = FastDramDesign().build(128 * kb)
+
+    stats = benchmark.pedantic(macro.retention_statistics,
+                               kwargs={"count": 1000},
+                               rounds=1, iterations=1)
+    table = format_table(
+        ["quantity", "value (us)"],
+        [["typical retention", stats.typical * 1e6],
+         ["6-sigma worst case", stats.worst_case * 1e6]],
+    )
+    record_result("headline_retention", table)
+    assert 200e-6 < stats.worst_case < 5e-3

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's three-step evaluation methodology (Fig. 6), end to end.
+
+Step 1 designs the scratch-pad test memory and *circuit-simulates* one
+local block with the built-in MNA engine (charge sharing, latch SA,
+write-after-read restore, low-swing GBL — the paper's Fig. 3 waveforms).
+Step 2 re-estimates in DRAM technology and checks the 16 -> 32 cells/LBL
+doubling.  Step 3 extends to larger memories.
+
+Run:  python examples/methodology_flow.py
+"""
+
+from repro.core import MethodologyFlow, format_table
+from repro.units import kb, ns, pJ, si_format
+
+
+def main() -> None:
+    flow = MethodologyFlow(total_bits=128 * kb)
+
+    print("Step 1: scratch-pad test memory (logic process, 11 fF cell)")
+    scratchpad, waveforms = flow.step1_scratchpad()
+    print(f"  access time {scratchpad.access_time() / ns:.2f} ns, "
+          f"read energy {scratchpad.read_energy().total / pJ:.2f} pJ")
+    rows = []
+    for wave in waveforms:
+        rows.append([
+            f"read '{wave.stored_value}'",
+            f"{wave.charge_sharing_signal * 1e3:.0f} mV",
+            f"{wave.lbl_final:.2f} V",
+            f"{wave.cell_final:.2f} V",
+            f"{wave.gbl_swing * 1e3:.0f} mV",
+            "yes" if wave.restored_correctly else "NO",
+        ])
+    print(format_table(
+        ["operation", "LBL signal", "LBL final", "cell restored to",
+         "GBL swing", "restore ok"], rows))
+    print()
+
+    print("Step 2: DRAM technology estimate (30 fF trench, 1.7 V WL)")
+    dram, ratio = flow.step2_dram_estimate(scratchpad)
+    print(f"  access time {dram.access_time() / ns:.2f} ns at 32 cells/LBL "
+          f"-> {ratio:.2f}x the 16-cell scratch-pad "
+          f"({'similar, doubling holds' if abs(ratio - 1) <= 0.25 else 'NOT similar'})")
+    print()
+
+    print("Step 3: extension to larger memories")
+    rows = []
+    for point in flow.step3_larger_memories():
+        rows.append([
+            f"{point.total_bits // kb} kb",
+            f"{point.access_time / ns:.2f} ns",
+            f"{point.read_energy / pJ:.2f} pJ",
+            f"{point.area / 1e-6:.4f} mm2",
+            si_format(point.static_power, "W"),
+        ])
+    print(format_table(["size", "access", "read E", "area", "static P"],
+                       rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""PVT corners and adaptive refresh — beyond the paper's single corner.
+
+The paper quotes one worst-case point.  This example sweeps the design
+across process corners and temperature, shows the DRAM-specific finding
+(retention collapse at 85 C erodes the static-power win under the
+paper's conservative retention anchor), and then applies the two
+refresh refinements the localized architecture enables: temperature
+tracking and retention binning.
+
+Run:  python examples/pvt_and_adaptive_refresh.py
+"""
+
+from repro.core import FastDramDesign, PvtAnalysis, format_table
+from repro.refresh import TemperatureAdaptiveRefresh, plan_binned_refresh
+from repro.tech import Corner
+from repro.units import kb, ns, pJ, si_format, uW
+
+
+def main() -> None:
+    print("=== Corner matrix, 128 kb fast DRAM ===")
+    analysis = PvtAnalysis(retention_samples=500)
+    rows = []
+    for point in analysis.sweep(temperatures=(300.0, 358.0)):
+        rows.append([
+            point.label,
+            f"{point.access_time / ns:.2f} ns",
+            f"{point.read_energy / pJ:.2f} pJ",
+            f"{point.static_power / uW:.1f} uW",
+            si_format(point.worst_retention, "s"),
+        ])
+    print(format_table(
+        ["corner", "access", "read E", "refresh P", "worst retention"],
+        rows))
+    print()
+
+    sram = PvtAnalysis(technology="sram")
+    cold = sram.evaluate(Corner.TT, 300.0)
+    hot = sram.evaluate(Corner.TT, 358.0)
+    print("SRAM baseline for scale: "
+          f"{cold.static_power / uW:.0f} uW @300K, "
+          f"{hot.static_power / uW:.0f} uW @358K (leakage).")
+    print("Finding: at 358 K the conservative retention anchor makes the")
+    print("fixed worst-case refresh as costly as SRAM leakage — which is")
+    print("exactly what the two refinements below recover.")
+    print()
+
+    print("=== Temperature-adaptive refresh ===")
+    adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+    rows = []
+    for temperature in (300.0, 330.0, 358.0):
+        saving = adaptive.power_saving_vs_fixed(temperature, 358.0)
+        rows.append([
+            f"{temperature:.0f} K",
+            si_format(adaptive.refresh_period_at(temperature), "s"),
+            f"{saving:.1f}x",
+        ])
+    print(format_table(
+        ["die temperature", "refresh period", "power saving vs fixed-85C"],
+        rows))
+    print()
+
+    print("=== Retention-binned refresh (RAIDR-style) ===")
+    retention = FastDramDesign().cell().retention_model()
+    for granules, rows_per_granule, label in (
+            (128, 32, "per local block"),
+            (4096, 1, "per row")):
+        plan = plan_binned_refresh(retention, n_blocks=granules,
+                                   rows_per_block=rows_per_granule,
+                                   n_bins=6)
+        print(f"{label} ({granules} granules): "
+              f"saving {plan.saving_factor():.2f}x; bins:")
+        for bin_ in plan.bins:
+            if bin_.block_count:
+                print(f"    {si_format(bin_.period, 's'):>8} : "
+                      f"{bin_.block_count} granules")
+    print()
+    print("Binning exploits the localized-refresh architecture: each")
+    print("block already refreshes independently (paper Fig. 4), so")
+    print("per-block rates come at controller cost only.")
+
+
+if __name__ == "__main__":
+    main()

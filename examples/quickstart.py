@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's fast DRAM macro and print its figures.
+
+Reproduces the headline claims of the abstract:
+
+* 128 kb macro, ~1.3 ns access, < 0.2 pJ per bit dynamic energy,
+* ~10x lower cell static power than the equivalent SRAM,
+* ~2-3x smaller area.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FastDramDesign, SramBaselineDesign
+from repro.core import format_table
+from repro.units import kb, ns, pJ, si_format
+
+
+def main() -> None:
+    dram = FastDramDesign().build(128 * kb)
+    sram = SramBaselineDesign().build(128 * kb)
+
+    print("=== Proposed fast DRAM (DRAM technology, 32 cells/LBL) ===")
+    print(dram.describe())
+    print()
+    print("=== Baseline SRAM (ESSCIRC'08 [10] style, 6T cells) ===")
+    print(sram.describe())
+    print()
+
+    d, s = dram.summary(), sram.summary()
+    rows = [
+        ["access time", si_format(d["access_time_s"], "s"),
+         si_format(s["access_time_s"], "s"),
+         f"{s['access_time_s'] / d['access_time_s']:.2f}x"],
+        ["read energy", si_format(d["read_energy_j"], "J"),
+         si_format(s["read_energy_j"], "J"),
+         f"{s['read_energy_j'] / d['read_energy_j']:.2f}x"],
+        ["write energy", si_format(d["write_energy_j"], "J"),
+         si_format(s["write_energy_j"], "J"),
+         f"{s['write_energy_j'] / d['write_energy_j']:.2f}x"],
+        ["area", f"{d['area_m2'] / 1e-6:.4f} mm2",
+         f"{s['area_m2'] / 1e-6:.4f} mm2",
+         f"{s['area_m2'] / d['area_m2']:.2f}x"],
+        ["cell static power", si_format(d["static_power_w"], "W"),
+         si_format(s["static_power_w"], "W"),
+         f"{s['static_power_w'] / d['static_power_w']:.1f}x"],
+    ]
+    print("=== Head to head (ratio = SRAM / DRAM, >1 means DRAM wins) ===")
+    print(format_table(["metric", "fast DRAM", "SRAM", "ratio"], rows))
+    print()
+
+    per_bit = dram.energy_per_bit()
+    print(f"Dynamic energy per bit: {per_bit / pJ:.3f} pJ "
+          f"(paper: < 0.2 pJ) -> {'OK' if per_bit < 0.2 * pJ else 'MISS'}")
+    print(f"Access time: {dram.access_time() / ns:.2f} ns "
+          f"(paper: ~1.3 ns)")
+
+    stats = dram.retention_statistics(count=1000)
+    print(f"Cell retention: typical {si_format(stats.typical, 's')}, "
+          f"6-sigma worst case {si_format(stats.worst_case, 's')}")
+
+
+if __name__ == "__main__":
+    main()

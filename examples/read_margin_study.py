@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Read-margin study: when does a read actually fail?
+
+The paper budgets refresh by the worst cell losing a fixed charge
+margin.  The sense path's real criterion is softer: the decayed
+charge-sharing differential must clear the local SA offset.  This
+example sweeps the refresh interval, plots the margin distribution's
+mean/worst, and finds the longest interval meeting a yield target —
+then compares it with the paper-style 6-sigma retention.
+
+Run:  python examples/read_margin_study.py
+"""
+
+from repro.array import ReadMarginAnalysis
+from repro.core import FastDramDesign, ascii_chart, format_table
+from repro.units import kb, si_format
+
+INTERVALS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
+
+
+def main() -> None:
+    macro = FastDramDesign().build(128 * kb, retention_override=1e-3)
+    analysis = ReadMarginAnalysis(
+        organization=macro.organization,
+        local_sa=macro.local_sa,
+        retention=macro.cell_design.retention_model(),
+        samples=4000,
+    )
+
+    print(f"fresh signal       : {analysis.fresh_signal() * 1e3:.0f} mV")
+    print(f"SA requirement     : "
+          f"{analysis.required_differential() * 1e3:.0f} mV")
+    print()
+
+    points = analysis.sweep(INTERVALS)
+    rows = [[si_format(p.refresh_interval, "s"),
+             f"{p.mean_margin * 1e3:.0f} mV",
+             f"{p.worst_margin * 1e3:.0f} mV",
+             f"{100 * p.failure_fraction:.3f} %"] for p in points]
+    print(format_table(
+        ["refresh interval", "mean margin", "worst sampled", "fails"],
+        rows))
+    print()
+
+    print(ascii_chart(
+        {"mean": [max(p.mean_margin, 1e-4) for p in points],
+         "worst": [max(p.worst_margin, 1e-4) for p in points]},
+        list(INTERVALS),
+        log_x=True, width=60, height=12,
+        x_label="refresh interval (s)", y_label="margin (V)"))
+    print()
+
+    for target in (1e-2, 1e-3, 1e-4):
+        interval = analysis.max_interval_at_yield(target_failure=target)
+        print(f"max interval at <= {target:g} read-fail fraction: "
+              f"{si_format(interval, 's')}")
+
+    cell_worst = macro.retention_statistics(count=1000).worst_case
+    sensing = analysis.max_interval_at_yield(target_failure=1e-3)
+    print()
+    print(f"paper-style 6-sigma cell retention : {si_format(cell_worst, 's')}")
+    print(f"sensing-aware interval (1e-3 yield): {si_format(sensing, 's')}")
+    print(f"conservatism factor                : {sensing / cell_worst:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

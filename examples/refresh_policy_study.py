@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Refresh policy study: the paper's localized refresh (Fig. 4 / Fig. 5).
+
+Simulates a 128 kb fast DRAM (128 local blocks of 32 rows) at 500 MHz
+under random traffic and compares how many cycles refresh steals when it
+blocks the whole matrix (conventional) versus a single local block (the
+paper's scheme) — across retention times and traffic patterns.
+
+Run:  python examples/refresh_policy_study.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.refresh import (
+    LocalizedRefresh,
+    MonoblockRefresh,
+    RefreshSimulator,
+    analytic_busy_fraction,
+    bursty_trace,
+    hot_block_trace,
+    uniform_random_trace,
+)
+from repro.units import us
+
+N_BLOCKS = 128
+ROWS_PER_BLOCK = 32
+CLOCK = 500e6
+N_CYCLES = 150_000
+ACTIVITY = 0.5
+
+
+def busy(policy_cls, retention: float, trace: np.ndarray) -> float:
+    period = int(retention * CLOCK)
+    policy = policy_cls(n_blocks=N_BLOCKS, rows_per_block=ROWS_PER_BLOCK,
+                        refresh_period_cycles=period)
+    stats = RefreshSimulator(policy).run(trace)
+    return 100.0 * stats.busy_fraction
+
+
+def main() -> None:
+    rng = np.random.default_rng(2009)
+    trace = uniform_random_trace(N_CYCLES, N_BLOCKS, ACTIVITY, rng)
+
+    print(f"128 kb fast DRAM: {N_BLOCKS} local blocks x {ROWS_PER_BLOCK} "
+          f"rows, {CLOCK / 1e6:.0f} MHz, activity {ACTIVITY}")
+    print()
+
+    rows = []
+    for retention_us in (20, 50, 100, 200, 500, 1000, 5000):
+        retention = retention_us * us
+        period = int(retention * CLOCK)
+        mono = busy(MonoblockRefresh, retention, trace)
+        local = busy(LocalizedRefresh, retention, trace)
+        analytic = 100.0 * analytic_busy_fraction(
+            LocalizedRefresh(n_blocks=N_BLOCKS, rows_per_block=ROWS_PER_BLOCK,
+                             refresh_period_cycles=period), ACTIVITY)
+        rows.append([f"{retention_us} us", f"{mono:.3f} %", f"{local:.4f} %",
+                     f"{analytic:.4f} %", f"{mono / max(local, 1e-9):.0f}x"])
+    print("=== Fig. 5: busy cycles lost to refresh (uniform traffic) ===")
+    print(format_table(
+        ["retention", "monoblock", "128 localblocks", "localized analytic",
+         "gain"], rows))
+    print()
+
+    # Traffic-pattern sensitivity of the localized scheme.
+    retention = 200 * us
+    traces = {
+        "uniform": uniform_random_trace(N_CYCLES, N_BLOCKS, ACTIVITY, rng),
+        "bursty": bursty_trace(N_CYCLES, N_BLOCKS, ACTIVITY, rng),
+        "hot-block": hot_block_trace(N_CYCLES, N_BLOCKS, ACTIVITY, rng),
+    }
+    rows = []
+    for name, pattern in traces.items():
+        mono = busy(MonoblockRefresh, retention, pattern)
+        local = busy(LocalizedRefresh, retention, pattern)
+        rows.append([name, f"{mono:.3f} %", f"{local:.4f} %"])
+    print("=== Traffic sensitivity at 200 us retention ===")
+    print(format_table(["pattern", "monoblock", "localized"], rows))
+    print()
+    print("Localized refresh keeps the penalty negligible even for the "
+          "hot-block adversary — the refreshed block is only one of "
+          f"{N_BLOCKS}.")
+
+
+if __name__ == "__main__":
+    main()

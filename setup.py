@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP
+517/660 builds (``pip install -e .``) cannot run.  ``python setup.py
+develop`` installs the package in editable mode using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""Multi-bank memory composition.
+
+A single macro tops out where its global wires do; larger memories are
+built from multiple banks with an address interleaver in front.  This
+module composes :class:`~repro.array.macro.MacroDesign` banks into one
+memory, pricing the extra bank-select fabric — which lets the library
+answer "should a 2 Mb memory be one macro or four 512 kb banks?"
+(a question the paper's single-macro extension leaves open).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.array.macro import MacroDesign
+from repro.errors import ConfigurationError
+from repro.tech.wire import GLOBAL_LAYER, Wire
+
+
+@dataclasses.dataclass(frozen=True)
+class BankedMemory:
+    """``n_banks`` identical macros behind an address interleaver.
+
+    Only one bank activates per access (low-order interleaving); the
+    shared fabric adds a bank decoder plus a data/address spine crossing
+    the bank row.
+    """
+
+    bank: MacroDesign
+    n_banks: int
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1:
+            raise ConfigurationError("need at least one bank")
+        if self.n_banks & (self.n_banks - 1):
+            raise ConfigurationError("bank count must be a power of two")
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return self.n_banks * self.bank.organization.total_bits
+
+    # -- shared fabric ------------------------------------------------------
+
+    def _spine(self) -> Wire:
+        """The address/data spine crossing all banks side by side."""
+        org = self.bank.organization
+        width = self.n_banks * org.matrix_width
+        return Wire(GLOBAL_LAYER, width)
+
+    def fabric_delay(self) -> float:
+        """Bank decode + spine propagation, seconds."""
+        if self.n_banks == 1:
+            return 0.0
+        spine = self._spine()
+        distributed = 0.38 * spine.resistance * spine.capacitance
+        decode_levels = math.log2(self.n_banks)
+        gate = 15e-12 * decode_levels  # ~1 gate per level at LP 90 nm
+        return distributed + gate
+
+    def fabric_energy(self) -> float:
+        """Per-access energy of the shared fabric, joules.
+
+        The spine carries the word plus address to the selected bank:
+        on average half its length toggles.
+        """
+        if self.n_banks == 1:
+            return 0.0
+        org = self.bank.organization
+        lines = org.word_bits + math.ceil(math.log2(self.total_bits))
+        spine = self._spine()
+        return 0.5 * lines * spine.capacitance * org.node.vdd ** 2 * 0.5
+
+    # -- composed figures --------------------------------------------------------
+
+    def access_time(self) -> float:
+        return self.bank.access_time() + self.fabric_delay()
+
+    def read_energy(self) -> float:
+        return self.bank.read_energy().total + self.fabric_energy()
+
+    def write_energy(self) -> float:
+        return self.bank.write_energy().total + self.fabric_energy()
+
+    def area(self) -> float:
+        """Total area: banks plus a 5 % assembly overhead for the spine."""
+        return self.n_banks * self.bank.area() * 1.05
+
+    def static_power(self) -> float:
+        """Static power scales with the bank count (every bank keeps its
+        cells alive whether selected or not)."""
+        return self.n_banks * self.bank.static_power().power
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_bits": float(self.total_bits),
+            "n_banks": float(self.n_banks),
+            "access_time_s": self.access_time(),
+            "read_energy_j": self.read_energy(),
+            "write_energy_j": self.write_energy(),
+            "area_m2": self.area(),
+            "static_power_w": self.static_power(),
+        }
+
+
+def compare_banking_options(design, total_bits: int,
+                            bank_counts=(1, 2, 4, 8),
+                            retention_override: float | None = 1e-3
+                            ) -> Dict[int, BankedMemory]:
+    """Build the same capacity as 1, 2, 4, ... banks.
+
+    ``design`` is any factory with a ``build(total_bits, ...)`` method
+    (:class:`~repro.core.fastdram.FastDramDesign` or the SRAM baseline).
+    """
+    if total_bits <= 0:
+        raise ConfigurationError("total_bits must be positive")
+    options = {}
+    for count in bank_counts:
+        if total_bits % count:
+            continue
+        try:
+            bank = design.build(total_bits // count,
+                                retention_override=retention_override)
+        except TypeError:
+            bank = design.build(total_bits // count)
+        options[count] = BankedMemory(bank=bank, n_banks=count)
+    if not options:
+        raise ConfigurationError("no feasible banking option")
+    return options

@@ -1,0 +1,108 @@
+"""Logical-effort decoder model.
+
+Row decoding (predecode + global word line + local word line select) is
+modelled with the method of logical effort: the delay of an N-stage path
+with total path effort F is minimised at N* = log4 F, giving
+``t = N * (F^(1/N) * tau_fo1 + p * tau_inv)``.  The energy is the
+switched capacitance of the active decode path plus the address
+predecode fabric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.tech.node import Polarity, TechnologyNode, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.units import fF
+
+
+@dataclasses.dataclass(frozen=True)
+class DecoderModel:
+    """Decoder of ``n_address_bits`` driving ``load_cap`` on the selected line.
+
+    Parameters
+    ----------
+    node:
+        Technology node.
+    n_address_bits:
+        Bits decoded by this stage of the hierarchy.
+    load_cap:
+        Capacitance of the selected output line (a GWL, an LWL, ...).
+    activity_cap:
+        Extra capacitance switched per decode regardless of which output
+        fires (predecoder wires, clocking); defaults to a per-bit charge.
+    """
+
+    node: TechnologyNode
+    n_address_bits: int
+    load_cap: float
+    activity_cap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_address_bits < 1:
+            raise ConfigurationError("decoder needs at least one address bit")
+        if self.load_cap <= 0:
+            raise ConfigurationError("decoder load must be positive")
+
+    # -- reference inverter ----------------------------------------------------
+
+    def _unit_inverter(self) -> tuple[float, float]:
+        """(input capacitance, switching resistance) of the unit inverter."""
+        nmos = Mosfet(self.node, Polarity.NMOS, VtFlavor.SVT,
+                      width=self.node.width_units(2.0))
+        pmos = Mosfet(self.node, Polarity.PMOS, VtFlavor.SVT,
+                      width=self.node.width_units(4.0))
+        c_in = nmos.gate_capacitance() + pmos.gate_capacitance()
+        r_eff = 0.5 * (nmos.on_resistance() + pmos.on_resistance())
+        return c_in, r_eff
+
+    @property
+    def fo1_delay(self) -> float:
+        """Fanout-of-1 inverter delay, the logical-effort tau, seconds."""
+        c_in, r_eff = self._unit_inverter()
+        return 0.69 * r_eff * c_in
+
+    # -- path metrics ----------------------------------------------------------------
+
+    def path_effort(self) -> float:
+        """Total logical-effort path effort F = G * B * H."""
+        c_in, _ = self._unit_inverter()
+        electrical = self.load_cap / c_in
+        # NAND-based decode: logical effort ~ (4/3) per 2-input stage;
+        # branching: each address bit doubles the fanned tree.
+        logical = (4.0 / 3.0) ** math.ceil(self.n_address_bits / 2)
+        branching = 2.0 ** self.n_address_bits / 2.0 ** (self.n_address_bits / 2.0)
+        return max(1.0, logical * branching * electrical)
+
+    def stage_count(self) -> int:
+        """Delay-optimal number of stages (>= 2)."""
+        f = self.path_effort()
+        return max(2, round(math.log(f, 4.0)))
+
+    def delay(self) -> float:
+        """Decode delay address-valid to output-line rising, seconds."""
+        f = self.path_effort()
+        n = self.stage_count()
+        stage_effort = f ** (1.0 / n)
+        parasitic = 1.0  # per-stage self-loading in tau units
+        return n * (stage_effort + parasitic) * self.fo1_delay
+
+    # -- energy -----------------------------------------------------------------------
+
+    def energy(self, voltage: float | None = None) -> float:
+        """Energy of one decode, joules.
+
+        Switched capacitance: the staged drivers of the selected path
+        (geometric series dominated by the last stage ~ load/2) plus the
+        always-switching predecode fabric.
+        """
+        voltage = self.node.vdd if voltage is None else voltage
+        c_in, _ = self._unit_inverter()
+        driver_chain = self.load_cap * (1.0 / 2.0)  # sum of staged drivers
+        predecode = self.activity_cap
+        if predecode is None:
+            predecode = self.n_address_bits * 12.0 * c_in + 2.0 * fF
+        return (self.load_cap + driver_chain + predecode) * voltage ** 2

@@ -1,0 +1,227 @@
+"""Per-access dynamic energy model (paper Fig. 7b and Fig. 8).
+
+Energy is priced as switched capacitance per access, grouped into the
+four categories of paper Fig. 8:
+
+* ``decode``   — predecode fabric, address bus, GWL, block select; for
+  writes also the data bus and write drivers (the paper folds the write
+  datapath into its "decoder" bar, which is why the write decoder bar is
+  1.6 pJ against 1.0 pJ for reads).
+* ``cell``     — the (possibly overdriven) LWL plus charging the storage
+  caps during restore/write.  This is where DRAM pays for the 1.7 V
+  word line and the destructive-read restore.
+* ``localblock`` — LBL swings, local sense amplifiers, write-after-read
+  loop and block-internal control. ``LOCALBLOCK_OVERHEAD`` covers the
+  precharge/timing circuits of the block that are not modelled
+  individually (calibrated against Fig. 8's 1.1 pJ localblock bar).
+* ``global_path`` — low-swing GBL, mux, global SA (read) or GBL write
+  drive (write).
+* ``io``       — output drivers / input latches.
+
+Random data (half the bits carry the swinging level) is assumed
+throughout, matching the paper's "random access pattern with as much
+read as write accesses".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.tech.node import Polarity, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.tech.wire import INTERMEDIATE_LAYER, Wire
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+from repro.array.timing import GBL_SUPPLY, GBL_SWING
+from repro.units import fF
+
+DATA_ACTIVITY = 0.5
+LOCALBLOCK_OVERHEAD = 1.9
+# After predecoding, the address bus along the matrix is one-hot per
+# group: a new access toggles ~2 lines per group regardless of the
+# address width.
+PREDECODE_TOGGLE_LINES = 6.0
+SRAM_LBL_SWING = 0.2  # volts: low-power SRAMs limit the read BL swing
+WRITE_CELL_FACTOR = 1.24  # full-rail write margin vs read restore (Fig. 8)
+IO_LOAD_PER_BIT = 10 * fF
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessEnergy:
+    """Per-access energy breakdown, joules (paper Fig. 8 categories)."""
+
+    decode: float
+    cell: float
+    localblock: float
+    global_path: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        return self.decode + self.cell + self.localblock + self.global_path + self.io
+
+    def breakdown(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+    def per_bit(self, word_bits: int) -> float:
+        if word_bits <= 0:
+            raise ConfigurationError("word width must be positive")
+        return self.total / word_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Dynamic-energy estimator for one array organization."""
+
+    organization: ArrayOrganization
+    local_sa: SenseAmplifier
+    global_sa: SenseAmplifier
+
+    # -- shared ingredients ------------------------------------------------
+
+    @property
+    def _node(self):
+        return self.organization.node
+
+    def _unit_gate_cap(self) -> float:
+        nmos = Mosfet(self._node, Polarity.NMOS, VtFlavor.SVT,
+                      width=self._node.width_units(2.0))
+        pmos = Mosfet(self._node, Polarity.PMOS, VtFlavor.SVT,
+                      width=self._node.width_units(4.0))
+        return nmos.gate_capacitance() + pmos.gate_capacitance()
+
+    def _address_bits(self) -> int:
+        import math
+        return max(1, int(math.log2(self.organization.n_words)))
+
+    # -- decode ------------------------------------------------------------------
+
+    def decode_energy(self, write: bool = False) -> float:
+        org = self.organization
+        vdd = self._node.vdd
+        c_unit = self._unit_gate_cap()
+        bits = self._address_bits()
+        # Predecode fabric: gates plus short wires per address bit.
+        predecode = bits * (12.0 * c_unit + 2 * fF)
+        # Predecoded one-hot lines run the matrix height to reach every
+        # block row; only a handful toggle per access.
+        address_bus = PREDECODE_TOGGLE_LINES * Wire(
+            INTERMEDIATE_LAYER, org.matrix_height).capacitance
+        # Selected GWL plus its staged drivers, and the block-select line.
+        gwl = org.gwl_capacitance() * 1.5
+        block_select = org.gwl_capacitance() * 0.5
+        energy = (predecode + address_bus + gwl + block_select) * vdd ** 2
+        if write:
+            # Data bus to the selected block row + write drivers + WE line.
+            data_bus = org.word_bits * Wire(
+                INTERMEDIATE_LAYER, org.matrix_height).capacitance * DATA_ACTIVITY
+            write_drivers = org.word_bits * 4.0 * c_unit
+            we_line = org.gwl_capacitance() * 0.5
+            energy += (data_bus + write_drivers + we_line) * vdd ** 2
+        return energy
+
+    # -- cell --------------------------------------------------------------------
+
+    def cell_energy(self, write: bool = False) -> float:
+        org = self.organization
+        # LWL is driven to the cell's required WL level (1.7 V when
+        # overdriven) — quadratic in the boosted voltage.
+        lwl = org.lwl_capacitance() * org.cell.wordline_voltage ** 2
+        if not org.cell.is_dynamic:
+            return lwl
+        # Destructive read: every stored '1' is recharged through the
+        # local SA from the LBL rail; writes pay a full-rail margin.
+        restore = (DATA_ACTIVITY * org.word_bits * org.cell.charge_sharing_cap
+                   * org.cell.stored_high * 1.0)
+        if write:
+            restore *= WRITE_CELL_FACTOR
+        return lwl + restore
+
+    # -- localblock -----------------------------------------------------------------
+
+    def localblock_energy(self, write: bool = False) -> float:
+        org = self.organization
+        vdd = self._node.vdd
+        c_lbl = org.lbl_capacitance()
+        if org.cell.is_dynamic:
+            # Reading a '0' discharges and recharges the full LBL; a '1'
+            # leaves it at the precharge level (paper Fig. 3).
+            precharge = 1.0
+            lbl = DATA_ACTIVITY * org.word_bits * c_lbl * precharge * precharge
+            if write:
+                # Writing drives every LBL to the data value.
+                lbl = org.word_bits * c_lbl * precharge * precharge * 0.75
+        else:
+            # Differential pair with limited swing, both lines precharged
+            # to vdd: reads swing one line by SRAM_LBL_SWING; writes
+            # drive one line rail-to-rail.
+            swing = vdd if write else SRAM_LBL_SWING
+            lbl = org.word_bits * 2.0 * c_lbl * swing * vdd * 0.5
+        sense = org.word_bits * self.local_sa.energy_per_operation()
+        # Read-buffer / loop-cut gate loads (paper Fig. 4 devices).
+        buffers = org.word_bits * 18.0 * (
+            self._node.gate_cap_per_width * self._node.min_width) * vdd ** 2
+        control = 3.0 * org.local_wordline().capacitance * vdd ** 2
+        return (lbl * 1.0 + sense + buffers + control) * LOCALBLOCK_OVERHEAD
+
+    # -- global path -----------------------------------------------------------------
+
+    def global_path_energy(self, write: bool = False) -> float:
+        org = self.organization
+        c_gbl = org.gbl_capacitance()
+        vdd = self._node.vdd
+        if write:
+            # Write drivers toggle the GBLs over the full low-swing rail.
+            gbl = org.word_bits * c_gbl * GBL_SUPPLY * GBL_SUPPLY
+            sense = 0.0
+        else:
+            gbl = org.word_bits * c_gbl * GBL_SWING * GBL_SUPPLY
+            sense = org.word_bits * self.global_sa.energy_per_operation()
+        mux = org.word_bits * 3.0 * (
+            self._node.gate_cap_per_width * self._node.min_width * 4.0) * vdd ** 2
+        return gbl + sense + mux
+
+    # -- io -------------------------------------------------------------------------
+
+    def io_energy(self, write: bool = False) -> float:
+        org = self.organization
+        vdd = self._node.vdd
+        if write:
+            latches = org.word_bits * 2.0 * self._unit_gate_cap() * vdd ** 2
+            return latches * DATA_ACTIVITY
+        drivers = org.word_bits * IO_LOAD_PER_BIT * vdd ** 2
+        return drivers * DATA_ACTIVITY
+
+    # -- assembly ----------------------------------------------------------------------
+
+    def access(self, write: bool = False) -> AccessEnergy:
+        """Energy breakdown of one read or write access."""
+        return AccessEnergy(
+            decode=self.decode_energy(write),
+            cell=self.cell_energy(write),
+            localblock=self.localblock_energy(write),
+            global_path=self.global_path_energy(write),
+            io=self.io_energy(write),
+        )
+
+    def read_energy(self) -> float:
+        return self.access(write=False).total
+
+    def write_energy(self) -> float:
+        return self.access(write=True).total
+
+    def refresh_row_energy(self) -> float:
+        """Energy of refreshing one row (one LWL) — paper Fig. 4 scheme.
+
+        The refresh is entirely local: LWL + cell restore + localblock,
+        with the GBL ground node left floating so *no* global wires or
+        sense amplifiers switch.  This is the quantity behind the
+        static-power win of Fig. 7c.
+        """
+        org = self.organization
+        if not org.cell.is_dynamic:
+            return 0.0
+        return (self.cell_energy(write=False)
+                + self.localblock_energy(write=False))

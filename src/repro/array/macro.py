@@ -1,0 +1,118 @@
+"""Macro assembly: one organization + its sense amplifiers + all models.
+
+:class:`MacroDesign` bundles everything needed to quote the paper's
+figures for one memory macro.  The DRAM design (:mod:`repro.core`) and
+the SRAM baseline (:mod:`repro.sramref`) both instantiate it — same
+skeleton, different cell, which is the paper's comparison methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.array.energy import AccessEnergy, EnergyModel
+from repro.array.floorplan import Floorplan
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+from repro.array.static_power import StaticPowerModel, StaticPowerReport
+from repro.array.timing import AccessTiming, TimingModel
+from repro.units import si_format
+
+
+@dataclasses.dataclass(frozen=True)
+class MacroDesign:
+    """A fully assembled memory macro.
+
+    ``retention_override`` pins the refresh period used for static-power
+    accounting; by default the cell's 6-sigma worst-case retention is
+    used (dynamic cells only).
+    """
+
+    organization: ArrayOrganization
+    local_sa: SenseAmplifier
+    global_sa: SenseAmplifier
+    retention_override: float | None = None
+
+    # -- model factories -----------------------------------------------------
+
+    @property
+    def timing_model(self) -> TimingModel:
+        return TimingModel(self.organization, self.local_sa, self.global_sa)
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(self.organization, self.local_sa, self.global_sa)
+
+    @property
+    def floorplan(self) -> Floorplan:
+        return Floorplan(self.organization)
+
+    @property
+    def static_power_model(self) -> StaticPowerModel:
+        return StaticPowerModel(
+            self.organization, self.energy_model,
+            retention_time=self.retention_override,
+        )
+
+    # -- headline figures --------------------------------------------------------
+
+    def access_timing(self) -> AccessTiming:
+        return self.timing_model.access()
+
+    def access_time(self) -> float:
+        """Worst-case read access time, seconds."""
+        return self.timing_model.access_time()
+
+    def read_energy(self) -> AccessEnergy:
+        return self.energy_model.access(write=False)
+
+    def write_energy(self) -> AccessEnergy:
+        return self.energy_model.access(write=True)
+
+    def energy_per_bit(self, write: bool = False) -> float:
+        """Dynamic energy per accessed bit, joules."""
+        access = self.energy_model.access(write=write)
+        return access.per_bit(self.organization.word_bits)
+
+    def area(self) -> float:
+        """Total macro area, m^2."""
+        return self.floorplan.total_area()
+
+    def static_power(self) -> StaticPowerReport:
+        """Cell-array static power (leakage or refresh, by cell kind)."""
+        return self.static_power_model.report()
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """The paper's headline quantities as a flat dict (SI units)."""
+        static = self.static_power()
+        return {
+            "total_bits": float(self.organization.total_bits),
+            "access_time_s": self.access_time(),
+            "read_energy_j": self.read_energy().total,
+            "write_energy_j": self.write_energy().total,
+            "read_energy_per_bit_j": self.energy_per_bit(write=False),
+            "area_m2": self.area(),
+            "static_power_w": static.power,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        s = self.summary()
+        static = self.static_power()
+        lines = [
+            self.organization.describe(),
+            f"  access time      : {si_format(s['access_time_s'], 's')}",
+            f"  read energy      : {si_format(s['read_energy_j'], 'J')}"
+            f" ({si_format(s['read_energy_per_bit_j'], 'J')}/bit)",
+            f"  write energy     : {si_format(s['write_energy_j'], 'J')}",
+            f"  area             : {s['area_m2'] / 1e-6:.4f} mm^2",
+            f"  cell static power: {si_format(s['static_power_w'], 'W')}"
+            f" ({static.mechanism})",
+        ]
+        if static.retention_time is not None:
+            lines.append(
+                f"  retention used   : {si_format(static.retention_time, 's')}")
+        return "\n".join(lines)

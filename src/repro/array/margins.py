@@ -1,0 +1,145 @@
+"""Read-margin analysis: sensing yield vs refresh interval.
+
+The retention model answers "when has the cell lost its charge?"; this
+module answers the sharper question the sense path actually poses:
+*when does a read start failing?*  A read succeeds while the decayed
+charge-sharing differential still clears the local SA's offset:
+
+    margin(t) = signal(t) / 2 - n_sigma * sigma_offset
+
+where the stored level decays exponentially with the cell's leakage
+time constant and the factor 2 is the half-step dummy-cell reference.
+Because leakage varies cell to cell (Pelgrom + lognormal junction), the
+margin at a given refresh interval is a distribution; the analysis
+reports the failure probability and the maximum refresh interval at a
+target yield — a tighter, sensing-aware version of the paper's
+retention criterion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List
+
+import numpy as np
+
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+from repro.errors import ConfigurationError
+from repro.variability.retention import RetentionModel
+
+
+@dataclasses.dataclass(frozen=True)
+class MarginPoint:
+    """Read-margin statistics at one refresh interval."""
+
+    refresh_interval: float
+    mean_margin: float
+    worst_margin: float  # at the sampled population's weakest cell
+    failure_fraction: float  # fraction of cells with margin <= 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadMarginAnalysis:
+    """Sensing-aware retention analysis for one organization.
+
+    Parameters
+    ----------
+    organization:
+        The (dynamic-cell) array under analysis.
+    local_sa:
+        The sense amplifier whose offset the signal must clear.
+    retention:
+        Cell retention model (supplies the leakage distribution).
+    samples:
+        Cell population size per evaluated interval.
+    seed:
+        RNG seed for the cell population.
+    """
+
+    organization: ArrayOrganization
+    local_sa: SenseAmplifier
+    retention: RetentionModel
+    samples: int = 4000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.organization.cell.is_dynamic:
+            raise ConfigurationError(
+                "read-margin analysis applies to dynamic cells")
+        if self.samples < 100:
+            raise ConfigurationError("need at least 100 sampled cells")
+
+    # -- ingredients -----------------------------------------------------------
+
+    def fresh_signal(self) -> float:
+        """Charge-sharing LBL step right after a restore, volts."""
+        return self.organization.read_signal()
+
+    def required_differential(self) -> float:
+        """Differential the SA needs (offset at the design margin)."""
+        return self.local_sa.required_input_signal()
+
+    def _decay_time_constants(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-cell exponential decay constants, seconds.
+
+        The retention sample is the time to lose ``readable_margin``;
+        for an exponential decay from the stored level V0, the time
+        constant follows as tau = t_ret / ln(V0 / (V0 - margin)).
+        """
+        t_ret = self.retention.sample_many(rng, self.samples)
+        v0 = self.organization.cell.stored_high
+        margin = self.retention.readable_margin
+        if margin >= v0:
+            raise ConfigurationError(
+                "readable margin exceeds the stored level")
+        return t_ret / math.log(v0 / (v0 - margin))
+
+    # -- the analysis ---------------------------------------------------------------
+
+    def evaluate(self, refresh_interval: float) -> MarginPoint:
+        """Margin statistics when cells are read ``refresh_interval``
+        after their last restore (the worst-phase read)."""
+        if refresh_interval <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        rng = np.random.default_rng(self.seed)
+        taus = self._decay_time_constants(rng)
+        v0 = self.organization.cell.stored_high
+        decayed = v0 * np.exp(-refresh_interval / taus)
+        # The signal scales with the remaining stored level; the dummy
+        # reference sits at half the *fresh* step.
+        fresh = self.fresh_signal()
+        signal = fresh * decayed / v0
+        margin = signal - fresh / 2.0 - self.required_differential()
+        return MarginPoint(
+            refresh_interval=refresh_interval,
+            mean_margin=float(np.mean(margin)),
+            worst_margin=float(np.min(margin)),
+            failure_fraction=float(np.mean(margin <= 0.0)),
+        )
+
+    def sweep(self, intervals) -> List[MarginPoint]:
+        """Evaluate a list of refresh intervals."""
+        return [self.evaluate(t) for t in intervals]
+
+    def max_interval_at_yield(self, target_failure: float = 1e-3,
+                              t_lo: float = 1e-6,
+                              t_hi: float = 1.0) -> float:
+        """Longest refresh interval keeping the failure fraction at or
+        below ``target_failure`` (bisection over the interval axis)."""
+        if not 0.0 <= target_failure < 1.0:
+            raise ConfigurationError("target failure must lie in [0, 1)")
+        if self.evaluate(t_lo).failure_fraction > target_failure:
+            raise ConfigurationError(
+                "failure target unreachable even at the shortest interval")
+        if self.evaluate(t_hi).failure_fraction <= target_failure:
+            return t_hi
+        lo, hi = t_lo, t_hi
+        for _ in range(60):
+            mid = math.sqrt(lo * hi)  # bisect in log space
+            if self.evaluate(mid).failure_fraction <= target_failure:
+                lo = mid
+            else:
+                hi = mid
+        return lo

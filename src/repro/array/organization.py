@@ -1,0 +1,232 @@
+"""Array organization: the divided word-line / divided bit-line geometry.
+
+An :class:`ArrayOrganization` fixes the logical and physical structure
+of the matrix; every model (timing, energy, area, refresh) reads its
+geometry from here, so the single object keeps them consistent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.cells.cellspec import CellSpec
+from repro.tech.node import TechnologyNode
+from repro.tech.wire import (
+    GLOBAL_LAYER,
+    INTERMEDIATE_LAYER,
+    LOCAL_LAYER,
+    Wire,
+)
+from repro.units import kb
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayOrganization:
+    """Geometry of a hierarchically divided memory matrix.
+
+    Parameters
+    ----------
+    node:
+        Technology node.
+    cell:
+        The bit cell populating the matrix.
+    total_bits:
+        Matrix capacity in bits (128 kb and 2 Mb in the paper).
+    word_bits:
+        Word width; one LWL opens exactly one word (paper Fig. 1).
+    cells_per_lbl:
+        Rows per local block = cells on one local bitline (16 for the
+        scratch-pad cell, 32 with the overdriven DRAM cell).
+    block_columns:
+        Number of local-block columns in the floorplan.  ``None`` picks
+        the split that makes the overall matrix closest to square.
+    cell_aspect_ratio:
+        Cell width / height (6T SRAM cells are wide, DRAM cells squarer).
+    """
+
+    node: TechnologyNode
+    cell: CellSpec
+    total_bits: int = 128 * kb
+    word_bits: int = 32
+    cells_per_lbl: int = 16
+    block_columns: int | None = None
+    cell_aspect_ratio: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 0 or self.word_bits <= 0 or self.cells_per_lbl <= 0:
+            raise ConfigurationError("sizes must be positive")
+        if self.total_bits % (self.word_bits * self.cells_per_lbl):
+            raise ConfigurationError(
+                f"{self.total_bits} bits do not divide into "
+                f"{self.word_bits}-bit words x {self.cells_per_lbl} rows"
+            )
+        if self.cell_aspect_ratio <= 0:
+            raise ConfigurationError("cell aspect ratio must be positive")
+        if self.block_columns is not None and (
+            self.block_columns <= 0 or self.n_localblocks % self.block_columns
+        ):
+            raise ConfigurationError(
+                f"{self.n_localblocks} blocks do not arrange into "
+                f"{self.block_columns} columns"
+            )
+
+    # -- logical structure ---------------------------------------------------
+
+    @property
+    def bits_per_localblock(self) -> int:
+        return self.word_bits * self.cells_per_lbl
+
+    @property
+    def n_localblocks(self) -> int:
+        return self.total_bits // self.bits_per_localblock
+
+    @property
+    def n_words(self) -> int:
+        """Total words = total LWLs = rows to refresh."""
+        return self.total_bits // self.word_bits
+
+    @property
+    def n_block_columns(self) -> int:
+        if self.block_columns is not None:
+            return self.block_columns
+        return _squarest_columns(self.n_localblocks, self.block_width,
+                                 self.block_height)
+
+    @property
+    def n_block_rows(self) -> int:
+        return self.n_localblocks // self.n_block_columns
+
+    # -- physical dimensions -----------------------------------------------------
+
+    @property
+    def cell_width(self) -> float:
+        return math.sqrt(self.cell.area * self.cell_aspect_ratio)
+
+    @property
+    def cell_height(self) -> float:
+        return self.cell.area / self.cell_width
+
+    @property
+    def block_width(self) -> float:
+        return self.word_bits * self.cell_width
+
+    @property
+    def block_height(self) -> float:
+        """Cells plus the local sense-amplifier strip (paper Fig. 4)."""
+        return self.cells_per_lbl * self.cell_height + self.local_sa_strip_height
+
+    @property
+    def local_sa_strip_height(self) -> float:
+        """Height of the local SA / write-after-read strip in one block.
+
+        The strip holds, per column: the local SA, the read buffer, the
+        loop-cut switch and the LWL receiver share, sized in the *SRAM*
+        generation's row heights (the paper keeps peripherals constant
+        between the two matrices).  The dynamic-cell strip is taller:
+        paper Fig. 4 adds the write-after-read loop cut and refresh
+        support to the plain SRAM local SA.
+        """
+        rows = 6.0 if self.cell.is_dynamic else 4.0
+        return rows * math.sqrt(self.node.sram6t_cell_area / 2.0)
+
+    @property
+    def matrix_width(self) -> float:
+        return self.n_block_columns * self.block_width
+
+    @property
+    def matrix_height(self) -> float:
+        return self.n_block_rows * self.block_height
+
+    # -- wires ---------------------------------------------------------------------
+
+    def local_bitline(self) -> Wire:
+        """One LBL: spans the cells of one block column."""
+        return Wire(LOCAL_LAYER, self.cells_per_lbl * self.cell_height)
+
+    def local_wordline(self) -> Wire:
+        """One LWL: spans one word inside the block."""
+        return Wire(LOCAL_LAYER, self.block_width)
+
+    def global_bitline(self) -> Wire:
+        """One GBL: spans the full matrix height."""
+        return Wire(INTERMEDIATE_LAYER, self.matrix_height)
+
+    def global_wordline(self) -> Wire:
+        """One GWL: spans the full matrix width."""
+        return Wire(GLOBAL_LAYER, self.matrix_width)
+
+    # -- electrical loads -------------------------------------------------------------
+
+    def lbl_capacitance(self) -> float:
+        """Total LBL capacitance: cell junctions + wire + local SA input."""
+        cells = self.cells_per_lbl * self.cell.bitline_cap_per_cell
+        sa_input = 0.3e-15  # local SA input device, ~0.3 fF
+        return cells + self.local_bitline().capacitance + sa_input
+
+    def lwl_capacitance(self) -> float:
+        """Total LWL capacitance: access gates of one word + wire."""
+        gates = self.word_bits * self.cell.wordline_cap_per_cell
+        return gates + self.local_wordline().capacitance
+
+    def gbl_capacitance(self) -> float:
+        """Total GBL capacitance: wire + one read-buffer drain per block row."""
+        drains = self.n_block_rows * 0.4e-15
+        return self.global_bitline().capacitance + drains
+
+    def gwl_capacitance(self) -> float:
+        """Total GWL capacitance: wire + one LWL-receiver gate per block col."""
+        receivers = self.n_block_columns * 1.0e-15
+        return self.global_wordline().capacitance + receivers
+
+    def read_signal(self) -> float:
+        """LBL read signal, volts.
+
+        Charge-sharing step for dynamic cells; for static cells the
+        differential the cell develops in the sensing window (approx
+        150 mV by construction of the timing model).
+        """
+        if self.cell.is_dynamic:
+            return self.cell.bitline_voltage_step(
+                bitline_cap=self.lbl_capacitance(),
+                precharge_voltage=1.0,
+            )
+        return 0.15
+
+    def with_cell(self, cell: CellSpec, cells_per_lbl: int | None = None
+                  ) -> "ArrayOrganization":
+        """Same organization populated with another cell."""
+        return dataclasses.replace(
+            self,
+            cell=cell,
+            cells_per_lbl=self.cells_per_lbl if cells_per_lbl is None
+            else cells_per_lbl,
+            block_columns=None,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_bits // 1024} kb, {self.word_bits}-bit words, "
+            f"{self.cells_per_lbl} cells/LBL, "
+            f"{self.n_localblocks} localblocks "
+            f"({self.n_block_rows} x {self.n_block_columns}), "
+            f"cell {self.cell.name}"
+        )
+
+
+def _squarest_columns(n_blocks: int, block_width: float,
+                      block_height: float) -> int:
+    """Block-column count whose floorplan is closest to square."""
+    best_cols, best_badness = 1, float("inf")
+    for cols in range(1, n_blocks + 1):
+        if n_blocks % cols:
+            continue
+        rows = n_blocks // cols
+        width = cols * block_width
+        height = rows * block_height
+        badness = max(width / height, height / width)
+        if badness < best_badness:
+            best_cols, best_badness = cols, badness
+    return best_cols

@@ -1,0 +1,53 @@
+"""Extension to larger memories (paper Sec. III last paragraph).
+
+The paper extrapolates the 128 kb design point to 2 Mb by growing the
+GBL/GWL fabric ("using GBL/GWL larger capacitance estimation, with a
+timing penalty due to larger buffers needed on this signal").  Here the
+organization model recomputes geometry exactly, and this module adds the
+repeatered-wire delay penalty for the long global lines of big arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.array.organization import ArrayOrganization
+from repro.tech.node import Polarity, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.tech.wire import repeater_stage_delay
+from repro.units import kb
+
+
+def scale_organization(base: ArrayOrganization,
+                       total_bits: int) -> ArrayOrganization:
+    """Rebuild ``base`` at another capacity, keeping cell and structure."""
+    if total_bits <= 0:
+        raise ConfigurationError("total_bits must be positive")
+    return dataclasses.replace(base, total_bits=total_bits, block_columns=None)
+
+
+def standard_sizes() -> list[int]:
+    """The memory sizes swept by the paper's figures (Fig. 7, Fig. 9)."""
+    return [128 * kb, 256 * kb, 512 * kb, 1024 * kb, 2048 * kb]
+
+
+def global_wire_penalty(org: ArrayOrganization) -> float:
+    """Delay of the global fabric (GWL + GBL) at this size, seconds.
+
+    For each global wire the best of direct drive and an optimally
+    repeated chain is taken — exactly the "larger buffers needed on this
+    signal" the paper prices into the 2 Mb extension.  Monotone in the
+    matrix dimensions, so the size sweep exposes the growing global-wire
+    cost.
+    """
+    driver = Mosfet(org.node, Polarity.NMOS, VtFlavor.SVT,
+                    width=org.node.width_units(8.0))
+    r_drv = driver.on_resistance()
+    c_drv = driver.gate_capacitance() * 3.0  # inverter pair input
+    total = 0.0
+    for wire in (org.global_wordline(), org.global_bitline()):
+        repeated = repeater_stage_delay(wire, r_drv, c_drv)
+        direct = wire.elmore_delay(r_drv)
+        total += min(repeated, direct)
+    return total

@@ -1,0 +1,125 @@
+"""Latch-type sense amplifier model.
+
+Both the local SA (senses the LBL charge-sharing step, restores the
+cell) and the global SA (senses the low-swing GBL) are regenerative
+latches.  The model covers the three quantities the architecture needs:
+
+* *offset*: input-referred mismatch of the cross-coupled pair (Pelgrom).
+  The underlying SRAM design [10] uses **tunable** sense amplifiers to
+  cope with variability; tuning cancels a calibrated fraction of the
+  offset at a small delay/energy cost, modelled by ``tuning_factor``.
+* *regeneration delay*: exponential amplification from the input signal
+  to a full logic level, ``t = tau * ln(v_out / v_in)``.
+* *energy* per sense operation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.tech.node import Polarity, TechnologyNode, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.units import fF
+from repro.variability.pelgrom import PelgromModel
+
+
+@dataclasses.dataclass(frozen=True)
+class SenseAmplifier:
+    """A regenerative latch sense amplifier.
+
+    Parameters
+    ----------
+    node:
+        Technology node.
+    input_units:
+        Width of the cross-coupled input devices, 120 nm units.
+    internal_cap:
+        Total internal node capacitance switched per operation, farads.
+    supply:
+        Rail the SA regenerates to, volts.
+    tunable:
+        Whether offset-tuning DACs are fitted ([10]'s technique).
+    tuning_factor:
+        Fraction of the raw offset that remains after tuning.
+    margin_sigma:
+        How many sigma of residual offset the input signal must clear.
+    """
+
+    node: TechnologyNode
+    input_units: float = 4.0
+    internal_cap: float = 4.0 * fF
+    supply: float = 1.2
+    tunable: bool = True
+    tuning_factor: float = 0.35
+    margin_sigma: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.input_units <= 0 or self.internal_cap <= 0 or self.supply <= 0:
+            raise ConfigurationError("SA sizes and supply must be positive")
+        if not 0.0 < self.tuning_factor <= 1.0:
+            raise ConfigurationError("tuning factor must lie in (0, 1]")
+        if self.margin_sigma <= 0:
+            raise ConfigurationError("margin sigma must be positive")
+
+    @property
+    def input_device(self) -> Mosfet:
+        return Mosfet(self.node, Polarity.NMOS, VtFlavor.SVT,
+                      width=self.node.width_units(self.input_units))
+
+    # -- offset ------------------------------------------------------------------
+
+    def raw_offset_sigma(self, mismatch: PelgromModel | None = None) -> float:
+        """Input-referred offset sigma before tuning, volts.
+
+        The cross-coupled pair contributes sqrt(2) of one device's VT
+        mismatch.
+        """
+        mismatch = PelgromModel() if mismatch is None else mismatch
+        return math.sqrt(2.0) * mismatch.vth_spec(self.input_device).sigma
+
+    def effective_offset_sigma(self, mismatch: PelgromModel | None = None) -> float:
+        """Offset sigma after tuning (if fitted), volts."""
+        raw = self.raw_offset_sigma(mismatch)
+        return raw * self.tuning_factor if self.tunable else raw
+
+    def required_input_signal(self, mismatch: PelgromModel | None = None) -> float:
+        """Smallest input the SA resolves at the design margin, volts."""
+        return self.margin_sigma * self.effective_offset_sigma(mismatch)
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def regeneration_tau(self) -> float:
+        """Regeneration time constant C/gm, seconds.
+
+        gm is linearised from the input device around half-supply
+        overdrive — the operating point right after the latch trips.
+        """
+        device = self.input_device
+        vgs = self.supply * 0.75
+        delta = 0.01
+        i1 = device.drain_current(vgs - delta, self.supply / 2)
+        i2 = device.drain_current(vgs + delta, self.supply / 2)
+        gm = (i2 - i1) / (2 * delta)
+        if gm <= 0:
+            raise ConfigurationError("SA input device has no transconductance")
+        return self.internal_cap / gm
+
+    def sense_delay(self, input_signal: float,
+                    output_level: float | None = None) -> float:
+        """Time to regenerate ``input_signal`` to ``output_level``, seconds."""
+        if input_signal <= 0:
+            raise ConfigurationError("input signal must be positive")
+        output_level = self.supply / 2 if output_level is None else output_level
+        if output_level <= input_signal:
+            return 0.0
+        return self.regeneration_tau() * math.log(output_level / input_signal)
+
+    # -- energy ---------------------------------------------------------------------
+
+    def energy_per_operation(self) -> float:
+        """Energy of one sense (fire + restore internal nodes), joules."""
+        base = self.internal_cap * self.supply ** 2
+        tuning_overhead = 0.15 * base if self.tunable else 0.0
+        return base + tuning_overhead

@@ -1,0 +1,93 @@
+"""Cell static power: SRAM leakage vs DRAM refresh power (paper Fig. 7c).
+
+The paper's definition (Sec. IV): "The cell static power consumption is
+given as the static leakage for the SRAM, compared to the power consumed
+by the refresh operation, when all the cells in the matrix are being
+refreshed."  So:
+
+* SRAM:  P = N_cells * I_leak_cell * VDD   (burned continuously)
+* DRAM:  P = N_rows * E_refresh_row / t_retention   (burned per restore)
+
+The asymmetry is the paper's core insight: "the static leakage of an
+SRAM is directly consumed, while the leakage of a DRAM cell consumes
+energy only when the cell is restored."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.array.energy import EnergyModel
+from repro.array.organization import ArrayOrganization
+
+#: Controllers refresh with margin below the worst-case retention; the
+#: refresh period is the retention divided by this guard band.
+REFRESH_GUARD_FACTOR = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticPowerReport:
+    """Cell-array static power of one matrix, watts."""
+
+    power: float
+    mechanism: str  # "leakage" or "refresh"
+    retention_time: float | None = None
+    refresh_row_energy: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ConfigurationError("static power must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticPowerModel:
+    """Computes the cell static power of an organization.
+
+    For dynamic cells ``retention_time`` defaults to the cell's 6-sigma
+    worst case (the paper's conservative choice: the whole matrix is
+    refreshed at the rate its worst cell needs).
+    """
+
+    organization: ArrayOrganization
+    energy_model: EnergyModel
+    retention_time: float | None = None
+    retention_sigma: float = 6.0
+    retention_samples: int = 2000
+    refresh_guard: float = REFRESH_GUARD_FACTOR
+
+    def refresh_period(self) -> float:
+        """Actual refresh period: worst-case retention / guard band."""
+        if self.refresh_guard < 1.0:
+            raise ConfigurationError("refresh guard must be >= 1")
+        return self.resolved_retention() / self.refresh_guard
+
+    def resolved_retention(self) -> float:
+        """Retention period used for refresh-power accounting, seconds."""
+        if self.retention_time is not None:
+            if self.retention_time <= 0:
+                raise ConfigurationError("retention time must be positive")
+            return self.retention_time
+        cell = self.organization.cell
+        if cell.retention is None:
+            raise ConfigurationError("cell has no retention model")
+        stats = cell.retention.statistics(
+            count=self.retention_samples, n_sigma=self.retention_sigma)
+        return stats.worst_case
+
+    def report(self) -> StaticPowerReport:
+        """Static power of the cell array."""
+        org = self.organization
+        if org.cell.is_dynamic:
+            period = self.refresh_period()
+            row_energy = self.energy_model.refresh_row_energy()
+            power = org.n_words * row_energy / period
+            return StaticPowerReport(
+                power=power,
+                mechanism="refresh",
+                retention_time=period,
+                refresh_row_energy=row_energy,
+            )
+        power = (org.total_bits * org.cell.standby_leakage
+                 * org.node.vdd)
+        return StaticPowerReport(power=power, mechanism="leakage")

@@ -1,0 +1,239 @@
+"""Access-time model: the read pipeline of paper Fig. 1/Fig. 3.
+
+The access path is::
+
+    address -> decoder -> GWL -> LWL receiver -> LWL
+            -> cell signal on LBL -> local SA -> GBL (low swing)
+            -> global SA -> mux/output
+
+Each stage is priced from the organization's geometry and the device
+model.  Two memory-design realities are modelled explicitly rather than
+hidden in the component formulas:
+
+* ``CLOCK_OVERHEAD_FO4`` — address latching, clock distribution and
+  output capture; present in any synchronous macro.
+* ``SENSE_MARGIN_FACTOR`` — the SA-enable timing chain (the "tunable
+  delay lines" of the paper / [10]) must wait for *worst-case* signal
+  development across corners and mismatch, not the nominal value; the
+  factor stretches the signal-development + sense stages accordingly.
+* ``CORNER_FACTOR`` — papers quote worst-case (slow corner, low supply)
+  timing; the device cards here are typical, so reported totals carry
+  this derating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.tech.node import Polarity, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.array.decoder import DecoderModel
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+
+CLOCK_OVERHEAD_FO4 = 12.0
+SENSE_MARGIN_FACTOR = 1.8
+CORNER_FACTOR = 1.6
+LEVEL_SHIFTER_FO4 = 2.0  # overdriven-WL level shifter (pumped supply)
+GBL_SWING = 0.1  # volts, 0.4 V -> 0.3 V (paper Fig. 3)
+GBL_SUPPLY = 0.4  # volts, the vddgbl rail of paper Fig. 4
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessTiming:
+    """Per-stage read access time breakdown, seconds."""
+
+    decode: float
+    wordline: float
+    bitline: float
+    local_sense: float
+    global_bitline: float
+    global_sense: float
+    output: float
+    clocking: float
+
+    @property
+    def total(self) -> float:
+        return (self.decode + self.wordline + self.bitline + self.local_sense
+                + self.global_bitline + self.global_sense + self.output
+                + self.clocking)
+
+    def breakdown(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingModel:
+    """Access-time estimator for one array organization.
+
+    The local SA restores the cell *while* the GBL/global-SA stages run
+    (paper Sec. II: "the write after read operation is performed while
+    the GBL signal is sensed"), so the write-back never appears in the
+    read access time — one of the two architectural wins.
+    """
+
+    organization: ArrayOrganization
+    local_sa: SenseAmplifier
+    global_sa: SenseAmplifier
+    corner_factor: float = CORNER_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.corner_factor < 1.0:
+            raise ConfigurationError("corner factor must be >= 1")
+
+    # -- helper devices -----------------------------------------------------
+
+    @property
+    def _node(self):
+        return self.organization.node
+
+    def _fo4(self) -> float:
+        """Fanout-of-4 inverter delay of the node, seconds."""
+        nmos = Mosfet(self._node, Polarity.NMOS, VtFlavor.SVT,
+                      width=self._node.width_units(2.0))
+        pmos = Mosfet(self._node, Polarity.PMOS, VtFlavor.SVT,
+                      width=self._node.width_units(4.0))
+        c_in = nmos.gate_capacitance() + pmos.gate_capacitance()
+        r_eff = 0.5 * (nmos.on_resistance() + pmos.on_resistance())
+        return 0.69 * r_eff * (4.0 * c_in) + 0.69 * r_eff * c_in
+
+    def _read_buffer(self) -> Mosfet:
+        """The 6-unit LVT read-buffer output device of paper Fig. 4."""
+        return Mosfet(self._node, Polarity.NMOS, VtFlavor.LVT,
+                      width=self._node.width_units(6.0))
+
+    # -- stages --------------------------------------------------------------
+
+    def decode_delay(self) -> float:
+        """Address decode + GWL propagation."""
+        org = self.organization
+        bits = max(1, int(math.log2(org.n_words)))
+        decoder = DecoderModel(self._node, n_address_bits=bits,
+                               load_cap=org.gwl_capacitance())
+        gwl = org.global_wordline()
+        distributed = 0.38 * gwl.resistance * gwl.capacitance
+        return decoder.delay() + distributed
+
+    def wordline_delay(self) -> float:
+        """LWL receiver + LWL rise to the cell gates.
+
+        An overdriven word line (DRAM technology, 1.7 V) pays a level
+        shifter into the pumped supply domain and a slower rise — the
+        pump rail sources less current and the swing is larger.
+        """
+        org = self.organization
+        receiver = 2.0 * self._fo4()
+        driver = Mosfet(self._node, Polarity.PMOS, VtFlavor.SVT,
+                        width=self._node.width_units(8.0))
+        lwl = org.local_wordline()
+        rise = lwl.elmore_delay(
+            driver_resistance=driver.on_resistance(),
+            load_capacitance=org.lwl_capacitance() - lwl.capacitance,
+        )
+        overdrive_ratio = org.cell.wordline_voltage / self._node.vdd
+        if overdrive_ratio > 1.0:
+            receiver += LEVEL_SHIFTER_FO4 * self._fo4()
+            rise *= overdrive_ratio
+        return receiver + rise
+
+    def bitline_delay(self) -> float:
+        """Cell signal development on the LBL up to the SA-enable margin."""
+        org = self.organization
+        required = self.local_sa.required_input_signal()
+        if org.cell.is_dynamic:
+            # Single-ended sensing against the half-capacitance dummy
+            # reference: only half the step differentiates '0' from '1'.
+            required = 2.0 * required
+            final = org.read_signal()
+            if required >= final:
+                raise ConfigurationError(
+                    f"charge-sharing signal {final * 1e3:.0f} mV below the "
+                    f"local SA requirement {required * 1e3:.0f} mV: "
+                    "shorten the LBL or enlarge the cell capacitor"
+                )
+            c_cell = org.cell.charge_sharing_cap
+            c_lbl = org.lbl_capacitance()
+            c_series = c_cell * c_lbl / (c_cell + c_lbl)
+            # Effective access resistance at the operating WL voltage.
+            scale = org.cell.wordline_cap_per_cell / (
+                self._node.gate_cap_per_width * self._node.width_units(1.0))
+            access = Mosfet(self._node, Polarity.NMOS, VtFlavor.HVT,
+                            width=self._node.width_units(max(1.0, scale)))
+            i_on = access.drain_current(vgs=org.cell.wordline_voltage,
+                                        vds=0.5)
+            r_on = 0.5 / max(i_on, 1e-9)
+            tau = r_on * c_series
+            develop = -tau * math.log(1.0 - required / final)
+        else:
+            develop = org.lbl_capacitance() * required / org.cell.read_current
+        return develop * SENSE_MARGIN_FACTOR
+
+    def local_sense_delay(self) -> float:
+        """Local SA regeneration from the enable margin to full swing."""
+        required = self.local_sa.required_input_signal()
+        return self.local_sa.sense_delay(required) * SENSE_MARGIN_FACTOR
+
+    def global_bitline_delay(self) -> float:
+        """Read buffer developing the low-swing GBL step."""
+        org = self.organization
+        buffer = self._read_buffer()
+        i_drive = buffer.drain_current(vgs=self._node.vdd, vds=GBL_SUPPLY - GBL_SWING / 2)
+        slew = org.gbl_capacitance() * GBL_SWING / max(i_drive, 1e-9)
+        gbl = org.global_bitline()
+        distributed = 0.38 * gbl.resistance * gbl.capacitance
+        return slew + distributed
+
+    def global_sense_delay(self) -> float:
+        """Global SA resolving the GBL step."""
+        return self.global_sa.sense_delay(GBL_SWING) * SENSE_MARGIN_FACTOR
+
+    def output_delay(self) -> float:
+        """Column mux + output driver."""
+        return 3.0 * self._fo4()
+
+    def clocking_delay(self) -> float:
+        """Latching / clock distribution overhead."""
+        return CLOCK_OVERHEAD_FO4 * self._fo4()
+
+    # -- assembly ---------------------------------------------------------------
+
+    def access(self) -> AccessTiming:
+        """Worst-case read access time breakdown."""
+        c = self.corner_factor
+        return AccessTiming(
+            decode=self.decode_delay() * c,
+            wordline=self.wordline_delay() * c,
+            bitline=self.bitline_delay() * c,
+            local_sense=self.local_sense_delay() * c,
+            global_bitline=self.global_bitline_delay() * c,
+            global_sense=self.global_sense_delay() * c,
+            output=self.output_delay() * c,
+            clocking=self.clocking_delay() * c,
+        )
+
+    def access_time(self) -> float:
+        """Total worst-case read access time, seconds."""
+        return self.access().total
+
+    def write_after_read_delay(self) -> float:
+        """Local restore time (hidden from the access path).
+
+        The local SA drives the LBL back to full levels and through the
+        access device into the cell; bounded by the cell-transfer RC.
+        Used by the refresh model to price a refresh slot.
+        """
+        org = self.organization
+        if not org.cell.is_dynamic:
+            return 0.0
+        c_cell = org.cell.charge_sharing_cap
+        scale = org.cell.wordline_cap_per_cell / (
+            self._node.gate_cap_per_width * self._node.width_units(1.0))
+        access = Mosfet(self._node, Polarity.NMOS, VtFlavor.HVT,
+                        width=self._node.width_units(max(1.0, scale)))
+        i_on = access.drain_current(vgs=org.cell.wordline_voltage, vds=0.5)
+        r_on = 0.5 / max(i_on, 1e-9)
+        # Four time constants to restore within a few percent.
+        return 4.0 * r_on * (c_cell + org.lbl_capacitance()) * self.corner_factor

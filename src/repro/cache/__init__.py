@@ -1,0 +1,45 @@
+"""Cache substrate: the application level of the paper.
+
+The paper positions the fast DRAM as a replacement for "low memory
+hierarchy SRAM" — i.e. cache arrays.  This package provides:
+
+* :mod:`repro.cache.cache` — a set-associative write-back cache model,
+* :mod:`repro.cache.workloads` — synthetic address-trace generators,
+* :mod:`repro.cache.hierarchy` — the hybrid L1-fast-DRAM / L2-DRAM
+  stack of paper Fig. 2 driven by a trace,
+* :mod:`repro.cache.activity` — the activity-to-total-power translation
+  behind paper Fig. 9.
+"""
+
+from repro.cache.cache import Cache, CacheStats, AccessResult
+from repro.cache.workloads import (
+    uniform_addresses,
+    zipf_addresses,
+    streaming_addresses,
+    looping_addresses,
+)
+from repro.cache.hierarchy import CacheHierarchy, HierarchyLevel, HierarchyStats
+from repro.cache.activity import ActivityPowerModel, PowerPoint
+from repro.cache.prefetch import NextLinePrefetcher, PrefetchStats
+from repro.cache.tracefile import load_trace, save_trace, trace_from_text, trace_to_text
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "uniform_addresses",
+    "zipf_addresses",
+    "streaming_addresses",
+    "looping_addresses",
+    "CacheHierarchy",
+    "HierarchyLevel",
+    "HierarchyStats",
+    "ActivityPowerModel",
+    "NextLinePrefetcher",
+    "PrefetchStats",
+    "load_trace",
+    "save_trace",
+    "trace_from_text",
+    "trace_to_text",
+    "PowerPoint",
+]

@@ -1,0 +1,88 @@
+"""Activity-to-power translation (paper Fig. 9).
+
+Fig. 9 plots total power against *activity* — the fraction of clock
+cycles carrying an access, with a random 50/50 read/write mix.  At high
+activity dynamic energy dominates; at low activity the macro's static
+power floor does, which is where the DRAM's 10x refresh-vs-leakage win
+shows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.array.macro import MacroDesign
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerPoint:
+    """Total power of one macro at one activity level."""
+
+    activity: float
+    dynamic_power: float
+    static_power: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic_power + self.static_power
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivityPowerModel:
+    """Total-power curves for one macro.
+
+    Parameters
+    ----------
+    macro:
+        The memory macro under analysis.
+    clock_frequency:
+        Access clock (the paper's refresh study runs at 500 MHz).
+    read_fraction:
+        Read share of accesses (0.5 = the paper's random mix).
+    """
+
+    macro: MacroDesign
+    clock_frequency: float = 500e6
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read fraction must lie in [0, 1]")
+
+    def average_access_energy(self) -> float:
+        """Energy of the average access under the read/write mix."""
+        read = self.macro.read_energy().total
+        write = self.macro.write_energy().total
+        return self.read_fraction * read + (1.0 - self.read_fraction) * write
+
+    def power_at(self, activity: float) -> PowerPoint:
+        """Total power at one activity level."""
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigurationError("activity must lie in [0, 1]")
+        dynamic = (activity * self.clock_frequency
+                   * self.average_access_energy())
+        return PowerPoint(
+            activity=activity,
+            dynamic_power=dynamic,
+            static_power=self.macro.static_power().power,
+        )
+
+    def curve(self, activities: Sequence[float]) -> List[PowerPoint]:
+        """Full Fig. 9 series for this macro."""
+        return [self.power_at(a) for a in activities]
+
+    def static_dominated_below(self) -> float:
+        """Activity under which static power exceeds dynamic power.
+
+        The figure-of-merit for cache arrays that idle most of the time
+        — exactly the regime the paper targets.
+        """
+        static = self.macro.static_power().power
+        per_activity = self.clock_frequency * self.average_access_energy()
+        if per_activity <= 0:
+            raise ConfigurationError("macro has no dynamic energy")
+        return min(1.0, static / per_activity)

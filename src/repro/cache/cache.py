@@ -1,0 +1,174 @@
+"""Set-associative write-back cache model.
+
+A behavioural cache — hits, misses, LRU replacement, dirty write-back —
+driven by word addresses.  The hierarchy model combines it with the
+macro models to translate a workload into energy and time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    write: bool
+    evicted_dirty_line: Optional[int] = None  # base address of victim
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Running counters of one cache instance."""
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class _Line:
+    """One cache line's bookkeeping."""
+
+    __slots__ = ("tag", "dirty", "stamp")
+
+    def __init__(self, tag: int, stamp: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.stamp = stamp
+
+
+class Cache:
+    """A set-associative cache with configurable write policies.
+
+    Parameters
+    ----------
+    capacity_words:
+        Total data capacity in (32-bit) words.
+    ways:
+        Associativity.
+    line_words:
+        Words per cache line.
+    write_back:
+        True (default): dirty lines written out on eviction.  False:
+        write-through — every write also goes to the next level (the
+        hierarchy model prices it), and lines are never dirty.
+    write_allocate:
+        True (default): a write miss allocates the line.  False:
+        write-no-allocate — write misses bypass the cache (the usual
+        companion of write-through).
+    """
+
+    def __init__(self, capacity_words: int, ways: int = 4,
+                 line_words: int = 8, write_back: bool = True,
+                 write_allocate: bool = True) -> None:
+        if capacity_words < 1 or ways < 1 or line_words < 1:
+            raise ConfigurationError("cache parameters must be >= 1")
+        if capacity_words % (ways * line_words):
+            raise ConfigurationError(
+                f"{capacity_words} words do not divide into {ways} ways of "
+                f"{line_words}-word lines"
+            )
+        self.capacity_words = capacity_words
+        self.ways = ways
+        self.line_words = line_words
+        self.write_back = write_back
+        self.write_allocate = write_allocate
+        self.n_sets = capacity_words // (ways * line_words)
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # -- address helpers ----------------------------------------------------
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        if address < 0:
+            raise ConfigurationError("addresses must be >= 0")
+        line_address = address // self.line_words
+        return line_address % self.n_sets, line_address // self.n_sets
+
+    def _line_base(self, set_index: int, tag: int) -> int:
+        return (tag * self.n_sets + set_index) * self.line_words
+
+    # -- the access path --------------------------------------------------------
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Access one word; allocate per policy; LRU-evict when full."""
+        self._clock += 1
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        line = ways.get(tag)
+        if line is not None:
+            line.stamp = self._clock
+            if write:
+                line.dirty = self.write_back
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return AccessResult(hit=True, write=write)
+
+        # Write miss under no-allocate: bypass the cache entirely.
+        if write and not self.write_allocate:
+            return AccessResult(hit=False, write=True)
+
+        # Miss: allocate, evicting LRU if the set is full.
+        evicted_dirty: Optional[int] = None
+        if len(ways) >= self.ways:
+            victim_tag = min(ways, key=lambda t: ways[t].stamp)
+            victim = ways.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+                evicted_dirty = self._line_base(set_index, victim_tag)
+        new_line = _Line(tag=tag, stamp=self._clock)
+        new_line.dirty = write and self.write_back
+        ways[tag] = new_line
+        return AccessResult(hit=False, write=write,
+                            evicted_dirty_line=evicted_dirty)
+
+    # -- introspection -----------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self) -> int:
+        """Drop every line; returns how many were dirty."""
+        dirty = sum(
+            1 for ways in self._sets for line in ways.values() if line.dirty)
+        for ways in self._sets:
+            ways.clear()
+        return dirty

@@ -1,0 +1,164 @@
+"""The hybrid 3D cache hierarchy of paper Fig. 2, driven by a trace.
+
+Level 1 is the paper's fast DRAM, level 2 a dense conventional-
+organization DRAM, both on the memory die; misses past L2 go to a
+backing store reached through the package.  The model walks an address
+trace through the behavioural caches and prices every macro access with
+the corresponding :class:`~repro.array.macro.MacroDesign`, yielding
+average access time and energy per operation — the system-level payoff
+of replacing the SRAM L1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.array.macro import MacroDesign
+from repro.cache.cache import Cache
+from repro.cache.workloads import AddressTrace
+from repro.errors import ConfigurationError
+from repro.units import ns, pJ
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchyLevel:
+    """One cache level: behavioural cache + its silicon macro."""
+
+    name: str
+    cache: Cache
+    macro: MacroDesign
+
+    def word_capacity(self) -> int:
+        return self.cache.capacity_words
+
+    def check_macro_fits(self) -> None:
+        """The behavioural capacity must fit in the macro's bits."""
+        needed = self.cache.capacity_words * 32
+        available = self.macro.organization.total_bits
+        if needed > available:
+            raise ConfigurationError(
+                f"level {self.name!r}: cache needs {needed} bits, macro "
+                f"provides {available}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchyStats:
+    """Aggregate outcome of one trace run."""
+
+    accesses: int
+    level_hits: Tuple[int, ...]
+    backing_accesses: int
+    total_energy: float
+    total_time: float
+
+    @property
+    def average_energy(self) -> float:
+        return self.total_energy / self.accesses if self.accesses else 0.0
+
+    @property
+    def average_time(self) -> float:
+        return self.total_time / self.accesses if self.accesses else 0.0
+
+    def hit_rate(self, level: int) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.level_hits[level] / self.accesses
+
+
+@dataclasses.dataclass
+class CacheHierarchy:
+    """An inclusive two-plus-level hierarchy over memory macros.
+
+    ``backing_latency`` / ``backing_energy`` price an access that misses
+    every level (off-stack memory through the package).
+    """
+
+    levels: List[HierarchyLevel]
+    backing_latency: float = 50 * ns
+    backing_energy: float = 500 * pJ
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        capacities = [lvl.word_capacity() for lvl in self.levels]
+        if any(b <= a for a, b in zip(capacities, capacities[1:])):
+            raise ConfigurationError(
+                "levels must strictly grow in capacity outwards"
+            )
+        for level in self.levels:
+            level.check_macro_fits()
+        # The macro figures are pure functions of the (immutable) design;
+        # price each level once instead of re-deriving the full energy
+        # and timing models on every one of the trace's accesses.
+        self._costs = {}
+        for index, level in enumerate(self.levels):
+            macro = level.macro
+            time = macro.access_time()
+            self._costs[index] = {
+                False: (macro.read_energy().total, time),
+                True: (macro.write_energy().total, time),
+            }
+
+    # -- pricing helpers ------------------------------------------------------
+
+    def _access_cost(self, index: int, write: bool) -> Tuple[float, float]:
+        return self._costs[index][write]
+
+    # -- the walk -----------------------------------------------------------------
+
+    def run(self, trace: AddressTrace) -> HierarchyStats:
+        """Drive the hierarchy with ``trace``; returns aggregate stats.
+
+        A miss at level i probes level i+1 (paying its access), fills
+        the line back (one write per level filled), and dirty evictions
+        write through to the next level.
+        """
+        total_energy = 0.0
+        total_time = 0.0
+        hits = [0] * len(self.levels)
+        backing = 0
+
+        for address, write in zip(trace.addresses, trace.writes):
+            address = int(address)
+            write = bool(write)
+            pending_writeback: Optional[int] = None
+            hit_recorded = False
+            for index, level in enumerate(self.levels):
+                energy, time = self._access_cost(index, write)
+                total_energy += energy
+                total_time += time
+                result = level.cache.access(address, write=write)
+                if result.evicted_dirty_line is not None:
+                    pending_writeback = result.evicted_dirty_line
+                if result.hit:
+                    if not hit_recorded:
+                        hits[index] += 1
+                        hit_recorded = True
+                    if write and not getattr(level.cache, "write_back",
+                                             True):
+                        # Write-through: the write continues outward.
+                        continue
+                    break
+            else:
+                if not (hit_recorded and not write):
+                    backing += 1
+                    total_energy += self.backing_energy
+                    total_time += self.backing_latency
+            if pending_writeback is not None and len(self.levels) > 1:
+                # Dirty victim written to the outermost level.
+                outer = self.levels[-1]
+                energy, time = self._access_cost(len(self.levels) - 1,
+                                                 write=True)
+                total_energy += energy
+                total_time += time
+                outer.cache.access(pending_writeback, write=True)
+
+        return HierarchyStats(
+            accesses=len(trace),
+            level_hits=tuple(hits),
+            backing_accesses=backing,
+            total_energy=total_energy,
+            total_time=total_time,
+        )

@@ -1,0 +1,103 @@
+"""Sequential (next-line) prefetching.
+
+Streaming traffic defeats a plain cache (every line is a compulsory
+miss); a next-line prefetcher converts most of those misses into hits
+at the cost of extra next-level traffic.  The wrapper keeps the
+:class:`~repro.cache.cache.Cache` interface so the hierarchy model can
+host prefetched and plain levels interchangeably.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cache.cache import AccessResult, Cache, CacheStats
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class PrefetchStats:
+    """Prefetcher-specific counters."""
+
+    issued: int = 0
+    useful: int = 0  # prefetched lines later hit by demand accesses
+
+    @property
+    def accuracy(self) -> float:
+        if self.issued == 0:
+            return 0.0
+        return self.useful / self.issued
+
+
+class NextLinePrefetcher:
+    """Tagged next-line prefetcher over a cache.
+
+    On a demand miss of line L the prefetcher brings in L+1 … L+depth.
+    Prefetched lines are tagged; the first demand hit on one counts as
+    a *useful* prefetch (the standard accuracy metric).
+    """
+
+    def __init__(self, cache: Cache, depth: int = 1) -> None:
+        if depth < 1:
+            raise ConfigurationError("prefetch depth must be >= 1")
+        self.cache = cache
+        self.depth = depth
+        self.prefetch_stats = PrefetchStats()
+        self._pending_tags: set[int] = set()
+
+    # -- delegation ---------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def line_words(self) -> int:
+        return self.cache.line_words
+
+    @property
+    def capacity_words(self) -> int:
+        return self.cache.capacity_words
+
+    @property
+    def write_back(self) -> bool:
+        return self.cache.write_back
+
+    def contains(self, address: int) -> bool:
+        return self.cache.contains(address)
+
+    # -- the access path -------------------------------------------------------
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Demand access; triggers next-line prefetches on read misses."""
+        line_address = address // self.cache.line_words
+        was_prefetched = line_address in self._pending_tags
+
+        result = self.cache.access(address, write=write)
+
+        if result.hit and was_prefetched:
+            self.prefetch_stats.useful += 1
+            self._pending_tags.discard(line_address)
+
+        if not result.hit and not write:
+            for offset in range(1, self.depth + 1):
+                target_line = line_address + offset
+                target_word = target_line * self.cache.line_words
+                if not self.cache.contains(target_word):
+                    # A prefetch is a read fill that bypasses the demand
+                    # statistics: issue it directly against the arrays.
+                    self._fill(target_word)
+                    self.prefetch_stats.issued += 1
+                    self._pending_tags.add(target_line)
+        return result
+
+    def _fill(self, address: int) -> None:
+        """Install a line without touching demand counters."""
+        snapshot = dataclasses.replace(self.cache.stats)
+        self.cache.access(address, write=False)
+        # Restore demand statistics; keep structural counters (evictions)
+        # because prefetches genuinely displace lines.
+        self.cache.stats.reads = snapshot.reads
+        self.cache.stats.read_hits = snapshot.read_hits
+        self.cache.stats.writes = snapshot.writes
+        self.cache.stats.write_hits = snapshot.write_hits

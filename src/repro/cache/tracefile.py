@@ -1,0 +1,82 @@
+"""Address-trace file I/O.
+
+A minimal, line-oriented text format so external traces can drive the
+cache models (and synthetic traces can be archived):
+
+    # comment lines start with '#'
+    R 0x1a2b
+    W 4096
+
+One access per line: ``R``/``W`` followed by a word address (decimal or
+``0x`` hex).  Round-trips exactly through :func:`save_trace` /
+:func:`load_trace`.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.cache.workloads import AddressTrace
+from repro.errors import ConfigurationError
+
+
+def trace_to_text(trace: AddressTrace) -> str:
+    """Serialise a trace to the text format."""
+    buffer = io.StringIO()
+    buffer.write("# repro address trace: one access per line\n")
+    for address, write in zip(trace.addresses, trace.writes):
+        kind = "W" if write else "R"
+        buffer.write(f"{kind} {int(address)}\n")
+    return buffer.getvalue()
+
+
+def trace_from_text(text: str) -> AddressTrace:
+    """Parse the text format back into a trace."""
+    addresses = []
+    writes = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in ("R", "W"):
+            raise ConfigurationError(
+                f"trace line {line_number}: expected 'R|W <address>', "
+                f"got {raw!r}")
+        try:
+            address = int(parts[1], 0)  # decimal or 0x-hex
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"trace line {line_number}: bad address {parts[1]!r}"
+            ) from exc
+        if address < 0:
+            raise ConfigurationError(
+                f"trace line {line_number}: negative address")
+        addresses.append(address)
+        writes.append(parts[0] == "W")
+    if not addresses:
+        raise ConfigurationError("trace file contains no accesses")
+    return AddressTrace(
+        addresses=np.array(addresses, dtype=np.int64),
+        writes=np.array(writes, dtype=bool),
+    )
+
+
+def save_trace(trace: AddressTrace,
+               path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``trace`` to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(trace_to_text(trace))
+    return path
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> AddressTrace:
+    """Read a trace file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no trace file at {path}")
+    return trace_from_text(path.read_text())

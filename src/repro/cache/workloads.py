@@ -1,0 +1,97 @@
+"""Synthetic address-trace generators.
+
+Traces are integer numpy arrays of word addresses, paired with a boolean
+write mask.  The mixes mirror the traffic classes the paper's intro
+motivates: random (cache-unfriendly), zipf (hot working set), streaming
+(no reuse) and looping (kernel working set).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressTrace:
+    """A word-address trace with per-access read/write flags."""
+
+    addresses: np.ndarray
+    writes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.addresses.shape != self.writes.shape:
+            raise ConfigurationError("addresses and writes must align")
+        if len(self.addresses) == 0:
+            raise ConfigurationError("trace must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(np.mean(self.writes))
+
+
+def _writes(n: int, write_fraction: float,
+            rng: np.random.Generator) -> np.ndarray:
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write fraction must lie in [0, 1]")
+    return rng.random(n) < write_fraction
+
+
+def uniform_addresses(n: int, footprint_words: int,
+                      rng: np.random.Generator,
+                      write_fraction: float = 0.5) -> AddressTrace:
+    """Uniform random over the footprint — the paper's Fig. 9 pattern."""
+    if n < 1 or footprint_words < 1:
+        raise ConfigurationError("trace and footprint must be >= 1")
+    return AddressTrace(
+        addresses=rng.integers(0, footprint_words, size=n),
+        writes=_writes(n, write_fraction, rng),
+    )
+
+
+def zipf_addresses(n: int, footprint_words: int,
+                   rng: np.random.Generator,
+                   exponent: float = 1.2,
+                   write_fraction: float = 0.3) -> AddressTrace:
+    """Zipf-distributed hot set (typical cached working set)."""
+    if exponent <= 1.0:
+        raise ConfigurationError("zipf exponent must exceed 1")
+    raw = rng.zipf(exponent, size=n)
+    addresses = (raw - 1) % footprint_words
+    return AddressTrace(
+        addresses=addresses.astype(np.int64),
+        writes=_writes(n, write_fraction, rng),
+    )
+
+
+def streaming_addresses(n: int, footprint_words: int,
+                        rng: np.random.Generator,
+                        stride: int = 1,
+                        write_fraction: float = 0.1) -> AddressTrace:
+    """Sequential streaming with a stride — no temporal reuse."""
+    if stride < 1:
+        raise ConfigurationError("stride must be >= 1")
+    addresses = (np.arange(n, dtype=np.int64) * stride) % footprint_words
+    return AddressTrace(
+        addresses=addresses,
+        writes=_writes(n, write_fraction, rng),
+    )
+
+
+def looping_addresses(n: int, loop_words: int,
+                      rng: np.random.Generator,
+                      write_fraction: float = 0.2) -> AddressTrace:
+    """A kernel looping over a fixed working set (high reuse)."""
+    if loop_words < 1:
+        raise ConfigurationError("loop size must be >= 1")
+    addresses = np.arange(n, dtype=np.int64) % loop_words
+    return AddressTrace(
+        addresses=addresses,
+        writes=_writes(n, write_fraction, rng),
+    )

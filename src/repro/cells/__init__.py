@@ -1,0 +1,25 @@
+"""Memory cell models: the 6T SRAM baseline cell and the paper's 1T1C cells.
+
+Two DRAM cell builds matter for the paper's methodology (Fig. 6):
+
+* :func:`~repro.cells.dram1t1c.Dram1t1cCell.scratchpad` — the 11 fF CMOS
+  gate-capacitance cell of the test memory, 1.2 V limited;
+* :func:`~repro.cells.dram1t1c.Dram1t1cCell.dram_technology` — the 30 fF
+  deep-trench cell with a 1.7 V overdriven word line.
+
+Every cell exports a :class:`~repro.cells.cellspec.CellSpec`, the
+interface consumed by :mod:`repro.array`.
+"""
+
+from repro.cells.cellspec import CellSpec, StorageKind
+from repro.cells.sram6t import Sram6tCell, static_noise_margin, inverter_vtc
+from repro.cells.dram1t1c import Dram1t1cCell
+
+__all__ = [
+    "CellSpec",
+    "StorageKind",
+    "Sram6tCell",
+    "Dram1t1cCell",
+    "static_noise_margin",
+    "inverter_vtc",
+]

@@ -1,0 +1,115 @@
+"""The cell-to-array interface.
+
+:class:`CellSpec` captures everything the hierarchical array model needs
+to know about a bit cell, so the same array machinery prices SRAM and
+DRAM matrices (which is exactly how the paper obtains comparable
+figures: same peripheral architecture, different cell).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.variability.retention import RetentionModel
+
+
+class StorageKind(enum.Enum):
+    """Static (SRAM-like) vs dynamic (DRAM-like, needs refresh) storage."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Array-facing description of one bit cell.
+
+    Attributes
+    ----------
+    name:
+        Human-readable cell name.
+    kind:
+        Static or dynamic storage.
+    area:
+        Cell footprint, m^2.
+    bitline_cap_per_cell:
+        Capacitance one cell adds to its (local) bitline: junction +
+        wire share, farads.
+    wordline_cap_per_cell:
+        Capacitance one cell adds to its word line: access gate(s) +
+        wire share, farads.
+    read_current:
+        Cell drive available to discharge the bitline during a read
+        (SRAM) — None for charge-sharing cells that develop a voltage
+        step instead.
+    charge_sharing_cap:
+        Storage capacitance of a dynamic cell — None for static cells.
+    stored_high:
+        Voltage of a stored '1', volts.
+    wordline_voltage:
+        Word-line high level required by the cell (may exceed vdd for
+        overdriven DRAM word lines).
+    standby_leakage:
+        Continuous standby leakage of one cell, amperes (the SRAM static
+        power term; for DRAM cells this is the storage-node leakage that
+        sets retention, *not* a supply current).
+    retention:
+        Retention model for dynamic cells; None for static.
+    """
+
+    name: str
+    kind: StorageKind
+    area: float
+    bitline_cap_per_cell: float
+    wordline_cap_per_cell: float
+    stored_high: float
+    wordline_voltage: float
+    standby_leakage: float
+    read_current: Optional[float] = None
+    charge_sharing_cap: Optional[float] = None
+    retention: Optional[RetentionModel] = None
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ConfigurationError("cell area must be positive")
+        if self.bitline_cap_per_cell <= 0 or self.wordline_cap_per_cell <= 0:
+            raise ConfigurationError("per-cell line loads must be positive")
+        if self.stored_high <= 0 or self.wordline_voltage <= 0:
+            raise ConfigurationError("cell voltages must be positive")
+        if self.standby_leakage < 0:
+            raise ConfigurationError("standby leakage must be >= 0")
+        if self.kind is StorageKind.DYNAMIC:
+            if self.charge_sharing_cap is None or self.charge_sharing_cap <= 0:
+                raise ConfigurationError(
+                    "dynamic cells need a positive charge_sharing_cap"
+                )
+            if self.retention is None:
+                raise ConfigurationError("dynamic cells need a retention model")
+        else:
+            if self.read_current is None or self.read_current <= 0:
+                raise ConfigurationError(
+                    "static cells need a positive read_current"
+                )
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind is StorageKind.DYNAMIC
+
+    def bitline_voltage_step(self, bitline_cap: float,
+                             precharge_voltage: float) -> float:
+        """Charge-sharing read signal of a dynamic cell, volts.
+
+        The stored '0' develops the full precharge-to-cell difference
+        scaled by the capacitive divider — the paper's core limitation
+        argument: "the voltage drop is limited by the ratio between the
+        DRAM cell capacitance and the bitline capacitance".
+        """
+        if not self.is_dynamic:
+            raise ConfigurationError("voltage step is a dynamic-cell concept")
+        if bitline_cap <= 0:
+            raise ConfigurationError("bitline cap must be positive")
+        c_cell = self.charge_sharing_cap
+        return precharge_voltage * c_cell / (c_cell + bitline_cap)

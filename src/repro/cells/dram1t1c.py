@@ -1,0 +1,210 @@
+"""1T1C DRAM cell model — the paper's storage element.
+
+Two builds, matching the methodology of paper Fig. 6:
+
+* :meth:`Dram1t1cCell.scratchpad` — the test-memory cell: an 11 fF CMOS
+  gate capacitance in the plain 90 nm logic process, HVT access
+  transistor, word line limited to vdd (1.2 V), so the stored '1' is
+  degraded by a threshold drop.
+* :meth:`Dram1t1cCell.dram_technology` — the estimate cell: 30 fF deep
+  trench, word line overdriven to 1.7 V (allowed by DRAM reliability
+  rules), full stored '1', 0.3 um^2 footprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.tech.capacitor import CapacitorKind, StorageCapacitor
+from repro.tech.node import Polarity, TechnologyNode, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.units import V, fF
+from repro.variability.pelgrom import PelgromModel
+from repro.variability.retention import RetentionModel
+from repro.cells.cellspec import CellSpec, StorageKind
+
+
+@dataclasses.dataclass(frozen=True)
+class Dram1t1cCell:
+    """A 1T1C cell: storage capacitor + access transistor.
+
+    Parameters
+    ----------
+    node:
+        Technology node.
+    capacitor:
+        Storage capacitor.
+    access_units:
+        Access transistor width in 120 nm units.
+    access_length_factor:
+        Access channel length as a multiple of minimum (DRAM array
+        devices are drawn long for leakage and mismatch).
+    wordline_voltage:
+        WL high level.  Checked against ``node.vdd_max``; overdrive
+        beyond vdd additionally requires
+        ``node.allows_wordline_overdrive`` (the logic process does not).
+    bitline_precharge:
+        LBL precharge level (1.0 V in the paper's Fig. 3 waveforms).
+    """
+
+    node: TechnologyNode
+    capacitor: StorageCapacitor
+    access_units: float = 2.0
+    access_length_factor: float = 1.5
+    wordline_voltage: float = 1.2 * V
+    wordline_low_voltage: float = 0.0 * V
+    bitline_precharge: float = 1.0 * V
+    junction_sigma_ln: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.access_units <= 0:
+            raise ConfigurationError("access width must be positive")
+        if self.wordline_voltage > self.node.vdd_max:
+            raise ConfigurationError(
+                f"word-line voltage {self.wordline_voltage} V exceeds the "
+                f"node's reliability limit {self.node.vdd_max} V"
+            )
+        if (self.wordline_voltage > self.node.vdd
+                and not self.node.allows_wordline_overdrive):
+            raise ConfigurationError(
+                f"{self.node.name} is a logic process: word-line overdrive "
+                "violates its electrical reliability rules (paper Sec. III)"
+            )
+        if (self.wordline_low_voltage < 0
+                and not self.node.allows_wordline_overdrive):
+            raise ConfigurationError(
+                f"{self.node.name} is a logic process: negative word-line "
+                "levels need the DRAM process's dedicated WL supplies"
+            )
+        if self.wordline_low_voltage > 0:
+            raise ConfigurationError("word-line low level must be <= 0")
+        if not 0 < self.bitline_precharge <= self.node.vdd:
+            raise ConfigurationError("bitline precharge must lie in (0, vdd]")
+
+    # -- construction shortcuts ------------------------------------------------
+
+    @staticmethod
+    def _precharge_for(node: TechnologyNode) -> float:
+        """LBL precharge level: one precharge-device drop below vdd
+        (1.0 V at the nominal 1.2 V supply, paper Fig. 3)."""
+        return max(0.4, node.vdd - 0.2)
+
+    @classmethod
+    def scratchpad(cls, node: TechnologyNode | None = None) -> "Dram1t1cCell":
+        """The CMOS-capacitance test cell (11 fF, no overdrive)."""
+        node = TechnologyNode.logic_90nm() if node is None else node
+        return cls(
+            node=node,
+            capacitor=StorageCapacitor.cmos_gate(node, capacitance=11 * fF),
+            access_units=2.0,
+            access_length_factor=1.5,
+            wordline_voltage=node.vdd,
+            bitline_precharge=cls._precharge_for(node),
+        )
+
+    @classmethod
+    def dram_technology(cls, node: TechnologyNode | None = None) -> "Dram1t1cCell":
+        """The deep-trench estimate cell (30 fF, 1.7 V word line)."""
+        node = TechnologyNode.dram_90nm() if node is None else node
+        return cls(
+            node=node,
+            capacitor=StorageCapacitor.deep_trench(node, capacitance=30 * fF),
+            access_units=2.0,
+            access_length_factor=1.5,
+            wordline_voltage=min(1.7 * V, node.vdd_max),
+            wordline_low_voltage=-0.3 * V,  # negative WL low, standard DRAM
+            junction_sigma_ln=0.7,  # engineered array junctions spread less
+            bitline_precharge=cls._precharge_for(node),
+        )
+
+    # -- devices ----------------------------------------------------------------
+
+    @property
+    def access(self) -> Mosfet:
+        return Mosfet(
+            self.node, Polarity.NMOS, VtFlavor.HVT,
+            width=self.node.width_units(self.access_units),
+            length_factor=self.access_length_factor,
+        )
+
+    # -- stored levels -------------------------------------------------------------
+
+    @property
+    def stored_high(self) -> float:
+        """Voltage of a written '1'.
+
+        Without overdrive the NMOS access device drops a threshold:
+        the stored '1' saturates near ``V_WL - vth`` (the scratch-pad
+        limitation the 1.7 V overdrive removes).
+        """
+        vth = self.access.effective_vth(vds=0.0)
+        full = self.bitline_precharge
+        if self.wordline_voltage - vth >= full:
+            return full
+        return max(0.1, self.wordline_voltage - vth)
+
+    # -- read behaviour -----------------------------------------------------------
+
+    def read_voltage_step(self, bitline_cap: float) -> float:
+        """Charge-sharing LBL signal for the worst (stored '0') level, volts."""
+        if bitline_cap <= 0:
+            raise ConfigurationError("bitline cap must be positive")
+        c = self.capacitor.capacitance
+        return self.bitline_precharge * c / (c + bitline_cap)
+
+    def transfer_time_constant(self) -> float:
+        """RC time constant of moving the cell charge through the access
+        device at the operating word-line voltage, seconds."""
+        i_on = self.access.drain_current(
+            vgs=self.wordline_voltage, vds=self.bitline_precharge / 2.0
+        )
+        if i_on <= 0:
+            raise ConfigurationError("access device does not conduct")
+        r_eff = self.bitline_precharge / (2.0 * i_on)
+        return r_eff * self.capacitor.capacitance
+
+    # -- statistics / spec ----------------------------------------------------------
+
+    def area(self) -> float:
+        """Cell footprint, m^2.
+
+        Trench cells use the node's litho-calibrated DRAM cell area; the
+        scratch-pad gate-cap cell pays the planar capacitor area plus an
+        access-device share.
+        """
+        if self.capacitor.kind is CapacitorKind.DEEP_TRENCH:
+            return self.node.dram_cell_area
+        access_area = (
+            4.0 * self.access.width
+            * self.node.feature_size * self.access_length_factor
+        )
+        return self.capacitor.area + access_area
+
+    def retention_model(self) -> RetentionModel:
+        """Retention statistics of this cell (paper's 6-sigma methodology)."""
+        return RetentionModel(
+            node=self.node,
+            capacitor=self.capacitor,
+            access_device=self.access,
+            bitline_standby_voltage=self.bitline_precharge,
+            readable_margin=0.25 * self.bitline_precharge,
+            mismatch=PelgromModel(),
+            junction_sigma_ln=self.junction_sigma_ln,
+            wordline_low_voltage=self.wordline_low_voltage,
+        )
+
+    def spec(self) -> CellSpec:
+        """Array-facing description of this cell."""
+        return CellSpec(
+            name=f"dram1t1c-{self.capacitor.kind.value}",
+            kind=StorageKind.DYNAMIC,
+            area=self.area(),
+            bitline_cap_per_cell=self.access.junction_capacitance(),
+            wordline_cap_per_cell=self.access.gate_capacitance(),
+            stored_high=self.stored_high,
+            wordline_voltage=self.wordline_voltage,
+            standby_leakage=self.retention_model().nominal_leakage(),
+            charge_sharing_cap=self.capacitor.capacitance,
+            retention=self.retention_model(),
+        )

@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates the paper's artefacts from a
+shell.  Commands map one-to-one onto the library's top-level API:
+
+    headline       the abstract's figures for the 128 kb macro
+    compare        Fig. 7(a-d) DRAM-vs-SRAM across sizes
+    fig5           refresh busy-cycle study
+    fig8           energy repartition of the fast DRAM
+    fig9           total power vs activity
+    methodology    the Fig. 6 three-step flow (runs circuit sims)
+    pvt            corner / temperature sweep
+    refresh-plan   retention-binned refresh planning
+    banking        banked vs monolithic composition
+    sensitivity    normalised parameter sensitivities
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import FastDramDesign, SramDramComparison, format_table
+from repro.units import Mb, kb, ns, pJ, si_format, uW
+
+
+def _add_size_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kb", type=int, default=128,
+                        help="macro capacity in kbit (default 128)")
+
+
+def _capacity(args: argparse.Namespace) -> int:
+    if args.kb <= 0:
+        raise SystemExit("capacity must be positive")
+    return args.kb * kb
+
+
+def cmd_headline(args: argparse.Namespace) -> None:
+    macro = FastDramDesign().build(_capacity(args),
+                                   retention_override=args.retention)
+    print(macro.describe())
+    print()
+    print(f"energy per bit: "
+          f"{si_format(macro.energy_per_bit(), 'J')} (paper: < 0.2 pJ)")
+
+
+def cmd_compare(args: argparse.Namespace) -> None:
+    comparison = SramDramComparison(
+        sizes=(128 * kb, 512 * kb, 2 * Mb),
+        retention_override=args.retention)
+    sections = [
+        ("Fig. 7a access time (ns)", comparison.access_time(), 1 / ns),
+        ("Fig. 7b read energy (pJ)", comparison.read_energy(), 1 / pJ),
+        ("Fig. 7b write energy (pJ)", comparison.write_energy(), 1 / pJ),
+        ("Fig. 7c static power (uW)", comparison.static_power(), 1 / uW),
+        ("Fig. 7d area (mm2)", comparison.area(), 1e6),
+    ]
+    for title, rows, scale in sections:
+        print(f"== {title} ==")
+        print(format_table(
+            ["size", "SRAM", "DRAM", "SRAM/DRAM"],
+            [[r.size_label, r.sram * scale, r.dram * scale,
+              f"{r.ratio:.2f}x"] for r in rows]))
+        print()
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    import numpy as np
+    from repro.refresh import (LocalizedRefresh, MonoblockRefresh,
+                               RefreshSimulator, uniform_random_trace)
+    rng = np.random.default_rng(2009)
+    trace = uniform_random_trace(args.cycles, 128, 0.5, rng)
+    rows = []
+    for retention_us in (20, 100, 500, 1000):
+        period = int(retention_us * 1e-6 * 500e6)
+        entry = [f"{retention_us} us"]
+        for cls in (MonoblockRefresh, LocalizedRefresh):
+            policy = cls(n_blocks=128, rows_per_block=32,
+                         refresh_period_cycles=period)
+            stats = RefreshSimulator(policy).run(trace)
+            entry.append(f"{100 * stats.busy_fraction:.3f} %")
+        rows.append(entry)
+    print(format_table(["retention", "monoblock", "128 localblocks"], rows))
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    comparison = SramDramComparison(retention_override=args.retention)
+    repartition = comparison.energy_repartition(_capacity(args))
+    print(format_table(
+        ["category", "read (pJ)", "write (pJ)"],
+        [[category, repartition["read"][category] / pJ,
+          repartition["write"][category] / pJ]
+         for category in repartition["read"]]))
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    comparison = SramDramComparison(sizes=(_capacity(args),),
+                                    retention_override=args.retention)
+    rows = []
+    for activity in (0.001, 0.01, 0.1, 0.5, 1.0):
+        point = comparison.total_power(activity, _capacity(args))
+        rows.append([activity, point.sram / uW, point.dram / uW,
+                     f"{point.ratio:.2f}x"])
+    print(format_table(["activity", "SRAM (uW)", "DRAM (uW)", "gain"],
+                       rows))
+
+
+def cmd_methodology(args: argparse.Namespace) -> None:
+    from repro.core import MethodologyFlow
+    report = MethodologyFlow(total_bits=_capacity(args)).run()
+    print(f"step 1 scratch-pad: {report.scratchpad_macro.access_time() / ns:.2f} ns, "
+          f"{report.scratchpad_macro.read_energy().total / pJ:.2f} pJ")
+    for wave in report.scratchpad_waveforms:
+        print(f"  circuit read '{wave.stored_value}': restore "
+              f"{'ok' if wave.restored_correctly else 'FAILED'}, "
+              f"GBL swing {wave.gbl_swing * 1e3:.0f} mV")
+    print(f"step 2 DRAM tech  : {report.dram_macro.access_time() / ns:.2f} ns "
+          f"({report.timing_ratio:.2f}x step 1; doubling "
+          f"{'holds' if report.doubling_holds else 'BROKEN'})")
+    print("step 3 sizes      :")
+    for row in report.size_sweep:
+        print(f"  {row.total_bits // kb:5d} kb: "
+              f"{row.access_time / ns:.2f} ns, {row.read_energy / pJ:.2f} pJ, "
+              f"{row.area * 1e6:.4f} mm2")
+
+
+def cmd_pvt(args: argparse.Namespace) -> None:
+    from repro.core.pvt import PvtAnalysis
+    analysis = PvtAnalysis(technology=args.technology,
+                           total_bits=_capacity(args))
+    rows = []
+    for point in analysis.sweep(temperatures=(300.0, args.hot)):
+        retention = ("-" if point.worst_retention is None
+                     else si_format(point.worst_retention, "s"))
+        rows.append([point.label, point.access_time / ns,
+                     point.read_energy / pJ, point.static_power / uW,
+                     retention])
+    print(format_table(
+        ["corner", "access (ns)", "read (pJ)", "static (uW)",
+         "worst retention"], rows))
+
+
+def cmd_refresh_plan(args: argparse.Namespace) -> None:
+    from repro.refresh import plan_binned_refresh
+    design = FastDramDesign()
+    retention = design.cell().retention_model()
+    plan = plan_binned_refresh(retention, n_blocks=args.granules,
+                               rows_per_block=4096 // args.granules,
+                               n_bins=args.bins)
+    print(format_table(
+        ["bin period", "granules"],
+        [[si_format(b.period, "s"), b.block_count] for b in plan.bins]))
+    print(f"refresh power saving vs uniform worst-case: "
+          f"{plan.saving_factor():.2f}x")
+
+
+def cmd_banking(args: argparse.Namespace) -> None:
+    from repro.array.banking import compare_banking_options
+    options = compare_banking_options(FastDramDesign(), _capacity(args),
+                                      retention_override=args.retention)
+    print(format_table(
+        ["banks", "access (ns)", "read (pJ)", "area (mm2)", "static (uW)"],
+        [[count, memory.access_time() / ns, memory.read_energy() / pJ,
+          memory.area() * 1e6, memory.static_power() / uW]
+         for count, memory in sorted(options.items())]))
+
+
+def cmd_optimize(args: argparse.Namespace) -> None:
+    from repro.core import DesignOptimizer
+    constraint = args.max_ns * ns if args.max_ns > 0 else None
+    result = DesignOptimizer(total_bits=_capacity(args),
+                             max_access_time=constraint,
+                             activity=args.activity).run()
+    print(f"{len(result.candidates)} feasible candidates, "
+          f"{len(result.pareto_front)} on the Pareto front")
+    print()
+    rows = []
+    for objective, c in result.best.items():
+        rows.append([objective, c.cells_per_lbl, c.word_bits, c.vdd,
+                     c.access_time / ns, c.total_power * 1e6,
+                     c.area * 1e6])
+    print(format_table(
+        ["best for", "cells/LBL", "word", "vdd", "access (ns)",
+         "power (uW)", "area (mm2)"], rows))
+
+
+def cmd_voltage(args: argparse.Namespace) -> None:
+    from repro.core.voltage import voltage_sweep
+    points = voltage_sweep(total_bits=_capacity(args))
+    print(format_table(
+        ["vdd (V)", "access (ns)", "read (pJ)", "write (pJ)", "EDP (J*s)"],
+        [[p.vdd, p.access_time / ns, p.read_energy / pJ,
+          p.write_energy / pJ, f"{p.energy_delay_product:.3g}"]
+         for p in points]))
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> None:
+    from repro.core.sensitivity import SensitivityAnalysis
+    analysis = SensitivityAnalysis(total_bits=_capacity(args))
+    print(format_table(
+        ["metric", "parameter", "d(log m)/d(log p)"],
+        [[s.metric, s.parameter, f"{s.value:+.3f}"]
+         for s in analysis.full_report()]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast low-leakage DRAM macro models (DATE 2009 repro)")
+    parser.add_argument("--retention", type=float, default=1e-3,
+                        help="worst-case retention override, seconds "
+                             "(default 1e-3)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, extra in (
+        ("headline", cmd_headline, None),
+        ("compare", cmd_compare, None),
+        ("fig5", cmd_fig5, "fig5"),
+        ("fig8", cmd_fig8, None),
+        ("fig9", cmd_fig9, None),
+        ("methodology", cmd_methodology, None),
+        ("pvt", cmd_pvt, "pvt"),
+        ("refresh-plan", cmd_refresh_plan, "plan"),
+        ("banking", cmd_banking, None),
+        ("voltage", cmd_voltage, None),
+        ("optimize", cmd_optimize, "optimize"),
+        ("sensitivity", cmd_sensitivity, None),
+    ):
+        sub = subparsers.add_parser(name, help=handler.__doc__)
+        _add_size_argument(sub)
+        if extra == "fig5":
+            sub.add_argument("--cycles", type=int, default=60_000)
+        if extra == "optimize":
+            sub.add_argument("--max-ns", type=float, default=1.3,
+                             help="access-time constraint in ns "
+                                  "(<= 0 disables)")
+            sub.add_argument("--activity", type=float, default=0.1)
+        if extra == "pvt":
+            sub.add_argument("--technology", default="dram",
+                             choices=("dram", "scratchpad", "sram"))
+            sub.add_argument("--hot", type=float, default=358.0)
+        if extra == "plan":
+            sub.add_argument("--granules", type=int, default=128)
+            sub.add_argument("--bins", type=int, default=5)
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Head-to-head DRAM vs SRAM comparison — every evaluation figure.
+
+:class:`SramDramComparison` produces the data series behind:
+
+* Fig. 7a — access time vs memory size,
+* Fig. 7b — dynamic (read & write) energy vs size,
+* Fig. 7c — cell static power vs size,
+* Fig. 7d / Table I — area vs size,
+* Fig. 8  — energy repartition of the fast DRAM,
+* Fig. 9  — total power vs activity for several sizes.
+
+Rows come back as plain dataclasses so benchmarks can both print the
+paper's tables and assert the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.array.macro import MacroDesign
+from repro.core.fastdram import FastDramDesign
+from repro.errors import ConfigurationError
+from repro.sramref.model import SramBaselineDesign
+from repro.units import kb
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One size point of a DRAM-vs-SRAM metric."""
+
+    total_bits: int
+    sram: float
+    dram: float
+
+    @property
+    def ratio(self) -> float:
+        """SRAM / DRAM — >1 means the DRAM wins."""
+        if self.dram == 0:
+            raise ConfigurationError("DRAM value is zero; ratio undefined")
+        return self.sram / self.dram
+
+    @property
+    def size_label(self) -> str:
+        if self.total_bits % (1024 * kb) == 0:
+            return f"{self.total_bits // (1024 * kb)} Mb"
+        return f"{self.total_bits // kb} kb"
+
+
+@dataclasses.dataclass(frozen=True)
+class SramDramComparison:
+    """Comparison harness over a list of memory sizes."""
+
+    sizes: Sequence[int] = (128 * kb, 256 * kb, 512 * kb, 1024 * kb, 2048 * kb)
+    dram_design: FastDramDesign = dataclasses.field(
+        default_factory=FastDramDesign)
+    sram_design: SramBaselineDesign = dataclasses.field(
+        default_factory=SramBaselineDesign)
+    retention_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ConfigurationError("need at least one size")
+
+    # -- macro builders -----------------------------------------------------
+
+    def _resolved_retention(self) -> float:
+        """Retention period for refresh accounting, resolved once.
+
+        Running the 6-sigma Monte-Carlo per figure point would dominate
+        the comparison's runtime; the worst-case retention is a property
+        of the *cell*, not of the array size, so it is cached here.
+        """
+        if self.retention_override is not None:
+            return self.retention_override
+        cached = getattr(self, "_retention_cache", None)
+        if cached is None:
+            stats = self.dram_design.cell().retention_model().statistics(
+                count=1500)
+            cached = stats.worst_case
+            object.__setattr__(self, "_retention_cache", cached)
+        return cached
+
+    def dram_macro(self, total_bits: int) -> MacroDesign:
+        return self.dram_design.build(
+            total_bits, retention_override=self._resolved_retention())
+
+    def sram_macro(self, total_bits: int) -> MacroDesign:
+        return self.sram_design.build(total_bits)
+
+    def _rows(self, metric) -> List[ComparisonRow]:
+        rows = []
+        for bits in self.sizes:
+            rows.append(ComparisonRow(
+                total_bits=bits,
+                sram=metric(self.sram_macro(bits)),
+                dram=metric(self.dram_macro(bits)),
+            ))
+        return rows
+
+    # -- the figures -----------------------------------------------------------
+
+    def access_time(self) -> List[ComparisonRow]:
+        """Fig. 7a: read access time, seconds."""
+        return self._rows(lambda m: m.access_time())
+
+    def read_energy(self) -> List[ComparisonRow]:
+        """Fig. 7b (read): dynamic energy per read access, joules."""
+        return self._rows(lambda m: m.read_energy().total)
+
+    def write_energy(self) -> List[ComparisonRow]:
+        """Fig. 7b (write): dynamic energy per write access, joules."""
+        return self._rows(lambda m: m.write_energy().total)
+
+    def static_power(self) -> List[ComparisonRow]:
+        """Fig. 7c: cell static power, watts."""
+        return self._rows(lambda m: m.static_power().power)
+
+    def area(self) -> List[ComparisonRow]:
+        """Fig. 7d / Table I: macro area, m^2."""
+        return self._rows(lambda m: m.area())
+
+    def energy_repartition(self, total_bits: int = 128 * kb
+                           ) -> Dict[str, Dict[str, float]]:
+        """Fig. 8: fast-DRAM energy breakdown for read and write, joules."""
+        macro = self.dram_macro(total_bits)
+        return {
+            "read": macro.read_energy().breakdown(),
+            "write": macro.write_energy().breakdown(),
+        }
+
+    def total_power(self, activity: float, total_bits: int,
+                    clock_frequency: float = 500e6) -> ComparisonRow:
+        """Fig. 9: one point of total power vs activity, watts.
+
+        ``activity`` is the fraction of cycles with an access; accesses
+        split 50/50 read/write (the paper's random pattern).
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigurationError("activity must lie in [0, 1]")
+        if clock_frequency <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+
+        def power(macro: MacroDesign) -> float:
+            dynamic = 0.5 * (macro.read_energy().total
+                             + macro.write_energy().total)
+            return (activity * clock_frequency * dynamic
+                    + macro.static_power().power)
+
+        return ComparisonRow(
+            total_bits=total_bits,
+            sram=power(self.sram_macro(total_bits)),
+            dram=power(self.dram_macro(total_bits)),
+        )
+
+    def total_power_curves(self, activities: Sequence[float],
+                           clock_frequency: float = 500e6
+                           ) -> Dict[int, List[ComparisonRow]]:
+        """Fig. 9: full curves, one list of rows per memory size."""
+        return {
+            bits: [self.total_power(a, bits, clock_frequency)
+                   for a in activities]
+            for bits in self.sizes
+        }

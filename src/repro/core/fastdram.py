@@ -1,0 +1,138 @@
+"""The proposed fast DRAM macro (paper Sec. II).
+
+:class:`FastDramDesign` is the user-facing factory.  Two variants match
+the methodology (paper Fig. 6):
+
+* ``technology="scratchpad"`` — the silicon-provable test memory: logic
+  process, 11 fF CMOS-capacitance cell, 16 cells per LBL, 1.2 V word
+  line;
+* ``technology="dram"`` (default) — the estimate in DRAM technology:
+  30 fF trench cell, 1.7 V overdriven word line, which doubles the
+  cells per LBL to 32 at similar timing (paper Sec. III).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.array.macro import MacroDesign
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+from repro.cells.dram1t1c import Dram1t1cCell
+from repro.errors import ConfigurationError
+from repro.tech.node import TechnologyNode
+from repro.units import fF, kb
+from repro.variability.retention import RetentionStatistics
+
+DRAM_CELLS_PER_LBL = 32
+SCRATCHPAD_CELLS_PER_LBL = 16
+DRAM_CELL_ASPECT = 1.0  # trench cells are near-square
+
+
+@dataclasses.dataclass(frozen=True)
+class FastDramMacro(MacroDesign):
+    """A built fast-DRAM macro with its refresh-specific views."""
+
+    cell_design: Dram1t1cCell | None = None
+
+    def retention_statistics(self, count: int = 2000,
+                             n_sigma: float = 6.0) -> RetentionStatistics:
+        """6-sigma retention Monte-Carlo of the cell (paper Sec. III)."""
+        if self.cell_design is None:
+            raise ConfigurationError("macro was built without a cell design")
+        return self.cell_design.retention_model().statistics(
+            count=count, n_sigma=n_sigma)
+
+    def refresh_row_energy(self) -> float:
+        """Energy of one localized row refresh, joules (paper Fig. 4)."""
+        return self.energy_model.refresh_row_energy()
+
+    def refresh_slot_time(self) -> float:
+        """Time one refresh occupies its local block, seconds."""
+        timing = self.timing_model
+        return (timing.wordline_delay() + timing.bitline_delay()
+                + timing.local_sense_delay()
+                + timing.write_after_read_delay())
+
+
+@dataclasses.dataclass(frozen=True)
+class FastDramDesign:
+    """Factory for fast-DRAM macro models.
+
+    ``node_override`` substitutes the technology node — the hook used by
+    :mod:`repro.core.pvt` to evaluate the design across process corners
+    and temperatures.
+    """
+
+    technology: str = "dram"
+    cells_per_lbl: int | None = None
+    node_override: TechnologyNode | None = None
+
+    def __post_init__(self) -> None:
+        if self.technology not in ("dram", "scratchpad"):
+            raise ConfigurationError(
+                f"unknown technology {self.technology!r}; "
+                "use 'dram' or 'scratchpad'"
+            )
+
+    # -- ingredients ------------------------------------------------------------
+
+    def node(self) -> TechnologyNode:
+        if self.node_override is not None:
+            return self.node_override
+        if self.technology == "dram":
+            return TechnologyNode.dram_90nm()
+        return TechnologyNode.logic_90nm()
+
+    def cell(self) -> Dram1t1cCell:
+        node = self.node()
+        if self.technology == "dram":
+            return Dram1t1cCell.dram_technology(node)
+        return Dram1t1cCell.scratchpad(node)
+
+    def resolved_cells_per_lbl(self) -> int:
+        if self.cells_per_lbl is not None:
+            if self.cells_per_lbl < 2:
+                raise ConfigurationError("need at least 2 cells per LBL")
+            return self.cells_per_lbl
+        if self.technology == "dram":
+            return DRAM_CELLS_PER_LBL
+        return SCRATCHPAD_CELLS_PER_LBL
+
+    # -- assembly ----------------------------------------------------------------
+
+    def build(self, total_bits: int = 128 * kb,
+              word_bits: int = 32,
+              retention_override: float | None = None) -> FastDramMacro:
+        """Assemble the macro at ``total_bits`` capacity.
+
+        ``retention_override`` pins the refresh period used for the
+        static-power figure (default: the cell's 6-sigma worst case).
+        """
+        if total_bits <= 0:
+            raise ConfigurationError("total_bits must be positive")
+        node = self.node()
+        cell = self.cell()
+        organization = ArrayOrganization(
+            node=node,
+            cell=cell.spec(),
+            total_bits=total_bits,
+            word_bits=word_bits,
+            cells_per_lbl=self.resolved_cells_per_lbl(),
+            cell_aspect_ratio=DRAM_CELL_ASPECT,
+        )
+        # DRAM local SA: larger than the SRAM one — it resolves a
+        # smaller useful differential (single-ended vs dummy reference)
+        # and restores the cell, which is the paper's "more power on the
+        # local sense amplifiers" remark.
+        local_sa = SenseAmplifier(node, input_units=5.0,
+                                  internal_cap=6 * fF, tunable=True)
+        global_sa = SenseAmplifier(node, input_units=6.0,
+                                   internal_cap=8 * fF, tunable=True)
+        return FastDramMacro(
+            organization=organization,
+            local_sa=local_sa,
+            global_sa=global_sa,
+            retention_override=retention_override,
+            cell_design=cell,
+        )

@@ -1,0 +1,42 @@
+"""Plain-text report formatting used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with right-padded columns.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row with {len(row)} cells under {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths).rstrip(),
+    ]
+    for row in materialised:
+        lines.append(
+            "  ".join(t.ljust(w) for t, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,124 @@
+"""Parameter sensitivity of the headline figures.
+
+For a modelling framework, the question after "what is the number?" is
+"what moves it?".  This module computes normalised sensitivities
+
+    S = (d metric / metric) / (d parameter / parameter)
+
+by central finite differences over the exposed design knobs, for any of
+the macro's headline metrics.  It both documents the model (which knob
+dominates which figure) and guards refactorings: the sensitivity signs
+are asserted by tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List
+
+from repro.core.fastdram import FastDramDesign
+from repro.errors import ConfigurationError
+from repro.units import kb
+
+Metric = Callable[[object], float]
+
+METRICS: Dict[str, Metric] = {
+    "access_time": lambda macro: macro.access_time(),
+    "read_energy": lambda macro: macro.read_energy().total,
+    "write_energy": lambda macro: macro.write_energy().total,
+    "area": lambda macro: macro.area(),
+    "static_power": lambda macro: macro.static_power().power,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Sensitivity:
+    """Normalised sensitivity of one metric to one knob."""
+
+    metric: str
+    parameter: str
+    value: float  # d(log metric) / d(log parameter)
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityAnalysis:
+    """Finite-difference sensitivity harness for the fast-DRAM macro.
+
+    Knobs are expressed as multiplicative perturbations applied through
+    the design's builder; ``step`` is the relative perturbation used for
+    the central difference.
+    """
+
+    total_bits: int = 128 * kb
+    retention: float = 1e-3
+    step: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.step < 0.5:
+            raise ConfigurationError("step must lie in (0, 0.5)")
+
+    # -- knob application ----------------------------------------------------
+
+    def _build(self, cells_per_lbl: int | None = None,
+               retention_scale: float = 1.0,
+               word_bits: int = 32):
+        design = FastDramDesign(cells_per_lbl=cells_per_lbl)
+        return design.build(self.total_bits, word_bits=word_bits,
+                            retention_override=self.retention
+                            * retention_scale)
+
+    def _metric_at(self, metric: Metric, **knobs) -> float:
+        return metric(self._build(**knobs))
+
+    # -- sensitivities -----------------------------------------------------------
+
+    def retention_sensitivity(self, metric_name: str) -> Sensitivity:
+        """Sensitivity to the worst-case retention time."""
+        metric = self._lookup(metric_name)
+        up = self._metric_at(metric, retention_scale=1.0 + self.step)
+        down = self._metric_at(metric, retention_scale=1.0 - self.step)
+        base = self._metric_at(metric)
+        value = (up - down) / (2 * self.step * base)
+        return Sensitivity(metric=metric_name, parameter="retention",
+                           value=value)
+
+    def lbl_length_sensitivity(self, metric_name: str) -> Sensitivity:
+        """Sensitivity to the cells-per-LBL choice (32 -> 16 vs 64)."""
+        metric = self._lookup(metric_name)
+        up = self._metric_at(metric, cells_per_lbl=64)
+        down = self._metric_at(metric, cells_per_lbl=16)
+        # One octave either way: d(log p) = ln 4 across the difference.
+        value = math.log(up / down) / math.log(4.0)
+        return Sensitivity(metric=metric_name, parameter="cells_per_lbl",
+                           value=value)
+
+    def capacity_sensitivity(self, metric_name: str) -> Sensitivity:
+        """Sensitivity to the macro capacity (one octave around base)."""
+        metric = self._lookup(metric_name)
+        design = FastDramDesign()
+        up = metric(design.build(self.total_bits * 2,
+                                 retention_override=self.retention))
+        down = metric(design.build(self.total_bits // 2,
+                                   retention_override=self.retention))
+        value = math.log(up / down) / math.log(4.0)
+        return Sensitivity(metric=metric_name, parameter="total_bits",
+                           value=value)
+
+    def full_report(self) -> List[Sensitivity]:
+        """All knobs x all metrics."""
+        report = []
+        for metric_name in METRICS:
+            report.append(self.retention_sensitivity(metric_name))
+            report.append(self.lbl_length_sensitivity(metric_name))
+            report.append(self.capacity_sensitivity(metric_name))
+        return report
+
+    @staticmethod
+    def _lookup(metric_name: str) -> Metric:
+        try:
+            return METRICS[metric_name]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown metric {metric_name!r}; "
+                f"choose from {sorted(METRICS)}") from exc

@@ -1,0 +1,75 @@
+"""Supply-voltage scaling — the baseline's "boost mode".
+
+The [10] SRAM runs 480 MHz nominally and 850 MHz in a boosted-supply
+mode; the same knob applies to the fast DRAM.  This module rebuilds a
+design at a scaled core supply and reports the speed/energy trade:
+delay improves with overdrive, dynamic energy grows ~quadratically.
+
+Scaling is applied to the core ``vdd`` (and the reliability ceiling is
+respected); the DRAM word-line overdrive and the low-swing GBL rails
+are architectural constants and stay put.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.fastdram import FastDramDesign, FastDramMacro
+from repro.errors import ConfigurationError
+from repro.units import kb
+
+
+@dataclasses.dataclass(frozen=True)
+class VoltagePoint:
+    """One supply point of the voltage sweep."""
+
+    vdd: float
+    access_time: float
+    read_energy: float
+    write_energy: float
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.read_energy * self.access_time
+
+
+def scaled_supply_design(design: FastDramDesign,
+                         vdd: float) -> FastDramDesign:
+    """``design`` rebuilt at core supply ``vdd``.
+
+    Raises when the requested supply violates the node's reliability
+    ceiling or drops below a functional floor (the HVT cell devices stop
+    conducting usefully under ~2x their threshold).
+    """
+    node = design.node()
+    if vdd > node.vdd_max:
+        raise ConfigurationError(
+            f"vdd {vdd} V exceeds the node ceiling {node.vdd_max} V")
+    if vdd < 0.8:
+        raise ConfigurationError(
+            f"vdd {vdd} V below the architecture's functional floor")
+    scaled_node = dataclasses.replace(node, vdd=vdd)
+    return dataclasses.replace(design, node_override=scaled_node)
+
+
+def build_at_supply(vdd: float, total_bits: int = 128 * kb,
+                    retention_override: float = 1e-3) -> FastDramMacro:
+    """Convenience: the default fast DRAM at supply ``vdd``."""
+    design = scaled_supply_design(FastDramDesign(), vdd)
+    return design.build(total_bits, retention_override=retention_override)
+
+
+def voltage_sweep(supplies=(0.9, 1.0, 1.1, 1.2, 1.3),
+                  total_bits: int = 128 * kb) -> List[VoltagePoint]:
+    """Speed/energy across supplies (boost mode at the top end)."""
+    points = []
+    for vdd in supplies:
+        macro = build_at_supply(vdd, total_bits=total_bits)
+        points.append(VoltagePoint(
+            vdd=vdd,
+            access_time=macro.access_time(),
+            read_energy=macro.read_energy().total,
+            write_energy=macro.write_energy().total,
+        ))
+    return points

@@ -1,0 +1,32 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so downstream users can catch library failures
+without catching programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by repro."""
+
+
+class ConfigurationError(ReproError):
+    """A model was configured with physically meaningless parameters."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical solver (Newton, transient) failed to converge."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (dangling node, duplicate name, ...)."""
+
+
+class SimulationError(ReproError):
+    """A simulation was asked to do something unsupported or inconsistent."""
+
+
+class CalibrationError(ReproError):
+    """A calibrated model fell outside its validated envelope."""

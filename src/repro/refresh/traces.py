@@ -1,0 +1,88 @@
+"""Access-stream generators for the refresh simulator.
+
+A trace is an integer numpy array, one entry per clock cycle: the local
+block targeted by the access issued that cycle, or ``IDLE`` (-1) for no
+access.  The paper's Fig. 5 uses random accesses; the other generators
+exist to probe the policies under less friendly traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+IDLE = -1
+
+
+def _check(n_cycles: int, n_blocks: int, activity: float) -> None:
+    if n_cycles < 1:
+        raise ConfigurationError("trace needs at least one cycle")
+    if n_blocks < 1:
+        raise ConfigurationError("need at least one block")
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError("activity must lie in [0, 1]")
+
+
+def uniform_random_trace(n_cycles: int, n_blocks: int, activity: float,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Each cycle: with probability ``activity`` access a uniform block."""
+    _check(n_cycles, n_blocks, activity)
+    accesses = rng.random(n_cycles) < activity
+    blocks = rng.integers(0, n_blocks, size=n_cycles)
+    return np.where(accesses, blocks, IDLE)
+
+
+def bursty_trace(n_cycles: int, n_blocks: int, activity: float,
+                 rng: np.random.Generator,
+                 burst_length: int = 16) -> np.ndarray:
+    """Bursts of back-to-back accesses to one block, then idle gaps.
+
+    The long-run activity matches ``activity``; within a burst the
+    memory is accessed every cycle (a cache-line fill pattern).
+    """
+    _check(n_cycles, n_blocks, activity)
+    if burst_length < 1:
+        raise ConfigurationError("burst length must be >= 1")
+    trace = np.full(n_cycles, IDLE, dtype=np.int64)
+    # Each idle-cycle decision either starts an L-cycle burst (prob p) or
+    # idles one cycle; long-run activity a = pL / (pL + 1 - p), hence:
+    start_probability = activity / (burst_length * (1.0 - activity)
+                                    + activity)
+    cycle = 0
+    while cycle < n_cycles:
+        if rng.random() < start_probability:
+            block = int(rng.integers(0, n_blocks))
+            end = min(n_cycles, cycle + burst_length)
+            trace[cycle:end] = block
+            cycle = end
+        else:
+            cycle += 1
+    return trace
+
+
+def sequential_trace(n_cycles: int, n_blocks: int,
+                     activity: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Streaming access: blocks visited in order (row-major walk)."""
+    _check(n_cycles, n_blocks, activity)
+    accesses = rng.random(n_cycles) < activity
+    order = np.cumsum(accesses) % n_blocks
+    return np.where(accesses, order, IDLE)
+
+
+def hot_block_trace(n_cycles: int, n_blocks: int, activity: float,
+                    rng: np.random.Generator,
+                    hot_fraction: float = 0.8) -> np.ndarray:
+    """``hot_fraction`` of accesses hammer block 0, the rest uniform.
+
+    The adversarial case for localized refresh: accesses pile onto the
+    very block being refreshed more often than uniform traffic would.
+    """
+    _check(n_cycles, n_blocks, activity)
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigurationError("hot fraction must lie in [0, 1]")
+    accesses = rng.random(n_cycles) < activity
+    hot = rng.random(n_cycles) < hot_fraction
+    blocks = np.where(hot, 0, rng.integers(0, n_blocks, size=n_cycles))
+    return np.where(accesses, blocks, IDLE)

@@ -1,0 +1,76 @@
+"""A small MNA-based circuit simulator.
+
+This package stands in for the SPICE box of the paper's methodology flow
+(Fig. 6).  It supports exactly what memory-array verification needs:
+
+* linear R, C, independent V/I sources (DC, pulse, PWL),
+* a nonlinear MOSFET element driven by the :mod:`repro.tech` device
+  curves (bidirectional, so pass transistors and charge sharing work),
+* a DC operating-point solver (Newton + gmin stepping),
+* a fixed-step transient engine (backward Euler or trapezoidal) with
+  Newton iteration per step,
+* waveform measurements (crossings, delays, swings, source energy).
+
+It is intentionally dense-matrix and small-circuit oriented: the circuits
+simulated here (a local block, a sense amplifier, a bitline) have tens of
+nodes, where dense numpy linear algebra is both simplest and fastest.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.elements import (
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+    Switch,
+    dc,
+    pulse,
+    pwl,
+)
+from repro.spice.mosfet import MosfetElement
+from repro.spice.subckt import Scope
+from repro.spice.stdcells import (
+    add_inverter,
+    add_inverter_chain,
+    add_latch_sense_amp,
+    build_ring_oscillator,
+)
+from repro.spice.op import solve_dc
+from repro.spice.export import save_waveforms, waveforms_to_csv
+from repro.spice.transient import TransientResult, simulate_transient
+from repro.spice.measure import (
+    crossing_time,
+    delay_between,
+    signal_swing,
+    source_charge,
+    source_energy,
+)
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Switch",
+    "MosfetElement",
+    "Scope",
+    "add_inverter",
+    "add_inverter_chain",
+    "add_latch_sense_amp",
+    "build_ring_oscillator",
+    "dc",
+    "save_waveforms",
+    "waveforms_to_csv",
+    "pulse",
+    "pwl",
+    "solve_dc",
+    "TransientResult",
+    "simulate_transient",
+    "crossing_time",
+    "delay_between",
+    "signal_swing",
+    "source_charge",
+    "source_energy",
+]

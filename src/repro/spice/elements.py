@@ -1,0 +1,240 @@
+"""Linear circuit elements and independent sources.
+
+Waveforms are plain callables ``time -> value``; :func:`dc`,
+:func:`pulse` and :func:`pwl` build the common ones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, NetlistError
+from repro.spice.mna import StampContext
+from repro.spice.netlist import CircuitElement
+
+Waveform = Callable[[float], float]
+
+
+def dc(value: float) -> Waveform:
+    """Constant waveform."""
+    return lambda _t: value
+
+
+def pulse(low: float, high: float, delay: float, rise: float,
+          width: float, fall: float | None = None,
+          period: float | None = None) -> Waveform:
+    """SPICE-style pulse: low until ``delay``, ramp to high over ``rise``,
+    hold ``width``, ramp back over ``fall``; optionally periodic."""
+    fall = rise if fall is None else fall
+    if min(rise, fall) <= 0 or width < 0 or delay < 0:
+        raise ConfigurationError("pulse needs positive edges and non-negative times")
+    cycle = delay + rise + width + fall
+
+    def waveform(t: float) -> float:
+        if period is not None and t > delay:
+            t = delay + (t - delay) % period
+        if t <= delay:
+            return low
+        t -= delay
+        if t < rise:
+            return low + (high - low) * t / rise
+        t -= rise
+        if t < width:
+            return high
+        t -= width
+        if t < fall:
+            return high + (low - high) * t / fall
+        return low
+
+    if period is not None and period < cycle - delay:
+        raise ConfigurationError("pulse period shorter than one pulse")
+    return waveform
+
+
+def pwl(points: Sequence[Tuple[float, float]]) -> Waveform:
+    """Piece-wise linear waveform through ``(time, value)`` points."""
+    if len(points) < 1:
+        raise ConfigurationError("pwl needs at least one point")
+    times = [t for t, _v in points]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ConfigurationError("pwl times must be strictly increasing")
+    values = [v for _t, v in points]
+
+    def waveform(t: float) -> float:
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        idx = bisect.bisect_right(times, t)
+        t0, t1 = times[idx - 1], times[idx]
+        v0, v1 = values[idx - 1], values[idx]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    return waveform
+
+
+class Resistor(CircuitElement):
+    """Linear resistor."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float) -> None:
+        super().__init__(name)
+        if resistance <= 0:
+            raise ConfigurationError(f"resistance must be positive, got {resistance}")
+        self.node_a, self.node_b = node_a, node_b
+        self.resistance = resistance
+
+    def terminals(self) -> List[str]:
+        return [self.node_a, self.node_b]
+
+    def stamp(self, ctx: StampContext) -> None:
+        ctx.system.stamp_conductance(self.node_a, self.node_b, 1.0 / self.resistance)
+
+    def current(self, v_a: float, v_b: float) -> float:
+        """Current flowing a -> b."""
+        return (v_a - v_b) / self.resistance
+
+
+class Capacitor(CircuitElement):
+    """Linear capacitor with optional initial condition.
+
+    In transient analysis the capacitor is replaced by its companion
+    model (conductance + history current); in DC it is an open circuit
+    (with a gmin leak so nodes connected only by capacitors still solve).
+    """
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float,
+                 initial_voltage: float | None = None) -> None:
+        super().__init__(name)
+        if capacitance <= 0:
+            raise ConfigurationError(f"capacitance must be positive, got {capacitance}")
+        self.node_a, self.node_b = node_a, node_b
+        self.capacitance = capacitance
+        self.initial_voltage = initial_voltage
+
+    def terminals(self) -> List[str]:
+        return [self.node_a, self.node_b]
+
+    def stamp(self, ctx: StampContext) -> None:
+        if ctx.dt is None:
+            ctx.system.stamp_conductance(self.node_a, self.node_b, ctx.gmin)
+            return
+        v_prev = ctx.voltage(self.node_a, previous=True) - ctx.voltage(
+            self.node_b, previous=True
+        )
+        if ctx.integrator == "trap":
+            geq = 2.0 * self.capacitance / ctx.dt
+            i_prev = 0.0 if ctx.cap_state is None else ctx.cap_state.get(self.name, 0.0)
+            ieq = geq * v_prev + i_prev
+        else:  # backward Euler
+            geq = self.capacitance / ctx.dt
+            ieq = geq * v_prev
+        ctx.system.stamp_conductance(self.node_a, self.node_b, geq)
+        # History current flows b -> a (it opposes discharging).
+        ctx.system.stamp_current(self.node_b, self.node_a, ieq)
+
+    def branch_current(self, ctx: StampContext, x_new) -> float:
+        """Current a -> b at the accepted solution ``x_new`` (for trap state)."""
+        if ctx.dt is None:
+            return 0.0
+        system = ctx.system
+
+        def v(vector, node):
+            idx = system.index(node)
+            return 0.0 if idx < 0 else float(vector[idx])
+
+        v_new = v(x_new, self.node_a) - v(x_new, self.node_b)
+        v_prev = ctx.voltage(self.node_a, previous=True) - ctx.voltage(
+            self.node_b, previous=True
+        )
+        if ctx.integrator == "trap":
+            i_prev = 0.0 if ctx.cap_state is None else ctx.cap_state.get(self.name, 0.0)
+            return 2.0 * self.capacitance / ctx.dt * (v_new - v_prev) - i_prev
+        return self.capacitance / ctx.dt * (v_new - v_prev)
+
+
+class VoltageSource(CircuitElement):
+    """Independent voltage source; the branch current flows p -> n inside
+    the source, so a source *delivering* power has a negative branch
+    current."""
+
+    def __init__(self, name: str, node_p: str, node_n: str,
+                 waveform: Waveform) -> None:
+        super().__init__(name)
+        self.node_p, self.node_n = node_p, node_n
+        self.waveform = waveform
+
+    def terminals(self) -> List[str]:
+        return [self.node_p, self.node_n]
+
+    def is_source(self) -> bool:
+        return True
+
+    def stamp(self, ctx: StampContext) -> None:
+        ctx.system.stamp_voltage_source(
+            self.name, self.node_p, self.node_n, self.waveform(ctx.time)
+        )
+
+
+class CurrentSource(CircuitElement):
+    """Independent current source pushing current from -> to."""
+
+    def __init__(self, name: str, node_from: str, node_to: str,
+                 waveform: Waveform) -> None:
+        super().__init__(name)
+        self.node_from, self.node_to = node_from, node_to
+        self.waveform = waveform
+
+    def terminals(self) -> List[str]:
+        return [self.node_from, self.node_to]
+
+    def stamp(self, ctx: StampContext) -> None:
+        ctx.system.stamp_current(self.node_from, self.node_to, self.waveform(ctx.time))
+
+
+class Switch(CircuitElement):
+    """Voltage-controlled switch with a smooth on/off transition.
+
+    The conductance interpolates between on and off with a logistic curve
+    of width ``transition`` around ``threshold`` so Newton iteration
+    stays differentiable.  Used for ideal precharge/equalise devices
+    where a full MOSFET model would be noise.
+    """
+
+    def __init__(self, name: str, node_a: str, node_b: str,
+                 ctrl_p: str, ctrl_n: str, threshold: float = 0.6,
+                 r_on: float = 100.0, r_off: float = 1e12,
+                 transition: float = 0.02) -> None:
+        super().__init__(name)
+        if r_on <= 0 or r_off <= r_on:
+            raise ConfigurationError("switch needs 0 < r_on < r_off")
+        if transition <= 0:
+            raise ConfigurationError("switch transition width must be positive")
+        self.node_a, self.node_b = node_a, node_b
+        self.ctrl_p, self.ctrl_n = ctrl_p, ctrl_n
+        self.threshold = threshold
+        self.g_on, self.g_off = 1.0 / r_on, 1.0 / r_off
+        self.transition = transition
+
+    def terminals(self) -> List[str]:
+        return [self.node_a, self.node_b, self.ctrl_p, self.ctrl_n]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def conductance(self, v_ctrl: float) -> float:
+        arg = (v_ctrl - self.threshold) / self.transition
+        # Logistic, clamped to avoid overflow.
+        if arg > 40:
+            frac = 1.0
+        elif arg < -40:
+            frac = 0.0
+        else:
+            frac = 1.0 / (1.0 + math.exp(-arg))
+        return self.g_off + (self.g_on - self.g_off) * frac
+
+    def stamp(self, ctx: StampContext) -> None:
+        v_ctrl = ctx.voltage(self.ctrl_p) - ctx.voltage(self.ctrl_n)
+        ctx.system.stamp_conductance(self.node_a, self.node_b,
+                                     self.conductance(v_ctrl))

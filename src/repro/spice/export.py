@@ -1,0 +1,49 @@
+"""Waveform export.
+
+SPICE results become useful outside the library as plain CSV; this
+module serialises a :class:`~repro.spice.transient.TransientResult`
+with explicit column selection, so examples and external plotting can
+consume the local-block waveforms (paper Fig. 3) directly.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.spice.transient import TransientResult
+
+
+def waveforms_to_csv(result: TransientResult,
+                     nodes: Sequence[str],
+                     time_unit: float = 1e-9,
+                     voltage_unit: float = 1.0) -> str:
+    """Serialise node waveforms to CSV text.
+
+    Columns: ``time`` (in ``time_unit`` seconds) followed by one column
+    per node (in ``voltage_unit`` volts).  Unknown nodes raise before
+    any output is produced.
+    """
+    if not nodes:
+        raise SimulationError("select at least one node to export")
+    if time_unit <= 0 or voltage_unit <= 0:
+        raise SimulationError("units must be positive")
+    waves = [result.voltage(node) for node in nodes]  # validates names
+    buffer = io.StringIO()
+    buffer.write("time," + ",".join(nodes) + "\n")
+    for index, time in enumerate(result.time):
+        values = ",".join(f"{wave[index] / voltage_unit:.6g}"
+                          for wave in waves)
+        buffer.write(f"{time / time_unit:.6g},{values}\n")
+    return buffer.getvalue()
+
+
+def save_waveforms(result: TransientResult, nodes: Sequence[str],
+                   path: str | pathlib.Path,
+                   time_unit: float = 1e-9) -> pathlib.Path:
+    """Write :func:`waveforms_to_csv` output to ``path``; returns it."""
+    path = pathlib.Path(path)
+    path.write_text(waveforms_to_csv(result, nodes, time_unit=time_unit))
+    return path

@@ -1,0 +1,104 @@
+"""Waveform measurements.
+
+These mirror the ``.measure`` statements a SPICE deck would carry:
+threshold crossings, delays between edges, swings, and charge/energy
+delivered by supplies (the quantity behind every energy figure in the
+paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+_trapezoid = getattr(np, "trapezoid", getattr(np, "trapz", None))
+from repro.spice.transient import TransientResult
+
+
+def crossing_time(result: TransientResult, node: str, level: float,
+                  direction: str = "any", start: float = 0.0) -> float:
+    """First time ``node`` crosses ``level`` after ``start``.
+
+    ``direction`` is ``"rise"``, ``"fall"`` or ``"any"``.  Linear
+    interpolation between samples.  Raises if the crossing never happens.
+    """
+    if direction not in ("rise", "fall", "any"):
+        raise SimulationError(f"unknown direction {direction!r}")
+    t = result.time
+    v = result.voltage(node)
+    mask = t >= start
+    t, v = t[mask], v[mask]
+    if len(t) < 2:
+        raise SimulationError("not enough samples after start time")
+    above = v >= level
+    for i in range(1, len(t)):
+        if above[i] == above[i - 1]:
+            continue
+        rising = above[i] and not above[i - 1]
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        dv = v[i] - v[i - 1]
+        if dv == 0:
+            return float(t[i])
+        frac = (level - v[i - 1]) / dv
+        return float(t[i - 1] + frac * (t[i] - t[i - 1]))
+    raise SimulationError(
+        f"node {node!r} never crosses {level} V ({direction}) after {start:g}s"
+    )
+
+
+def delay_between(result: TransientResult, node_from: str, node_to: str,
+                  level_from: float, level_to: float,
+                  direction_from: str = "any", direction_to: str = "any",
+                  start: float = 0.0) -> float:
+    """Delay from an edge on ``node_from`` to the next edge on ``node_to``."""
+    t0 = crossing_time(result, node_from, level_from, direction_from, start)
+    t1 = crossing_time(result, node_to, level_to, direction_to, t0)
+    return t1 - t0
+
+
+def signal_swing(result: TransientResult, node: str,
+                 start: float = 0.0) -> float:
+    """Peak-to-peak excursion of ``node`` after ``start``."""
+    mask = result.time >= start
+    v = result.voltage(node)[mask]
+    if len(v) == 0:
+        raise SimulationError("no samples after start time")
+    return float(np.max(v) - np.min(v))
+
+
+def source_charge(result: TransientResult, source_name: str,
+                  start: float = 0.0, stop: float | None = None) -> float:
+    """Charge *delivered* by a voltage source over [start, stop], coulombs.
+
+    The MNA branch current flows p -> n inside the source, so delivered
+    charge integrates the negated branch current.
+    """
+    t = result.time
+    i = -result.branch_current(source_name)
+    mask = t >= start
+    if stop is not None:
+        mask &= t <= stop
+    if mask.sum() < 2:
+        raise SimulationError("integration window contains < 2 samples")
+    return float(_trapezoid(i[mask], t[mask]))
+
+
+def source_energy(result: TransientResult, source_name: str,
+                  start: float = 0.0, stop: float | None = None) -> float:
+    """Energy delivered by a voltage source over [start, stop], joules."""
+    element = result.circuit.element(source_name)
+    t = result.time
+    i = -result.branch_current(source_name)
+    v_p = result.voltage(element.node_p)
+    v_n = result.voltage(element.node_n)
+    power = (v_p - v_n) * i
+    mask = t >= start
+    if stop is not None:
+        mask &= t <= stop
+    if mask.sum() < 2:
+        raise SimulationError("integration window contains < 2 samples")
+    return float(_trapezoid(power[mask], t[mask]))

@@ -1,0 +1,97 @@
+"""Nonlinear MOSFET circuit element.
+
+Wraps a :class:`repro.tech.transistor.Mosfet` device card.  The element
+is *bidirectional*: source and drain are decided by the instantaneous
+terminal voltages, which is what makes pass-transistor behaviour (the
+DRAM cell access device, the write-after-read loop-cut switch of paper
+Fig. 4) come out right during charge sharing.
+
+The Newton companion model linearises the current around the present
+iterate with finite-difference transconductances.  Because the device
+current depends only on ``(vg - vs, vd - vs)``, the source
+transconductance follows exactly as ``gs = -(gm + gd)``, which keeps the
+stamp consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tech.node import Polarity
+from repro.tech.transistor import Mosfet
+from repro.spice.mna import StampContext
+from repro.spice.netlist import CircuitElement
+
+_FD_STEP = 1e-4  # volts, finite-difference step for gm/gd
+
+
+class MosfetElement(CircuitElement):
+    """MOSFET between ``drain``/``source`` controlled by ``gate``.
+
+    The ``drain``/``source`` labels are only naming: conduction direction
+    follows the terminal voltages.  Bulk is implicitly tied to the rail
+    (ground for NMOS, the supply for PMOS) with the body effect folded
+    into the device card.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 device: Mosfet) -> None:
+        super().__init__(name)
+        self.drain, self.gate, self.source = drain, gate, source
+        self.device = device
+
+    def terminals(self) -> List[str]:
+        return [self.drain, self.gate, self.source]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    # -- current evaluation ------------------------------------------------
+
+    def current(self, v_d: float, v_g: float, v_s: float) -> float:
+        """Channel current flowing drain-terminal -> source-terminal.
+
+        Positive when conventional current flows from the ``drain`` node
+        to the ``source`` node (NMOS with vd > vs), negative when the
+        device conducts backwards.
+        """
+        if self.device.polarity is Polarity.NMOS:
+            if v_d >= v_s:
+                magnitude = self.device.drain_current(v_g - v_s, v_d - v_s)
+                return magnitude
+            magnitude = self.device.drain_current(v_g - v_d, v_s - v_d)
+            return -magnitude
+        # PMOS: the effective source is the *higher* terminal and
+        # conventional current flows from it to the lower terminal.
+        if v_s >= v_d:
+            magnitude = self.device.drain_current(v_s - v_g, v_s - v_d)
+            return -magnitude  # flows source-terminal -> drain-terminal
+        magnitude = self.device.drain_current(v_d - v_g, v_d - v_s)
+        return magnitude
+
+    # -- stamping ---------------------------------------------------------------
+
+    def _operating_point(self, ctx: StampContext) -> Tuple[float, float, float]:
+        return (
+            ctx.voltage(self.drain),
+            ctx.voltage(self.gate),
+            ctx.voltage(self.source),
+        )
+
+    def stamp(self, ctx: StampContext) -> None:
+        v_d, v_g, v_s = self._operating_point(ctx)
+        i0 = self.current(v_d, v_g, v_s)
+        gd = (self.current(v_d + _FD_STEP, v_g, v_s) - i0) / _FD_STEP
+        gm = (self.current(v_d, v_g + _FD_STEP, v_s) - i0) / _FD_STEP
+        gs = -(gm + gd)
+        # Keep the stamp numerically tame: conductances must stay
+        # non-negative on the diagonal direction; gmin guards cutoff.
+        gd = max(gd, 0.0) + ctx.gmin
+        system = ctx.system
+        system.stamp_conductance(self.drain, self.source, gd)
+        system.stamp_transconductance(self.drain, self.source,
+                                      self.gate, self.source, gm)
+        # Residual current so the linear model matches i0 at the iterate.
+        i_lin = gd * (v_d - v_s) + gm * (v_g - v_s)
+        system.stamp_current(self.drain, self.source, i0 - i_lin)
+        del gs  # folded into the (out, in)=(d-s, g-s) difference stamps

@@ -1,0 +1,111 @@
+"""Circuit netlist container.
+
+A :class:`Circuit` is a bag of named nodes and elements.  Node names are
+plain strings; the ground node is ``"0"`` (also exported as
+:data:`GROUND`).  Elements are added through :meth:`Circuit.add` and are
+identified by unique names, so measurements can refer to them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import NetlistError
+
+GROUND = "0"
+
+
+class Circuit:
+    """A flat netlist of circuit elements.
+
+    >>> from repro.spice import Circuit, Resistor, VoltageSource, dc
+    >>> c = Circuit("divider")
+    >>> _ = c.add(VoltageSource("vin", "in", "0", dc(1.0)))
+    >>> _ = c.add(Resistor("r1", "in", "mid", 1e3))
+    >>> _ = c.add(Resistor("r2", "mid", "0", 1e3))
+    >>> sorted(c.nodes())
+    ['in', 'mid']
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: Dict[str, "CircuitElement"] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, element: "CircuitElement") -> "CircuitElement":
+        """Add ``element``; returns it so construction can chain."""
+        if element.name in self._elements:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in circuit {self.name!r}"
+            )
+        self._elements[element.name] = element
+        return element
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def elements(self) -> List["CircuitElement"]:
+        return list(self._elements.values())
+
+    def element(self, name: str) -> "CircuitElement":
+        try:
+            return self._elements[name]
+        except KeyError as exc:
+            raise NetlistError(f"no element named {name!r}") from exc
+
+    def nodes(self) -> List[str]:
+        """All non-ground node names, in first-use order."""
+        seen: Dict[str, None] = {}
+        for element in self._elements.values():
+            for node in element.terminals():
+                if node != GROUND:
+                    seen.setdefault(node)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Check the netlist is simulatable.
+
+        Raises :class:`NetlistError` for an empty circuit or for nodes
+        with a single connection (dangling), which make the MNA matrix
+        singular unless a capacitor-to-nowhere is intended.
+        """
+        if not self._elements:
+            raise NetlistError(f"circuit {self.name!r} has no elements")
+        degree: Dict[str, int] = {}
+        for element in self._elements.values():
+            for node in element.terminals():
+                degree[node] = degree.get(node, 0) + 1
+        if GROUND not in degree:
+            raise NetlistError(f"circuit {self.name!r} has no ground connection")
+
+
+class CircuitElement:
+    """Base class for all circuit elements.
+
+    Subclasses define ``terminals()`` plus the stamping interface used by
+    :mod:`repro.spice.mna`:
+
+    * ``is_source()`` — whether the element introduces a branch-current
+      unknown (voltage sources do).
+    * ``stamp(system, state)`` — add the element's contribution for the
+      current Newton iterate / time step.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("element name must be non-empty")
+        self.name = name
+
+    def terminals(self) -> Iterable[str]:
+        raise NotImplementedError
+
+    def is_source(self) -> bool:
+        return False
+
+    def is_nonlinear(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nodes = ",".join(self.terminals())
+        return f"<{type(self).__name__} {self.name} ({nodes})>"

@@ -1,0 +1,71 @@
+"""DC operating-point solver.
+
+Newton iteration with voltage-update damping and gmin stepping: the
+solve starts with a large leak conductance to ground at every node
+(which makes even pathological circuits solvable), converges, then
+relaxes the leak decade by decade, warm-starting each stage from the
+previous solution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.mna import MnaSystem, StampContext
+from repro.spice.netlist import Circuit
+
+_MAX_NEWTON = 200
+_V_TOL = 1e-9
+_DAMP_LIMIT = 0.3  # volts per Newton update
+
+
+def _newton_solve(system: MnaSystem, circuit: Circuit, x0: np.ndarray,
+                  gmin: float, time: float) -> np.ndarray:
+    x = x0.copy()
+    n_nodes = len(system.node_index)
+    for _iteration in range(_MAX_NEWTON):
+        system.reset()
+        ctx = StampContext(system=system, x=x, dt=None, time=time, gmin=gmin)
+        for element in circuit.elements:
+            element.stamp(ctx)
+        # gmin stepping leak on every node keeps the matrix non-singular.
+        for idx in range(n_nodes):
+            system.matrix[idx, idx] += gmin
+        x_new = system.solve()
+        delta = x_new - x
+        # Damp node-voltage updates only (branch currents move freely).
+        v_delta = delta[:n_nodes]
+        max_step = np.max(np.abs(v_delta)) if n_nodes else 0.0
+        if max_step > _DAMP_LIMIT:
+            delta = delta * (_DAMP_LIMIT / max_step)
+        x = x + delta
+        if max_step < _V_TOL:
+            return x
+    raise ConvergenceError(
+        f"DC Newton failed to converge for circuit {circuit.name!r} "
+        f"(gmin={gmin:g})"
+    )
+
+
+def solve_dc(circuit: Circuit, time: float = 0.0,
+             initial_guess: Optional[Dict[str, float]] = None
+             ) -> Dict[str, float]:
+    """Solve the DC operating point; returns node-name -> voltage.
+
+    ``time`` selects the value of time-dependent sources (useful to find
+    the precharged state of a memory circuit at t=0).
+    """
+    system = MnaSystem(circuit)
+    x = np.zeros(system.size)
+    if initial_guess:
+        for node, voltage in initial_guess.items():
+            idx = system.index(node)
+            if idx >= 0:
+                x[idx] = voltage
+    for gmin in (1e-3, 1e-6, 1e-9, 1e-12):
+        x = _newton_solve(system, circuit, x, gmin, time)
+    result = {node: float(x[idx]) for node, idx in system.node_index.items()}
+    return result

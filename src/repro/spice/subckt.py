@@ -1,0 +1,72 @@
+"""Hierarchical netlist construction.
+
+A :class:`Scope` wraps a circuit with an instance prefix and a port
+map, so subcircuit builders can be written once against local node
+names and instantiated many times::
+
+    def build_divider(scope, r_top, r_bot):
+        scope.add(Resistor(scope.name("rt"), scope.node("in"),
+                           scope.node("mid"), r_top))
+        scope.add(Resistor(scope.name("rb"), scope.node("mid"),
+                           scope.node("out"), r_bot))
+
+    c = Circuit("two-dividers")
+    build_divider(Scope(c, "x1", {"in": "vin", "out": "0"}), 1e3, 1e3)
+    build_divider(Scope(c, "x2", {"in": "vin", "out": "0"}), 2e3, 1e3)
+
+Internal nodes and element names are prefixed with the instance name
+(``x1.mid``, ``x1.rt``); ports resolve through the map.  No macro
+expansion, no magic — just systematic naming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import NetlistError
+from repro.spice.netlist import GROUND, Circuit, CircuitElement
+
+
+class Scope:
+    """A naming scope for one subcircuit instance."""
+
+    def __init__(self, circuit: Circuit, instance: str,
+                 ports: Mapping[str, str] | None = None) -> None:
+        if not instance:
+            raise NetlistError("instance name must be non-empty")
+        if "." in instance:
+            raise NetlistError("instance names must not contain '.'")
+        self.circuit = circuit
+        self.instance = instance
+        self.ports: Dict[str, str] = dict(ports or {})
+
+    def node(self, local_name: str) -> str:
+        """Resolve a local node name: port mapping first, else prefixed.
+
+        The ground node is global: ``"0"`` stays ``"0"`` everywhere.
+        """
+        if local_name == GROUND:
+            return GROUND
+        if local_name in self.ports:
+            return self.ports[local_name]
+        return f"{self.instance}.{local_name}"
+
+    def name(self, local_name: str) -> str:
+        """Prefixed element name for this instance."""
+        return f"{self.instance}.{local_name}"
+
+    def add(self, element: CircuitElement) -> CircuitElement:
+        """Add an element built with this scope's names."""
+        return self.circuit.add(element)
+
+    def child(self, instance: str,
+              ports: Mapping[str, str] | None = None) -> "Scope":
+        """A nested scope (instance names concatenate with '/')."""
+        nested = Scope.__new__(Scope)
+        nested.circuit = self.circuit
+        nested.instance = f"{self.instance}/{instance}"
+        nested.ports = {
+            local: self.node(parent)
+            for local, parent in (ports or {}).items()
+        }
+        return nested

@@ -1,0 +1,218 @@
+"""Fixed-step transient engine.
+
+Each time point is solved with damped Newton iteration over the
+companion-model stamps of all elements.  Linear circuits converge in a
+single iteration; the MOSFET and switch elements make it genuinely
+nonlinear.  Backward Euler is the default (L-stable, forgiving);
+trapezoidal integration is available when waveform energy accuracy
+matters more than start-up transients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.spice.elements import Capacitor
+from repro.spice.mna import MnaSystem, StampContext
+from repro.spice.netlist import Circuit
+
+_MAX_NEWTON = 250
+_V_TOL = 1e-7
+_DAMP_LIMIT = 0.4
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """Waveforms produced by :func:`simulate_transient`.
+
+    ``data`` holds the raw solution matrix (time points x unknowns);
+    access it through :meth:`voltage` and :meth:`branch_current`.
+    """
+
+    circuit: Circuit
+    time: np.ndarray
+    data: np.ndarray
+    node_index: Dict[str, int]
+    branch_index: Dict[str, int]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of ``node``; ground returns all zeros."""
+        if node == "0":
+            return np.zeros_like(self.time)
+        try:
+            return self.data[:, self.node_index[node]]
+        except KeyError as exc:
+            raise SimulationError(f"no node {node!r} in results") from exc
+
+    def branch_current(self, source_name: str) -> np.ndarray:
+        """Current through a voltage source (flowing p -> n inside it).
+
+        A source delivering power to the circuit shows a *negative*
+        branch current under this convention.
+        """
+        try:
+            return self.data[:, self.branch_index[source_name]]
+        except KeyError as exc:
+            raise SimulationError(
+                f"no voltage source named {source_name!r} in results"
+            ) from exc
+
+    def final_voltage(self, node: str) -> float:
+        return float(self.voltage(node)[-1])
+
+
+def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
+                       initial_voltages: Optional[Dict[str, float]] = None,
+                       integrator: str = "be") -> TransientResult:
+    """Simulate ``circuit`` from 0 to ``t_stop`` with fixed step ``dt``.
+
+    ``initial_voltages`` pins the t=0 node voltages (unlisted nodes start
+    at 0 V); capacitors with an ``initial_voltage`` override the implied
+    difference across themselves by adjusting nothing — their companion
+    history simply starts from the node values, so set the *node*
+    voltages to express initial charge.
+
+    Returns a :class:`TransientResult` with one row per accepted time
+    point, including t=0.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise SimulationError("t_stop and dt must be positive")
+    if integrator not in ("be", "trap"):
+        raise SimulationError(f"unknown integrator {integrator!r}")
+    steps = int(round(t_stop / dt))
+    if steps < 1:
+        raise SimulationError("t_stop shorter than one time step")
+
+    system = MnaSystem(circuit)
+    n_unknowns = system.size
+    n_nodes = len(system.node_index)
+
+    x = np.zeros(n_unknowns)
+    if initial_voltages:
+        for node, voltage in initial_voltages.items():
+            idx = system.index(node)
+            if idx >= 0:
+                x[idx] = voltage
+    for element in circuit.elements:
+        if isinstance(element, Capacitor) and element.initial_voltage is not None:
+            ia = system.index(element.node_a)
+            ib = system.index(element.node_b)
+            if ia >= 0 and (initial_voltages is None
+                            or element.node_a not in initial_voltages):
+                base = x[ib] if ib >= 0 else 0.0
+                x[ia] = base + element.initial_voltage
+
+    capacitors = [e for e in circuit.elements if isinstance(e, Capacitor)]
+    cap_state: Dict[str, float] = {c.name: 0.0 for c in capacitors}
+
+    times = np.linspace(0.0, steps * dt, steps + 1)
+    data = np.empty((steps + 1, n_unknowns))
+    data[0] = x
+
+    for step in range(1, steps + 1):
+        t = times[step]
+        x_prev = data[step - 1]
+        # Trapezoidal needs a consistent capacitor-current history, which
+        # an arbitrary initial condition does not provide; the standard
+        # remedy is one backward-Euler step to damp the inconsistency.
+        step_integrator = "be" if (integrator == "trap" and step == 1) \
+            else integrator
+        x = _solve_step_with_refinement(
+            system, circuit, x_prev, t - dt, dt, step_integrator, cap_state,
+            capacitors)
+        if integrator == "trap" and step == 1:
+            ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
+                               time=t, integrator="be", cap_state=cap_state)
+            for cap in capacitors:
+                cap_state[cap.name] = cap.branch_current(ctx, x)
+        data[step] = x
+
+    return TransientResult(
+        circuit=circuit,
+        time=times,
+        data=data,
+        node_index=dict(system.node_index),
+        branch_index=dict(system.branch_index),
+    )
+
+
+def _solve_step_with_refinement(system: MnaSystem, circuit: Circuit,
+                                x_start: np.ndarray, t_start: float,
+                                dt: float, integrator: str,
+                                cap_state: Dict[str, float],
+                                capacitors: list,
+                                max_halvings: int = 7) -> np.ndarray:
+    """Advance one output step, locally halving dt if Newton fails.
+
+    Regenerative circuits (latch sense amplifiers firing) make single
+    steps stiff; sub-stepping through the regeneration region recovers
+    convergence without shrinking the global time step.  The trapezoidal
+    capacitor history is committed per successful substep (and restored
+    before a retry), so refinement stays consistent for both methods.
+    """
+    for halving in range(max_halvings + 1):
+        substeps = 2 ** halving
+        sub_dt = dt / substeps
+        x = x_start
+        saved_state = dict(cap_state)
+        try:
+            for sub in range(1, substeps + 1):
+                t_sub = t_start + sub * sub_dt
+                x_new = _solve_point(system, circuit, x, t_sub, sub_dt,
+                                     integrator, cap_state)
+                if integrator == "trap":
+                    ctx = StampContext(
+                        system=system, x=x_new, x_prev=x, dt=sub_dt,
+                        time=t_sub, integrator=integrator,
+                        cap_state=cap_state)
+                    for cap in capacitors:
+                        cap_state[cap.name] = cap.branch_current(ctx, x_new)
+                x = x_new
+            return x
+        except ConvergenceError:
+            cap_state.clear()
+            cap_state.update(saved_state)
+            if halving == max_halvings:
+                raise
+    raise ConvergenceError("unreachable")  # pragma: no cover
+
+
+def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
+                 t: float, dt: float, integrator: str,
+                 cap_state: Dict[str, float]) -> np.ndarray:
+    x = x_prev.copy()
+    n_nodes = len(system.node_index)
+    previous_delta: np.ndarray | None = None
+    damping = 1.0
+    for _iteration in range(_MAX_NEWTON):
+        system.reset()
+        ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt, time=t,
+                           integrator=integrator, cap_state=cap_state,
+                           gmin=1e-12)
+        for element in circuit.elements:
+            element.stamp(ctx)
+        x_new = system.solve()
+        delta = x_new - x
+        v_delta = delta[:n_nodes]
+        max_step = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+        if max_step > _DAMP_LIMIT:
+            delta = delta * (_DAMP_LIMIT / max_step)
+        # Oscillation guard: when successive updates point in opposite
+        # directions (a limit cycle around a curvature change), shrink
+        # the step until the cycle collapses into the fixed point.
+        if previous_delta is not None:
+            if float(np.dot(delta, previous_delta)) < 0.0:
+                damping = max(damping * 0.5, 1.0 / 256.0)
+            else:
+                damping = min(1.0, damping * 1.5)
+        previous_delta = delta
+        x = x + delta * damping
+        if max_step < _V_TOL:
+            return x
+    raise ConvergenceError(
+        f"transient Newton failed at t={t:g}s for circuit {circuit.name!r}"
+    )

@@ -1,0 +1,17 @@
+"""The SRAM baseline: Cosemans et al., ESSCIRC 2008 (paper ref. [10]).
+
+Every figure of the paper is a head-to-head against this 128 kbit
+low-power SRAM.  :mod:`repro.sramref.reference` records its published
+silicon figures as calibration anchors; :mod:`repro.sramref.model`
+instantiates the shared array skeleton with a 6T cell to produce the
+comparable model numbers.
+"""
+
+from repro.sramref.reference import Esscirc2008Reference, PUBLISHED_REFERENCE
+from repro.sramref.model import SramBaselineDesign
+
+__all__ = [
+    "Esscirc2008Reference",
+    "PUBLISHED_REFERENCE",
+    "SramBaselineDesign",
+]

@@ -1,0 +1,58 @@
+"""Model instance of the baseline SRAM macro.
+
+The same hierarchical skeleton as the DRAM (fine-grained local blocks,
+local SAs, low-swing GBL — the baseline [10] pioneered these techniques;
+the paper *reuses its peripherals*), populated with the 6T cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.array.macro import MacroDesign
+from repro.array.organization import ArrayOrganization
+from repro.array.senseamp import SenseAmplifier
+from repro.cells.sram6t import Sram6tCell
+from repro.errors import ConfigurationError
+from repro.tech.node import TechnologyNode, VtFlavor
+from repro.units import fF, kb
+
+SRAM_CELLS_PER_LBL = 16
+SRAM_CELL_ASPECT = 2.0  # 6T cells are wide and short
+
+
+@dataclasses.dataclass(frozen=True)
+class SramBaselineDesign:
+    """Factory for baseline-SRAM macro models."""
+
+    node: TechnologyNode = dataclasses.field(
+        default_factory=TechnologyNode.logic_90nm)
+    cell_flavor: VtFlavor = VtFlavor.SVT
+    cells_per_lbl: int = SRAM_CELLS_PER_LBL
+
+    def cell(self) -> Sram6tCell:
+        return Sram6tCell(self.node, flavor=self.cell_flavor)
+
+    def build(self, total_bits: int = 128 * kb,
+              word_bits: int = 32) -> MacroDesign:
+        """Assemble the macro at ``total_bits`` capacity."""
+        if total_bits <= 0:
+            raise ConfigurationError("total_bits must be positive")
+        organization = ArrayOrganization(
+            node=self.node,
+            cell=self.cell().spec(),
+            total_bits=total_bits,
+            word_bits=word_bits,
+            cells_per_lbl=self.cells_per_lbl,
+            cell_aspect_ratio=SRAM_CELL_ASPECT,
+        )
+        # The [10] tunable sense amplifiers: moderate size, offset tuning.
+        local_sa = SenseAmplifier(self.node, input_units=4.0,
+                                  internal_cap=4 * fF, tunable=True)
+        global_sa = SenseAmplifier(self.node, input_units=6.0,
+                                   internal_cap=8 * fF, tunable=True)
+        return MacroDesign(
+            organization=organization,
+            local_sa=local_sa,
+            global_sa=global_sa,
+        )

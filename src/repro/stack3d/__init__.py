@@ -1,0 +1,45 @@
+"""3D-interconnect context (paper Sec. I and Fig. 2).
+
+The paper's motivation: through-silicon vias are small, low-capacitance
+and can be spread across the die, so stacking a memory die on a logic
+die gives a bandwidth-energy trade-off packaged parts cannot match — and
+then conventional-process DRAM (not edram) becomes available to the SoC
+memory hierarchy.
+
+* :mod:`repro.stack3d.tsv` — the TSV electrical model,
+* :mod:`repro.stack3d.routing` — 3D vs off-chip routing energy/bandwidth,
+* :mod:`repro.stack3d.stack` — die stacks and the hybrid cache system of
+  paper Fig. 2 (fast DRAM as L1, regular DRAM as L2, on the memory die).
+"""
+
+from repro.stack3d.tsv import TsvModel
+from repro.stack3d.routing import (
+    RoutingLink,
+    tsv_link,
+    offchip_link,
+    onchip_link,
+    compare_links,
+)
+from repro.stack3d.stack import Die, DieStack, hybrid_cache_stack
+from repro.stack3d.thermal import (
+    ThermalLayer,
+    ThermalResult,
+    StackThermalModel,
+    RefreshThermalCoupling,
+)
+
+__all__ = [
+    "TsvModel",
+    "RoutingLink",
+    "tsv_link",
+    "offchip_link",
+    "onchip_link",
+    "compare_links",
+    "Die",
+    "DieStack",
+    "hybrid_cache_stack",
+    "ThermalLayer",
+    "ThermalResult",
+    "StackThermalModel",
+    "RefreshThermalCoupling",
+]

@@ -1,0 +1,118 @@
+"""Routing-energy comparison: 3D TSV vs off-chip vs on-chip links.
+
+Quantifies the paper's Sec. I claim: "3D vias are typically smaller and
+have less parasitic capacitance than off-chip connections […] These
+advantages allow to provide a better bandwidth-energy trade off for the
+routing between two stacked dies than between two packaged dies."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.stack3d.tsv import TsvModel
+from repro.tech.wire import GLOBAL_LAYER, Wire
+from repro.units import GHz, mm, pF
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingLink:
+    """One die-to-die (or die-to-package) data link."""
+
+    name: str
+    capacitance: float  # F per line
+    swing: float  # V
+    max_links: int  # connections available
+    max_toggle_rate: float  # Hz per line
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0 or self.swing <= 0:
+            raise ConfigurationError("link C and swing must be positive")
+        if self.max_links < 1 or self.max_toggle_rate <= 0:
+            raise ConfigurationError("link count and rate must be positive")
+
+    @property
+    def energy_per_bit(self) -> float:
+        """Energy per transferred bit (one transition), joules."""
+        return self.capacitance * self.swing ** 2
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak bits/second across all links."""
+        return self.max_links * self.max_toggle_rate
+
+    def power_at(self, bandwidth: float, activity: float = 0.5) -> float:
+        """Power to sustain ``bandwidth`` bits/s, watts."""
+        if bandwidth < 0:
+            raise ConfigurationError("bandwidth must be >= 0")
+        if bandwidth > self.aggregate_bandwidth:
+            raise ConfigurationError(
+                f"{self.name}: requested {bandwidth:.3g} b/s exceeds the "
+                f"link's {self.aggregate_bandwidth:.3g} b/s"
+            )
+        return bandwidth * self.energy_per_bit * activity
+
+
+def tsv_link(die_area: float, tsv: TsvModel | None = None,
+             signal_fraction: float = 0.25) -> RoutingLink:
+    """3D link: TSVs spread over the die area (paper's scenario)."""
+    tsv = TsvModel() if tsv is None else tsv
+    if not 0 < signal_fraction <= 1:
+        raise ConfigurationError("signal fraction must lie in (0, 1]")
+    count = max(1, int(tsv.vias_per_area(die_area) * signal_fraction))
+    return RoutingLink(
+        name="3d-tsv",
+        capacitance=tsv.capacitance,
+        swing=1.2,
+        max_links=count,
+        max_toggle_rate=2 * GHz,
+    )
+
+
+def offchip_link(pin_count: int = 256) -> RoutingLink:
+    """Packaged-die link: bond pad + package trace + termination."""
+    if pin_count < 1:
+        raise ConfigurationError("pin count must be >= 1")
+    return RoutingLink(
+        name="off-chip",
+        capacitance=4 * pF,  # pad + wire-bond + PCB stub
+        swing=1.8,  # I/O voltage domain
+        max_links=pin_count,
+        max_toggle_rate=0.8 * GHz,
+    )
+
+
+def onchip_link(length: float = 5 * mm, lines: int = 512) -> RoutingLink:
+    """Same-die global wire, for reference."""
+    wire = Wire(GLOBAL_LAYER, length)
+    return RoutingLink(
+        name="on-chip",
+        capacitance=wire.capacitance,
+        swing=1.2,
+        max_links=lines,
+        max_toggle_rate=1 * GHz,
+    )
+
+
+def compare_links(die_area: float = 25e-6,
+                  bandwidth: float = 64e9) -> Dict[str, Dict[str, float]]:
+    """The Sec. I comparison at a common bandwidth target.
+
+    Returns energy/bit, aggregate bandwidth and power for the three link
+    styles; the benchmark asserts TSV beats off-chip on both axes.
+    """
+    links = [tsv_link(die_area), offchip_link(), onchip_link()]
+    result = {}
+    for link in links:
+        entry = {
+            "energy_per_bit_j": link.energy_per_bit,
+            "aggregate_bandwidth_bps": link.aggregate_bandwidth,
+        }
+        try:
+            entry["power_w"] = link.power_at(bandwidth)
+        except ConfigurationError:
+            entry["power_w"] = float("inf")
+        result[link.name] = entry
+    return result

@@ -1,0 +1,177 @@
+"""Thermal model of the 3D stack — the feedback loop the paper omits.
+
+Stacking memory on logic has a thermal price: the logic die's power
+heats the memory die, DRAM retention halves every ~10 K, and the
+refresh power rises — which heats the stack a little more.  This module
+models the stack as a 1-D thermal resistance ladder (die-to-die bond
+and silicon conduction, package/heatsink to ambient at the top or
+bottom) and solves the retention/refresh feedback to a fixed point.
+
+The result quantifies a real adoption question for the paper's system:
+how much of the 10x static-power win survives under a hot logic die?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.refresh.adaptive import TemperatureAdaptiveRefresh
+
+SILICON_CONDUCTIVITY = 130.0  # W / (m K)
+DIE_THICKNESS = 100e-6  # thinned die, metres
+BOND_RESISTANCE_PER_AREA = 2e-5  # K m^2 / W, die-to-die bond layer
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalLayer:
+    """One die of the thermal ladder."""
+
+    name: str
+    power: float  # W dissipated in this die
+    area: float  # m^2
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ConfigurationError("layer power must be >= 0")
+        if self.area <= 0:
+            raise ConfigurationError("layer area must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalResult:
+    """Per-layer temperatures of one solve, kelvin."""
+
+    temperatures: List[float]
+    ambient: float
+    iterations: int
+
+    def hottest(self) -> float:
+        return max(self.temperatures)
+
+
+@dataclasses.dataclass(frozen=True)
+class StackThermalModel:
+    """1-D thermal ladder: heatsink - die_0 - bond - die_1 - ... .
+
+    ``sink_resistance`` couples layer 0 to ambient (the heatsink side);
+    heat from upper dies flows down through silicon + bond resistances.
+    This is the classical worst case for memory-on-logic: the memory
+    die sits *away* from the heatsink.
+    """
+
+    layers: Sequence[ThermalLayer]
+    ambient: float = 318.0  # 45 C board environment
+    sink_resistance: float = 1.0  # K/W, heatsink + package
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError("stack needs at least one layer")
+        if self.sink_resistance <= 0:
+            raise ConfigurationError("sink resistance must be positive")
+        if self.ambient < 200:
+            raise ConfigurationError("ambient must be in kelvin")
+
+    def interlayer_resistance(self, lower: int) -> float:
+        """Thermal resistance between layer ``lower`` and ``lower + 1``."""
+        shared_area = min(self.layers[lower].area,
+                          self.layers[lower + 1].area)
+        conduction = DIE_THICKNESS / (SILICON_CONDUCTIVITY * shared_area)
+        bond = BOND_RESISTANCE_PER_AREA / shared_area
+        return conduction + bond
+
+    def solve(self, extra_powers: Sequence[float] | None = None
+              ) -> ThermalResult:
+        """Steady-state layer temperatures.
+
+        In the 1-D ladder, all heat generated at or above layer i flows
+        through the resistance below layer i, so the temperatures follow
+        in closed form by accumulating the heat flux down the ladder.
+        ``extra_powers`` adds per-layer power (the refresh feedback).
+        """
+        n = len(self.layers)
+        extra = [0.0] * n if extra_powers is None else list(extra_powers)
+        if len(extra) != n:
+            raise ConfigurationError("extra_powers must match layer count")
+        powers = [layer.power + extra[i]
+                  for i, layer in enumerate(self.layers)]
+        total = sum(powers)
+        temperatures = [self.ambient + total * self.sink_resistance]
+        for i in range(1, n):
+            flux_above = sum(powers[i:])
+            rise = flux_above * self.interlayer_resistance(i - 1)
+            temperatures.append(temperatures[i - 1] + rise)
+        return ThermalResult(temperatures=temperatures,
+                             ambient=self.ambient, iterations=1)
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshThermalCoupling:
+    """The retention/refresh/temperature fixed point.
+
+    Parameters
+    ----------
+    stack:
+        The thermal ladder (memory die = ``memory_layer`` index).
+    memory_layer:
+        Which layer holds the DRAM.
+    refresh_model:
+        Temperature-to-retention law (calibrated at its base point).
+    rows:
+        Rows refreshed per period.
+    row_energy:
+        Energy per row refresh, joules.
+    """
+
+    stack: StackThermalModel
+    memory_layer: int
+    refresh_model: TemperatureAdaptiveRefresh
+    rows: int
+    row_energy: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.memory_layer < len(self.stack.layers):
+            raise ConfigurationError("memory layer index out of range")
+        if self.rows < 1 or self.row_energy <= 0:
+            raise ConfigurationError("rows and row energy must be positive")
+
+    def refresh_power_at(self, temperature: float) -> float:
+        """Refresh power when the memory die sits at ``temperature``."""
+        period = self.refresh_model.refresh_period_at(temperature)
+        if period <= self.rows * 1e-9:
+            # Less than ~1 ns per row: the matrix cannot even keep up
+            # with its own refresh — thermal runaway territory.
+            raise ConfigurationError(
+                f"refresh period {period:.3g} s at {temperature:.0f} K is "
+                "below the physically serviceable rate: thermal runaway"
+            )
+        return self.rows * self.row_energy / period
+
+    def solve(self, max_iterations: int = 50,
+              tolerance: float = 1e-3) -> tuple[ThermalResult, float]:
+        """Fixed point of (temperature -> refresh power -> temperature).
+
+        Returns the converged thermal result and the refresh power.
+        Raises :class:`ConfigurationError` on thermal runaway (the
+        feedback failing to converge — physically: the refresh power
+        grows faster with temperature than the stack can shed).
+        """
+        refresh_power = 0.0
+        result = self.stack.solve()
+        for iteration in range(1, max_iterations + 1):
+            extra = [0.0] * len(self.stack.layers)
+            extra[self.memory_layer] = refresh_power
+            result = self.stack.solve(extra_powers=extra)
+            temperature = result.temperatures[self.memory_layer]
+            updated = self.refresh_power_at(temperature)
+            if abs(updated - refresh_power) <= tolerance * max(updated, 1e-12):
+                return (ThermalResult(temperatures=result.temperatures,
+                                      ambient=result.ambient,
+                                      iterations=iteration),
+                        updated)
+            refresh_power = updated
+        raise ConfigurationError(
+            "refresh/thermal feedback did not converge: thermal runaway "
+            f"(last refresh power {refresh_power:.3g} W)"
+        )

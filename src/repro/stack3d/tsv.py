@@ -1,0 +1,61 @@
+"""Through-silicon via electrical model.
+
+Calibrated to the via-last Cu TSV technology of the paper's era
+(Kawano et al., VLSI-TSA 2007 [7]): ~10 um diameter, ~50 um depth,
+tens of femtofarads — two orders of magnitude below a package pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.units import fF, um
+
+_COPPER_RESISTIVITY = 1.7e-8  # ohm * m
+
+
+@dataclasses.dataclass(frozen=True)
+class TsvModel:
+    """One TSV: a copper cylinder through a thinned die."""
+
+    diameter: float = 10 * um
+    depth: float = 50 * um
+    pitch: float = 40 * um
+    liner_capacitance: float = 35 * fF
+
+    def __post_init__(self) -> None:
+        if min(self.diameter, self.depth, self.pitch) <= 0:
+            raise ConfigurationError("TSV dimensions must be positive")
+        if self.pitch < self.diameter:
+            raise ConfigurationError("TSV pitch smaller than its diameter")
+        if self.liner_capacitance <= 0:
+            raise ConfigurationError("TSV capacitance must be positive")
+
+    @property
+    def resistance(self) -> float:
+        """Series resistance of the copper column, ohms."""
+        area = math.pi * (self.diameter / 2.0) ** 2
+        return _COPPER_RESISTIVITY * self.depth / area
+
+    @property
+    def capacitance(self) -> float:
+        return self.liner_capacitance
+
+    def energy_per_transition(self, swing: float) -> float:
+        """Energy of one full-swing transition through the TSV, joules."""
+        if swing <= 0:
+            raise ConfigurationError("swing must be positive")
+        return self.capacitance * swing ** 2
+
+    def vias_per_area(self, area: float) -> int:
+        """How many TSVs fit on ``area`` m^2 at this pitch.
+
+        The paper's bandwidth argument: TSVs "can be spread across the
+        chip", so the connection count scales with *area*, not
+        perimeter.
+        """
+        if area <= 0:
+            raise ConfigurationError("area must be positive")
+        return int(area / self.pitch ** 2)

@@ -1,0 +1,98 @@
+"""Process corners and temperature derating.
+
+The paper quotes worst-case figures ("worst case retention time in 6-sigma
+worst case monte-carlo"); corner support lets the benchmarks report the
+same corner the paper does and lets tests check corner ordering (SS slower
+than TT slower than FF, leakage highest at FF/hot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+from repro.errors import ConfigurationError
+from repro.tech.node import Polarity, TechnologyNode, TransistorParams
+
+
+class Corner(enum.Enum):
+    """Classical five process corners (NMOS letter first)."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+    FS = "fs"
+    SF = "sf"
+
+
+# vth shift (V) applied to (nmos, pmos) per corner.  Fast = lower vth.
+_VTH_SHIFT = {
+    Corner.TT: (0.0, 0.0),
+    Corner.FF: (-0.04, -0.04),
+    Corner.SS: (+0.04, +0.04),
+    Corner.FS: (-0.04, +0.04),
+    Corner.SF: (+0.04, -0.04),
+}
+
+_REFERENCE_TEMPERATURE = 300.0
+
+
+def _derate_params(params: TransistorParams, vth_shift: float,
+                   temperature: float) -> TransistorParams:
+    """Shift one transistor card to a corner + temperature."""
+    dt = temperature - _REFERENCE_TEMPERATURE
+    # Mobility degrades ~ (T/T0)^-1.5; vth drops ~ 1 mV/K with temperature.
+    mobility_factor = (temperature / _REFERENCE_TEMPERATURE) ** -1.5
+    vth = params.vth + vth_shift - 1e-3 * dt
+    if vth <= 0.05:
+        raise ConfigurationError(
+            f"corner/temperature pushed vth to {vth:.3f} V; model invalid"
+        )
+    # Subthreshold swing scales linearly with absolute temperature.
+    swing = params.subthreshold_swing * temperature / _REFERENCE_TEMPERATURE
+    # Leakage: the diffusion prefactor goes as T^2 and the vth shift acts
+    # through the (new) swing.
+    vth_delta = vth - params.vth
+    i_off = (params.i_off
+             * (temperature / _REFERENCE_TEMPERATURE) ** 2
+             * 10.0 ** (-vth_delta / swing))
+    return dataclasses.replace(
+        params,
+        vth=vth,
+        k_sat=params.k_sat * mobility_factor,
+        i_off=i_off,
+        subthreshold_swing=swing,
+    )
+
+
+def apply_corner(node: TechnologyNode, corner: Corner,
+                 temperature: float | None = None) -> TechnologyNode:
+    """Return ``node`` shifted to ``corner`` at ``temperature`` (kelvin).
+
+    >>> from repro.tech import TechnologyNode
+    >>> hot_ss = apply_corner(TechnologyNode.logic_90nm(), Corner.SS, 398.0)
+    >>> hot_ss.temperature
+    398.0
+    """
+    temperature = node.temperature if temperature is None else temperature
+    if temperature < 200 or temperature > 450:
+        raise ConfigurationError(
+            f"temperature {temperature} K outside the validated 200-450 K range"
+        )
+    nmos_shift, pmos_shift = _VTH_SHIFT[corner]
+    transistors = {}
+    for (polarity, flavor), params in node.transistors.items():
+        shift = nmos_shift if polarity is Polarity.NMOS else pmos_shift
+        transistors[(polarity, flavor)] = _derate_params(params, shift, temperature)
+    # Junction leakage roughly doubles every 10 K.
+    junction_scale = 2.0 ** ((temperature - node.temperature) / 10.0)
+    return dataclasses.replace(
+        node,
+        name=f"{node.name}-{corner.value}-{temperature:.0f}K",
+        temperature=temperature,
+        transistors=transistors,
+        junction_leak_per_width=node.junction_leak_per_width * junction_scale,
+        gate_leak_per_area=node.gate_leak_per_area
+        * math.exp(0.005 * (temperature - node.temperature)),
+    )

@@ -1,0 +1,278 @@
+"""Technology node description.
+
+The paper's scratch-pad memory is designed in a 90 nm *logic* process
+(1.2 V, CMOS gate capacitance cell).  The final architecture is then
+re-estimated in a 90 nm *DRAM* process, which differs in three ways the
+paper calls out explicitly:
+
+* the storage capacitor is a deep trench (30 fF instead of 11 fF),
+* the cell access transistor gate may be overdriven (1.7 V word line),
+  which logic reliability rules forbid,
+* the cell area is much smaller (0.3 um^2 instead of a gate-cap cell).
+
+Both processes are expressed here as :class:`TechnologyNode` instances
+sharing the same parameter schema, so the rest of the library can model
+either by swapping one object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import fF, nm, um, V
+
+BOLTZMANN_Q = 8.617333262e-5  # k/q in V/K
+
+
+class Polarity(enum.Enum):
+    """MOSFET polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+class VtFlavor(enum.Enum):
+    """Threshold-voltage flavour offered by the process.
+
+    The paper's local block (Fig. 4) mixes HVT devices (read buffer input,
+    cell access transistor: leakage-critical) with LVT devices
+    (speed-critical read buffer output stage).
+    """
+
+    LVT = "lvt"
+    SVT = "svt"
+    HVT = "hvt"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransistorParams:
+    """Per-(polarity, flavour) process constants of the analytic model.
+
+    Attributes
+    ----------
+    vth:
+        Saturation threshold voltage at nominal ``vds`` and temperature, V.
+    k_sat:
+        Alpha-power-law drive factor, A per metre of width at
+        ``(vgs - vth) = 1 V``.
+    alpha:
+        Velocity-saturation index of the alpha-power law (2.0 = long
+        channel, ~1.2-1.4 at 90 nm).
+    i_off:
+        Subthreshold leakage at ``vgs = 0, vds = vdd``, A per metre of
+        width, at the node's nominal temperature.
+    subthreshold_swing:
+        Subthreshold swing, V/decade.
+    dibl:
+        Drain-induced barrier lowering, V of vth shift per V of vds.
+    body_effect:
+        Linearised body-effect coefficient, V of vth shift per V of
+        source-body reverse bias.
+    """
+
+    vth: float
+    k_sat: float
+    alpha: float
+    i_off: float
+    subthreshold_swing: float
+    dibl: float
+    body_effect: float
+
+    def __post_init__(self) -> None:
+        if self.vth <= 0:
+            raise ConfigurationError(f"vth must be positive, got {self.vth}")
+        if self.k_sat <= 0:
+            raise ConfigurationError(f"k_sat must be positive, got {self.k_sat}")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise ConfigurationError(
+                f"alpha-power index must lie in [1, 2], got {self.alpha}"
+            )
+        if self.i_off < 0:
+            raise ConfigurationError(f"i_off must be non-negative, got {self.i_off}")
+        if self.subthreshold_swing < 0.059:
+            raise ConfigurationError(
+                "subthreshold swing below the 60 mV/dec room-temperature limit: "
+                f"{self.subthreshold_swing}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS (or DRAM) process node.
+
+    Instances are immutable; derived processes (corners, DRAM variant)
+    are created with :func:`dataclasses.replace` through the helpers in
+    :mod:`repro.tech.corners` and :meth:`dram_90nm`.
+    """
+
+    name: str
+    feature_size: float  # metres (drawn gate length)
+    vdd: float  # nominal core supply, V
+    vdd_max: float  # reliability-limited maximum gate voltage, V
+    temperature: float  # K
+    transistors: Dict[Tuple[Polarity, VtFlavor], TransistorParams]
+    # Capacitance constants
+    gate_cap_per_width: float  # F per metre of gate width (incl. overlap)
+    junction_cap_per_width: float  # F per metre of drain/source width
+    gate_leak_per_area: float  # A per m^2 of gate area
+    junction_leak_per_width: float  # A per metre of junction width
+    # Layout constants
+    min_width: float  # metres, the paper's "width unit" (120 nm at 90 nm node)
+    sram6t_cell_area: float  # m^2
+    dram_cell_area: float  # m^2 (only meaningful for DRAM-capable nodes)
+    allows_wordline_overdrive: bool
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.vdd_max < self.vdd:
+            raise ConfigurationError(
+                f"inconsistent supplies vdd={self.vdd} vdd_max={self.vdd_max}"
+            )
+        if self.temperature <= 0:
+            raise ConfigurationError("temperature must be in kelvin and positive")
+        if not self.transistors:
+            raise ConfigurationError("a node needs at least one transistor flavour")
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q at the node temperature, in volts."""
+        return BOLTZMANN_Q * self.temperature
+
+    def params(self, polarity: Polarity, flavor: VtFlavor) -> TransistorParams:
+        """Look up the transistor card for ``(polarity, flavor)``."""
+        try:
+            return self.transistors[(polarity, flavor)]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"{self.name} has no {polarity.value}/{flavor.value} device"
+            ) from exc
+
+    def width_units(self, units: float) -> float:
+        """Convert the paper's transistor-width units to metres.
+
+        The paper annotates Fig. 4 with widths "expressed in 120 nm
+        units"; ``width_units(6)`` returns the width of a 6-unit device.
+        """
+        if units <= 0:
+            raise ConfigurationError(f"width must be positive, got {units} units")
+        return units * self.min_width
+
+    # -- factory methods ---------------------------------------------------
+
+    @classmethod
+    def logic_90nm(cls, temperature: float = 300.0) -> "TechnologyNode":
+        """The 90 nm low-power logic process of the scratch-pad design.
+
+        Device constants are calibrated to public 90 nm LP figures:
+        NMOS SVT drive ~ 540 uA/um, Ioff ~ 1 nA/um, HVT Ioff well below
+        0.1 nA/um, PMOS drive ~ 45 % of NMOS.
+        """
+        nmos = {
+            VtFlavor.LVT: TransistorParams(
+                vth=0.22, k_sat=680e-6 / um, alpha=1.3, i_off=12e-9 / um,
+                subthreshold_swing=0.092, dibl=0.10, body_effect=0.18,
+            ),
+            VtFlavor.SVT: TransistorParams(
+                vth=0.32, k_sat=540e-6 / um, alpha=1.3, i_off=1e-9 / um,
+                subthreshold_swing=0.090, dibl=0.09, body_effect=0.20,
+            ),
+            VtFlavor.HVT: TransistorParams(
+                vth=0.45, k_sat=420e-6 / um, alpha=1.32, i_off=0.05e-9 / um,
+                subthreshold_swing=0.088, dibl=0.08, body_effect=0.22,
+            ),
+        }
+        pmos = {
+            flavor: dataclasses.replace(
+                params,
+                k_sat=params.k_sat * 0.45,
+                i_off=params.i_off * 0.6,
+            )
+            for flavor, params in nmos.items()
+        }
+        transistors = {(Polarity.NMOS, f): p for f, p in nmos.items()}
+        transistors.update({(Polarity.PMOS, f): p for f, p in pmos.items()})
+        return cls(
+            name="90nm-logic-LP",
+            feature_size=90 * nm,
+            vdd=1.2 * V,
+            vdd_max=1.32 * V,  # 1.2 V + 10 % reliability margin, no overdrive
+            temperature=temperature,
+            transistors=transistors,
+            gate_cap_per_width=1.45 * fF / um,
+            junction_cap_per_width=0.9 * fF / um,
+            gate_leak_per_area=0.5,  # A/m^2, 90 nm LP (thick-ish) gate oxide
+            junction_leak_per_width=5e-12 / um,
+            min_width=120 * nm,
+            sram6t_cell_area=1.0 * um * um,
+            dram_cell_area=0.3 * um * um,
+            allows_wordline_overdrive=False,
+        )
+
+    @classmethod
+    def dram_90nm(cls, temperature: float = 300.0) -> "TechnologyNode":
+        """The 90 nm DRAM process of the final estimate (paper Sec. III).
+
+        Compared to the logic process: word-line overdrive to 1.7 V is
+        allowed, the cell junction leakage is roughly an order of
+        magnitude lower (dedicated low-leakage array devices), and the
+        0.3 um^2 trench cell area applies.
+        """
+        logic = cls.logic_90nm(temperature=temperature)
+        transistors = dict(logic.transistors)
+        # DRAM array access device: HVT-like but with a longer channel and
+        # engineered junctions -> lower i_off, slightly lower drive.
+        for polarity in (Polarity.NMOS, Polarity.PMOS):
+            base = transistors[(polarity, VtFlavor.HVT)]
+            transistors[(polarity, VtFlavor.HVT)] = dataclasses.replace(
+                base,
+                i_off=base.i_off * 0.2,
+                k_sat=base.k_sat * 0.9,
+            )
+        return dataclasses.replace(
+            logic,
+            name="90nm-dram",
+            vdd_max=1.7 * V,  # overdriven word line
+            transistors=transistors,
+            junction_leak_per_width=logic.junction_leak_per_width * 0.1,
+            allows_wordline_overdrive=True,
+        )
+
+    def scaled(self, feature_size: float) -> "TechnologyNode":
+        """Crude constant-field scaling of this node to another feature size.
+
+        Used only for exploratory sweeps (how would the architecture look
+        at 65/45 nm); all paper results use the 90 nm cards unchanged.
+        """
+        if feature_size <= 0:
+            raise ConfigurationError("feature size must be positive")
+        ratio = feature_size / self.feature_size
+        if not 0.1 <= ratio <= 10.0:
+            raise ConfigurationError(
+                f"refusing to scale by more than 10x (ratio {ratio:.3g})"
+            )
+        transistors = {
+            key: dataclasses.replace(
+                params,
+                # Drive per width improves roughly as 1/sqrt(ratio);
+                # leakage grows quickly as the channel shortens.
+                k_sat=params.k_sat / math.sqrt(ratio),
+                i_off=params.i_off * ratio ** -2.0 if ratio >= 1 else
+                params.i_off * (1.0 / ratio) ** 2.0,
+            )
+            for key, params in self.transistors.items()
+        }
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}-scaled-{feature_size / nm:.0f}nm",
+            feature_size=feature_size,
+            transistors=transistors,
+            gate_cap_per_width=self.gate_cap_per_width,  # ~constant per width
+            min_width=self.min_width * ratio,
+            sram6t_cell_area=self.sram6t_cell_area * ratio ** 2,
+            dram_cell_area=self.dram_cell_area * ratio ** 2,
+        )

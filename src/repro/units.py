@@ -1,0 +1,155 @@
+"""Unit helpers and formatting for circuit-level quantities.
+
+All quantities inside :mod:`repro` are stored in base SI units (seconds,
+volts, amperes, farads, joules, watts, metres, square metres).  These
+helpers exist so that model code and tests can be written in the units the
+paper uses (nanoseconds, femtofarads, picojoules, square micrometres)
+without sprinkling powers of ten everywhere.
+
+Example
+-------
+>>> from repro.units import fF, ns, pJ
+>>> cell_cap = 11 * fF
+>>> access_time = 1.3 * ns
+>>> round(cell_cap / fF, 3)
+11.0
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Multipliers: write ``3 * ns`` to build a value, ``t / ns`` to read it back.
+# ---------------------------------------------------------------------------
+
+# Time
+s = 1.0
+ms = 1e-3
+us = 1e-6
+ns = 1e-9
+ps = 1e-12
+
+# Capacitance
+F = 1.0
+uF = 1e-6
+nF = 1e-9
+pF = 1e-12
+fF = 1e-15
+aF = 1e-18
+
+# Energy
+J = 1.0
+mJ = 1e-3
+uJ = 1e-6
+nJ = 1e-9
+pJ = 1e-12
+fJ = 1e-15
+
+# Power
+W = 1.0
+mW = 1e-3
+uW = 1e-6
+nW = 1e-9
+pW = 1e-12
+
+# Current
+A = 1.0
+mA = 1e-3
+uA = 1e-6
+nA = 1e-9
+pA = 1e-12
+fA = 1e-15
+
+# Voltage
+V = 1.0
+mV = 1e-3
+uV = 1e-6
+
+# Resistance
+ohm = 1.0
+kohm = 1e3
+Mohm = 1e6
+
+# Length
+m = 1.0
+mm = 1e-3
+um = 1e-6
+nm = 1e-9
+
+# Area
+m2 = 1.0
+mm2 = 1e-6
+um2 = 1e-12
+
+# Frequency
+Hz = 1.0
+kHz = 1e3
+MHz = 1e6
+GHz = 1e9
+
+# Bits / bytes (memory capacity)
+bit = 1
+kb = 1024
+Mb = 1024 * 1024
+
+_SI_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+    (1e12, "T"),
+]
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix.
+
+    >>> si_format(1.3e-9, 's')
+    '1.3 ns'
+    >>> si_format(0.0, 'F')
+    '0 F'
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    scale, prefix = _SI_PREFIXES[0]
+    for candidate_scale, candidate_prefix in _SI_PREFIXES:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+    scaled = value / scale
+    text = f"{scaled:.{digits}g}"
+    return f"{text} {prefix}{unit}".rstrip()
+
+
+def db(ratio: float) -> float:
+    """Power ratio expressed in decibels."""
+    if ratio <= 0:
+        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def parallel(*values: float) -> float:
+    """Combine resistances in parallel (or capacitances in series).
+
+    >>> parallel(2.0, 2.0)
+    1.0
+    """
+    if not values:
+        raise ValueError("parallel() needs at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("parallel() needs positive values")
+    return 1.0 / sum(1.0 / v for v in values)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp: low {low} > high {high}")
+    return max(low, min(high, value))

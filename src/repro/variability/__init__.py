@@ -1,0 +1,39 @@
+"""Monte-Carlo / variability substrate.
+
+The paper evaluates its cell retention with a "6 sigma worst case
+monte-carlo simulation"; intra-die variation is also the reason the
+underlying SRAM design [10] carries tunable sense amplifiers.  This
+package provides the statistical machinery:
+
+* :mod:`repro.variability.distributions` — seeded samplers,
+* :mod:`repro.variability.pelgrom` — area-scaled VT mismatch,
+* :mod:`repro.variability.montecarlo` — the MC engine and n-sigma
+  worst-case estimators,
+* :mod:`repro.variability.retention` — the DRAM-cell retention-time
+  distribution and its 6-sigma worst case.
+"""
+
+from repro.variability.distributions import GaussianSpec, LognormalSpec
+from repro.variability.pelgrom import PelgromModel, vth_sigma
+from repro.variability.montecarlo import (
+    MonteCarloResult,
+    run_monte_carlo,
+    worst_case_gaussian,
+    worst_case_lognormal,
+    empirical_quantile,
+)
+from repro.variability.retention import RetentionModel, RetentionStatistics
+
+__all__ = [
+    "GaussianSpec",
+    "LognormalSpec",
+    "PelgromModel",
+    "vth_sigma",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "worst_case_gaussian",
+    "worst_case_lognormal",
+    "empirical_quantile",
+    "RetentionModel",
+    "RetentionStatistics",
+]

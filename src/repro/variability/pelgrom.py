@@ -1,0 +1,64 @@
+"""Pelgrom-law transistor mismatch.
+
+Threshold-voltage mismatch between identically drawn devices scales as
+``sigma_VT = A_VT / sqrt(W * L)`` (Pelgrom).  A_VT at 90 nm is about
+3.5 mV.um for standard devices; DRAM array transistors are engineered
+for lower mismatch and use longer channels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tech.transistor import Mosfet
+from repro.units import mV, um
+from repro.variability.distributions import GaussianSpec
+
+DEFAULT_AVT_90NM = 3.5 * mV * um  # V * m
+
+
+def vth_sigma(device: Mosfet, avt: float = DEFAULT_AVT_90NM) -> float:
+    """Standard deviation of the VT mismatch of ``device``, volts."""
+    if avt <= 0:
+        raise ConfigurationError("A_VT must be positive")
+    gate_length = device.node.feature_size * device.length_factor
+    area = device.width * gate_length
+    return avt / math.sqrt(area)
+
+
+@dataclasses.dataclass(frozen=True)
+class PelgromModel:
+    """Mismatch model for a device population.
+
+    Attributes
+    ----------
+    avt:
+        Pelgrom VT coefficient, V*m.
+    abeta:
+        Relative current-factor mismatch coefficient, sqrt(m^2)
+        (fractional sigma = abeta / sqrt(W*L)).
+    """
+
+    avt: float = DEFAULT_AVT_90NM
+    abeta: float = 1.0e-2 * um  # ~1 % for a 1 um^2 device
+
+    def vth_spec(self, device: Mosfet) -> GaussianSpec:
+        """Zero-mean VT shift distribution for ``device``."""
+        return GaussianSpec(mean=0.0, sigma=vth_sigma(device, self.avt))
+
+    def beta_sigma(self, device: Mosfet) -> float:
+        """Fractional (relative) drive-factor mismatch sigma."""
+        gate_length = device.node.feature_size * device.length_factor
+        area = device.width * gate_length
+        return self.abeta / math.sqrt(area)
+
+    def sample_vth_shifts(self, device: Mosfet, rng: np.random.Generator,
+                          count: int) -> np.ndarray:
+        """Sample ``count`` VT shifts, volts."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        return self.vth_spec(device).sample(rng, count)

@@ -1,0 +1,191 @@
+"""DRAM cell retention-time statistics.
+
+A 1T1C cell loses its stored charge through (a) subthreshold leakage of
+the access transistor towards the standby-precharged bitline, (b)
+reverse-bias junction/GIDL leakage of the storage node, and (c) leakage
+through the capacitor dielectric itself (significant only for the
+scratch-pad CMOS gate capacitance).  Retention time is the time until
+the stored level has moved by more than the readable margin:
+
+    t_ret = C_cell * margin / I_leak
+
+Across a matrix, VT mismatch (Pelgrom) multiplies the subthreshold term
+exponentially and the junction term has a lognormal spread; the
+resulting retention distribution has the classic heavy low tail that
+forces the conservative 6-sigma worst case the paper quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tech.capacitor import StorageCapacitor
+from repro.tech.leakage import junction_leakage
+from repro.tech.node import TechnologyNode
+from repro.tech.transistor import Mosfet
+from repro.variability.distributions import LognormalSpec
+from repro.variability.montecarlo import (
+    MonteCarloResult,
+    run_monte_carlo,
+    worst_case_lognormal,
+)
+from repro.variability.pelgrom import PelgromModel
+
+
+@dataclasses.dataclass(frozen=True)
+class RetentionStatistics:
+    """Summary of a retention Monte-Carlo run (all times in seconds)."""
+
+    typical: float
+    mean: float
+    worst_case: float
+    n_sigma: float
+    sample_count: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.worst_case <= self.typical:
+            raise ConfigurationError(
+                "worst-case retention must be positive and <= typical"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class RetentionModel:
+    """Retention-time model of one cell design.
+
+    Parameters
+    ----------
+    node:
+        Technology node (supplies junction leakage constants).
+    capacitor:
+        The storage capacitor.
+    access_device:
+        The cell access transistor.
+    bitline_standby_voltage:
+        Voltage the (precharged) local bitline holds in standby; the
+        worst-leaking stored level faces the full difference to it.
+    readable_margin:
+        Allowed stored-level decay before a read fails, volts.
+    mismatch:
+        Pelgrom mismatch model for the access transistor.
+    junction_sigma_ln:
+        Lognormal spread (sigma of ln) of the junction leakage across
+        cells.  0.7-1.0 is typical of reported retention distributions.
+    """
+
+    node: TechnologyNode
+    capacitor: StorageCapacitor
+    access_device: Mosfet
+    bitline_standby_voltage: float = 1.0
+    readable_margin: float = 0.25
+    mismatch: PelgromModel = dataclasses.field(default_factory=PelgromModel)
+    junction_sigma_ln: float = 0.8
+    wordline_low_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.readable_margin <= 0:
+            raise ConfigurationError("readable margin must be positive")
+        if self.bitline_standby_voltage < 0:
+            raise ConfigurationError("bitline standby voltage must be >= 0")
+
+    # -- leakage components ------------------------------------------------
+
+    def subthreshold_leak(self, vth_shift: float = 0.0) -> float:
+        """Access-device subthreshold leakage for a stored '0', amperes.
+
+        A stored '0' (cell at ~0 V) under a precharged bitline sees
+        ``vgs = V_WL_low`` and ``vds = V_BL``; this is the worst level.
+        DRAM processes drive the idle word line *below* ground
+        (``wordline_low_voltage < 0``) to push this term down — a key
+        reason DRAM-technology retention beats the logic scratch-pad.
+        A VT shift multiplies the current exponentially through the swing.
+        """
+        base = self.access_device.drain_current(
+            vgs=self.wordline_low_voltage, vds=self.bitline_standby_voltage
+        )
+        swing = self.access_device.params.subthreshold_swing
+        return base * 10.0 ** (-vth_shift / swing)
+
+    def junction_leak(self) -> float:
+        """Median storage-node junction leakage, amperes."""
+        return junction_leakage(self.node, self.access_device.width)
+
+    def dielectric_leak(self) -> float:
+        """Capacitor dielectric leakage, amperes."""
+        return self.capacitor.dielectric_leakage
+
+    def nominal_leakage(self) -> float:
+        """Total median cell leakage, amperes."""
+        return self.subthreshold_leak() + self.junction_leak() + self.dielectric_leak()
+
+    # -- retention ------------------------------------------------------------
+
+    def nominal_retention(self) -> float:
+        """Median (typical-cell) retention time, seconds."""
+        return self.capacitor.capacitance * self.readable_margin / self.nominal_leakage()
+
+    def sample_retention(self, rng: np.random.Generator) -> float:
+        """Draw the retention time of one random cell, seconds."""
+        vth_shift = float(self.mismatch.vth_spec(self.access_device).sample(rng))
+        junction_spec = LognormalSpec(
+            median=self.junction_leak() if self.junction_leak() > 0 else 1e-30,
+            sigma_ln=self.junction_sigma_ln,
+        )
+        junction = float(junction_spec.sample(rng))
+        # Capacitance varies a few percent (trench depth / litho).
+        cap = self.capacitor.capacitance * float(rng.normal(1.0, 0.03))
+        cap = max(cap, 0.5 * self.capacitor.capacitance)
+        leak = self.subthreshold_leak(vth_shift) + junction + self.dielectric_leak()
+        return cap * self.readable_margin / leak
+
+    def sample_many(self, rng: np.random.Generator,
+                    count: int) -> np.ndarray:
+        """Vectorised draw of ``count`` cell retention times, seconds.
+
+        Identical distribution to :meth:`sample_retention` but one
+        array-sized draw per mechanism — the fast path for matrix-scale
+        populations (the binned-refresh planner samples every cell of
+        the array).
+        """
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        sigma = self.mismatch.vth_spec(self.access_device).sigma
+        vth_shifts = rng.normal(0.0, sigma, size=count)
+        swing = self.access_device.params.subthreshold_swing
+        sub = self.subthreshold_leak() * 10.0 ** (-vth_shifts / swing)
+        junction_median = max(self.junction_leak(), 1e-30)
+        junction = rng.lognormal(math.log(junction_median),
+                                 self.junction_sigma_ln, size=count)
+        caps = self.capacitor.capacitance * rng.normal(1.0, 0.03,
+                                                       size=count)
+        caps = np.maximum(caps, 0.5 * self.capacitor.capacitance)
+        leak = sub + junction + self.dielectric_leak()
+        return caps * self.readable_margin / leak
+
+    def monte_carlo(self, count: int = 2000,
+                    seed: Optional[int] = 0) -> MonteCarloResult:
+        """Run a retention Monte-Carlo over ``count`` cells."""
+        return run_monte_carlo(self.sample_retention, count=count, seed=seed)
+
+    def statistics(self, count: int = 2000, n_sigma: float = 6.0,
+                   seed: Optional[int] = 0) -> RetentionStatistics:
+        """Retention summary with the paper's n-sigma worst case.
+
+        The worst case extrapolates the lognormal fit of the sampled
+        retention distribution down to ``n_sigma`` — matching the
+        paper's "6 sigma worst case monte-carlo" methodology.
+        """
+        result = self.monte_carlo(count=count, seed=seed)
+        worst = worst_case_lognormal(result, n_sigma=n_sigma, tail="low")
+        return RetentionStatistics(
+            typical=result.median,
+            mean=result.mean,
+            worst_case=worst,
+            n_sigma=n_sigma,
+            sample_count=count,
+        )

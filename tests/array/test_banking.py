@@ -1,0 +1,69 @@
+"""Tests for multi-bank composition."""
+
+import pytest
+
+from repro.array import BankedMemory, compare_banking_options
+from repro.core import FastDramDesign
+from repro.errors import ConfigurationError
+from repro.units import Mb, kb
+
+
+@pytest.fixture(scope="module")
+def options():
+    return compare_banking_options(FastDramDesign(), 2 * Mb,
+                                   bank_counts=(1, 2, 4))
+
+
+class TestComposition:
+    def test_capacity_preserved(self, options):
+        for memory in options.values():
+            assert memory.total_bits == 2 * Mb
+
+    def test_single_bank_is_the_macro(self, options):
+        mono = options[1]
+        assert mono.fabric_delay() == 0.0
+        assert mono.fabric_energy() == 0.0
+        assert mono.access_time() == pytest.approx(
+            mono.bank.access_time())
+
+    def test_banked_access_can_beat_monolithic(self, options):
+        """Smaller banks are faster; the fabric must not eat the gain
+        entirely at this size."""
+        assert options[4].bank.access_time() < options[1].bank.access_time()
+
+    def test_fabric_energy_grows_with_banks(self, options):
+        assert options[4].fabric_energy() > options[2].fabric_energy() > 0
+
+    def test_static_power_scales_with_banks(self, options):
+        """Every bank leaks/refreshes regardless of selection, and N
+        banks of size C/N cost about the same as one of size C."""
+        assert options[2].static_power() == pytest.approx(
+            options[1].static_power(), rel=0.05)
+
+    def test_area_overhead_of_banking(self, options):
+        assert options[4].area() > options[1].area()
+
+    def test_summary_keys(self, options):
+        summary = options[2].summary()
+        assert summary["n_banks"] == 2.0
+        assert summary["total_bits"] == float(2 * Mb)
+
+
+class TestValidation:
+    def test_power_of_two_enforced(self, options):
+        with pytest.raises(ConfigurationError):
+            BankedMemory(bank=options[1].bank, n_banks=3)
+
+    def test_at_least_one_bank(self, options):
+        with pytest.raises(ConfigurationError):
+            BankedMemory(bank=options[1].bank, n_banks=0)
+
+    def test_indivisible_counts_skipped(self):
+        options = compare_banking_options(FastDramDesign(), 128 * kb,
+                                          bank_counts=(1, 2, 4))
+        assert set(options) == {1, 2, 4}
+
+    def test_no_option_raises(self):
+        with pytest.raises(ConfigurationError):
+            compare_banking_options(FastDramDesign(), 2 * Mb,
+                                    bank_counts=())

@@ -1,0 +1,73 @@
+"""Tests for the logical-effort decoder model."""
+
+import pytest
+
+from repro.array import DecoderModel
+from repro.errors import ConfigurationError
+from repro.units import fF, ns, pJ
+
+
+class TestDelay:
+    def test_subnanosecond_for_memory_decoders(self, logic_node):
+        decoder = DecoderModel(logic_node, n_address_bits=12,
+                               load_cap=100 * fF)
+        assert 0 < decoder.delay() < 1 * ns
+
+    def test_more_bits_slower(self, logic_node):
+        small = DecoderModel(logic_node, n_address_bits=6, load_cap=50 * fF)
+        large = DecoderModel(logic_node, n_address_bits=16, load_cap=50 * fF)
+        assert large.delay() > small.delay()
+
+    def test_heavier_load_slower(self, logic_node):
+        light = DecoderModel(logic_node, n_address_bits=10, load_cap=20 * fF)
+        heavy = DecoderModel(logic_node, n_address_bits=10, load_cap=500 * fF)
+        assert heavy.delay() > light.delay()
+
+    def test_stage_count_grows_with_effort(self, logic_node):
+        small = DecoderModel(logic_node, n_address_bits=4, load_cap=10 * fF)
+        large = DecoderModel(logic_node, n_address_bits=16,
+                             load_cap=1000 * fF)
+        assert large.stage_count() > small.stage_count()
+
+    def test_at_least_two_stages(self, logic_node):
+        tiny = DecoderModel(logic_node, n_address_bits=1, load_cap=1 * fF)
+        assert tiny.stage_count() >= 2
+
+    def test_fo1_delay_band(self, logic_node):
+        decoder = DecoderModel(logic_node, n_address_bits=8, load_cap=50 * fF)
+        assert 1e-12 < decoder.fo1_delay < 20e-12
+
+
+class TestEnergy:
+    def test_energy_scales_with_load(self, logic_node):
+        light = DecoderModel(logic_node, n_address_bits=10, load_cap=20 * fF)
+        heavy = DecoderModel(logic_node, n_address_bits=10, load_cap=200 * fF)
+        assert heavy.energy() > light.energy()
+
+    def test_energy_subpicojoule_band(self, logic_node):
+        decoder = DecoderModel(logic_node, n_address_bits=12,
+                               load_cap=100 * fF)
+        assert 0.05 * pJ < decoder.energy() < 2 * pJ
+
+    def test_custom_activity_cap(self, logic_node):
+        explicit = DecoderModel(logic_node, n_address_bits=10,
+                                load_cap=100 * fF, activity_cap=0.0)
+        default = DecoderModel(logic_node, n_address_bits=10,
+                               load_cap=100 * fF)
+        assert explicit.energy() < default.energy()
+
+    def test_energy_quadratic_in_voltage(self, logic_node):
+        decoder = DecoderModel(logic_node, n_address_bits=10,
+                               load_cap=100 * fF)
+        assert decoder.energy(1.2) == pytest.approx(
+            4 * decoder.energy(0.6))
+
+
+class TestValidation:
+    def test_rejects_zero_bits(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            DecoderModel(logic_node, n_address_bits=0, load_cap=1 * fF)
+
+    def test_rejects_zero_load(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            DecoderModel(logic_node, n_address_bits=4, load_cap=0.0)

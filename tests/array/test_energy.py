@@ -1,0 +1,126 @@
+"""Tests for the per-access energy model (paper Fig. 7b / Fig. 8)."""
+
+import pytest
+
+from repro.units import pJ
+
+
+class TestBreakdown:
+    def test_total_is_sum(self, dram_macro_128kb):
+        access = dram_macro_128kb.read_energy()
+        assert access.total == pytest.approx(sum(access.breakdown().values()))
+
+    def test_all_components_positive(self, dram_macro_128kb):
+        for name, value in dram_macro_128kb.read_energy().breakdown().items():
+            assert value > 0, name
+
+    def test_per_bit_headline(self, dram_macro_128kb):
+        """Paper abstract: 'dynamic energy of less than 0.2 pJ per bit'."""
+        assert dram_macro_128kb.energy_per_bit(write=False) < 0.2 * pJ
+        assert dram_macro_128kb.energy_per_bit(write=True) < 0.2 * pJ
+
+    def test_per_bit_rejects_zero_word(self, dram_macro_128kb):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            dram_macro_128kb.read_energy().per_bit(0)
+
+
+class TestFig8Anchors:
+    """The Fig. 8 bars, asserted as +-50 % bands around the paper values."""
+
+    def test_read_decoder(self, dram_macro_128kb):
+        assert 0.5 * pJ < dram_macro_128kb.read_energy().decode < 1.5 * pJ
+
+    def test_read_cell(self, dram_macro_128kb):
+        assert 0.25 * pJ < dram_macro_128kb.read_energy().cell < 0.75 * pJ
+
+    def test_read_localblock(self, dram_macro_128kb):
+        assert 0.55 * pJ < dram_macro_128kb.read_energy().localblock < 1.65 * pJ
+
+    def test_read_global_sa(self, dram_macro_128kb):
+        assert 0.28 * pJ < dram_macro_128kb.read_energy().global_path < 0.84 * pJ
+
+    def test_write_decoder_exceeds_read(self, dram_macro_128kb):
+        """Fig. 8: write 'decoder' bar (1.6 pJ) above the read bar
+        (1.0 pJ) — the write datapath is folded in."""
+        read = dram_macro_128kb.read_energy().decode
+        write = dram_macro_128kb.write_energy().decode
+        assert 1.3 < write / read < 3.0
+
+    def test_write_cell_exceeds_read(self, dram_macro_128kb):
+        """Fig. 8: 0.62 pJ vs 0.5 pJ."""
+        read = dram_macro_128kb.read_energy().cell
+        write = dram_macro_128kb.write_energy().cell
+        assert 1.05 < write / read < 1.5
+
+
+class TestArchitecturalClaims:
+    def test_read_similar_to_sram(self, dram_macro_128kb, sram_macro_128kb):
+        """Paper Sec. IV: 'a similar read active power for the two
+        matrices'."""
+        ratio = (dram_macro_128kb.read_energy().total
+                 / sram_macro_128kb.read_energy().total)
+        assert 0.7 < ratio < 1.4
+
+    def test_write_wins_at_2mb(self, dram_macro_2mb, sram_macro_2mb):
+        """Paper Sec. IV: 'a significant improvement for the write energy
+        of a large matrix'."""
+        ratio = (sram_macro_2mb.write_energy().total
+                 / dram_macro_2mb.write_energy().total)
+        assert ratio > 1.5
+
+    def test_dram_cell_energy_higher_than_sram(self, dram_macro_128kb,
+                                               sram_macro_128kb):
+        """The DRAM pays the 1.7 V word line + restore; the SRAM cell
+        bar is just its 1.2 V word line."""
+        assert (dram_macro_128kb.read_energy().cell
+                > 3 * sram_macro_128kb.read_energy().cell)
+
+    def test_low_swing_gbl_cheap(self, dram_macro_128kb):
+        """The GBL contribution must be far below a full-swing bus."""
+        org = dram_macro_128kb.organization
+        full_swing = (org.word_bits * org.gbl_capacitance()
+                      * org.node.vdd ** 2)
+        global_path = dram_macro_128kb.read_energy().global_path
+        assert global_path < full_swing
+
+    def test_doubling_cells_per_lbl_marginal(self):
+        """Paper Sec. IV: 'doubling the number of cells per LBL has a
+        marginal impact on the power consumption'."""
+        from repro.core import FastDramDesign
+        from repro.units import kb
+        e16 = FastDramDesign(cells_per_lbl=16).build(
+            128 * kb, retention_override=1e-3).read_energy().total
+        e32 = FastDramDesign(cells_per_lbl=32).build(
+            128 * kb, retention_override=1e-3).read_energy().total
+        assert abs(e32 - e16) / e16 < 0.15
+
+
+class TestSizeScaling:
+    def test_energy_grows_with_size(self, dram_macro_128kb, dram_macro_2mb):
+        assert (dram_macro_2mb.read_energy().total
+                > dram_macro_128kb.read_energy().total)
+
+    def test_localblock_energy_size_independent(self, dram_macro_128kb,
+                                                dram_macro_2mb):
+        """Only one local block fires regardless of matrix size."""
+        small = dram_macro_128kb.read_energy().localblock
+        big = dram_macro_2mb.read_energy().localblock
+        assert big == pytest.approx(small, rel=0.01)
+
+
+class TestRefreshEnergy:
+    def test_refresh_cheaper_than_read(self, dram_macro_128kb):
+        """The localized refresh skips decode, GBL, global SA and IO."""
+        refresh = dram_macro_128kb.energy_model.refresh_row_energy()
+        read = dram_macro_128kb.read_energy().total
+        assert refresh < 0.7 * read
+
+    def test_refresh_is_cell_plus_localblock(self, dram_macro_128kb):
+        model = dram_macro_128kb.energy_model
+        expected = (model.cell_energy(write=False)
+                    + model.localblock_energy(write=False))
+        assert model.refresh_row_energy() == pytest.approx(expected)
+
+    def test_sram_has_no_refresh(self, sram_macro_128kb):
+        assert sram_macro_128kb.energy_model.refresh_row_energy() == 0.0

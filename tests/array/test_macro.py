@@ -1,0 +1,46 @@
+"""Tests for the assembled macro design."""
+
+import pytest
+
+
+class TestSummary:
+    def test_summary_keys(self, dram_macro_128kb):
+        summary = dram_macro_128kb.summary()
+        for key in ("access_time_s", "read_energy_j", "write_energy_j",
+                    "area_m2", "static_power_w", "read_energy_per_bit_j"):
+            assert key in summary
+            assert summary[key] > 0
+
+    def test_summary_consistent_with_models(self, dram_macro_128kb):
+        summary = dram_macro_128kb.summary()
+        assert summary["access_time_s"] == pytest.approx(
+            dram_macro_128kb.access_time())
+        assert summary["read_energy_j"] == pytest.approx(
+            dram_macro_128kb.read_energy().total)
+
+    def test_describe_mentions_mechanism(self, dram_macro_128kb,
+                                         sram_macro_128kb):
+        assert "refresh" in dram_macro_128kb.describe()
+        assert "leakage" in sram_macro_128kb.describe()
+
+    def test_describe_reports_retention(self, dram_macro_128kb):
+        assert "retention used" in dram_macro_128kb.describe()
+
+    def test_per_bit_consistency(self, dram_macro_128kb):
+        per_bit = dram_macro_128kb.energy_per_bit()
+        word = dram_macro_128kb.organization.word_bits
+        assert per_bit * word == pytest.approx(
+            dram_macro_128kb.read_energy().total)
+
+
+class TestModelFactories:
+    def test_models_share_organization(self, dram_macro_128kb):
+        macro = dram_macro_128kb
+        assert macro.timing_model.organization is macro.organization
+        assert macro.energy_model.organization is macro.organization
+        assert macro.floorplan.organization is macro.organization
+
+    def test_retention_override_respected(self, dram_macro_128kb):
+        from tests.conftest import RETENTION_FOR_TESTS
+        model = dram_macro_128kb.static_power_model
+        assert model.resolved_retention() == RETENTION_FOR_TESTS

@@ -1,0 +1,91 @@
+"""Tests for the sensing-aware read-margin analysis."""
+
+import pytest
+
+from repro.array import ReadMarginAnalysis
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def analysis(dram_macro_128kb):
+    return ReadMarginAnalysis(
+        organization=dram_macro_128kb.organization,
+        local_sa=dram_macro_128kb.local_sa,
+        retention=dram_macro_128kb.cell_design.retention_model(),
+        samples=2000,
+    )
+
+
+class TestMarginDecay:
+    def test_fresh_read_has_margin(self, analysis):
+        point = analysis.evaluate(1e-6)
+        assert point.mean_margin > 0.1
+        assert point.failure_fraction == 0.0
+
+    def test_margin_decays_with_interval(self, analysis):
+        points = analysis.sweep((1e-4, 1e-3, 1e-2, 1e-1))
+        means = [p.mean_margin for p in points]
+        assert means == sorted(means, reverse=True)
+
+    def test_failures_grow_with_interval(self, analysis):
+        points = analysis.sweep((1e-3, 3e-2, 3e-1))
+        failures = [p.failure_fraction for p in points]
+        assert failures == sorted(failures)
+        assert failures[-1] > 0.1
+
+    def test_worst_below_mean(self, analysis):
+        point = analysis.evaluate(5e-3)
+        assert point.worst_margin < point.mean_margin
+
+
+class TestYieldInterval:
+    def test_bisection_finds_threshold(self, analysis):
+        interval = analysis.max_interval_at_yield(target_failure=1e-3)
+        at = analysis.evaluate(interval).failure_fraction
+        beyond = analysis.evaluate(interval * 2).failure_fraction
+        assert at <= 1e-3
+        assert beyond > at
+
+    def test_sensing_criterion_less_conservative(self, analysis,
+                                                 dram_macro_128kb):
+        """The paper's per-cell retention criterion (worst cell loses its
+        margin) is stricter than the sensing criterion at a realistic
+        yield target — quantifying the paper's own 'very conservative'
+        remark."""
+        sensing = analysis.max_interval_at_yield(target_failure=1e-3)
+        cell_worst = dram_macro_128kb.retention_statistics(
+            count=800).worst_case
+        assert sensing > 2 * cell_worst
+
+    def test_stricter_yield_shorter_interval(self, analysis):
+        loose = analysis.max_interval_at_yield(target_failure=1e-2)
+        tight = analysis.max_interval_at_yield(target_failure=1e-4)
+        assert tight < loose
+
+    def test_target_validated(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.max_interval_at_yield(target_failure=1.5)
+
+
+class TestValidation:
+    def test_static_cell_rejected(self, sram_macro_128kb,
+                                  dram_macro_128kb):
+        with pytest.raises(ConfigurationError):
+            ReadMarginAnalysis(
+                organization=sram_macro_128kb.organization,
+                local_sa=sram_macro_128kb.local_sa,
+                retention=dram_macro_128kb.cell_design.retention_model(),
+            )
+
+    def test_interval_validated(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.evaluate(0.0)
+
+    def test_sample_floor(self, dram_macro_128kb):
+        with pytest.raises(ConfigurationError):
+            ReadMarginAnalysis(
+                organization=dram_macro_128kb.organization,
+                local_sa=dram_macro_128kb.local_sa,
+                retention=dram_macro_128kb.cell_design.retention_model(),
+                samples=10,
+            )

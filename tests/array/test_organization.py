@@ -1,0 +1,126 @@
+"""Tests for the hierarchical array organization."""
+
+import dataclasses
+
+import pytest
+
+from repro.array import ArrayOrganization
+from repro.errors import ConfigurationError
+from repro.units import kb, Mb
+
+
+@pytest.fixture(scope="module")
+def dram_org(dram_node, trench_cell):
+    return ArrayOrganization(node=dram_node, cell=trench_cell.spec(),
+                             total_bits=128 * kb, cells_per_lbl=32,
+                             cell_aspect_ratio=1.0)
+
+
+@pytest.fixture(scope="module")
+def sram_org(logic_node, sram_cell):
+    return ArrayOrganization(node=logic_node, cell=sram_cell.spec(),
+                             total_bits=128 * kb, cells_per_lbl=16,
+                             cell_aspect_ratio=2.0)
+
+
+class TestLogicalStructure:
+    def test_paper_block_count(self, dram_org):
+        """128 kb at 32 cells/LBL and 32-bit words = 128 local blocks —
+        the 'mono vs 128 localblocks' of paper Fig. 5."""
+        assert dram_org.n_localblocks == 128
+
+    def test_one_lwl_per_word(self, dram_org):
+        assert dram_org.n_words == 4096
+        assert dram_org.bits_per_localblock == 32 * 32
+
+    def test_blocks_arranged_exactly(self, dram_org):
+        assert (dram_org.n_block_rows * dram_org.n_block_columns
+                == dram_org.n_localblocks)
+
+    def test_indivisible_capacity_rejected(self, dram_node, trench_cell):
+        with pytest.raises(ConfigurationError):
+            ArrayOrganization(node=dram_node, cell=trench_cell.spec(),
+                              total_bits=100000, cells_per_lbl=32)
+
+    def test_bad_block_columns_rejected(self, dram_org):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(dram_org, block_columns=7)
+
+
+class TestGeometry:
+    def test_cell_dims_consistent(self, dram_org):
+        assert (dram_org.cell_width * dram_org.cell_height
+                == pytest.approx(dram_org.cell.area))
+
+    def test_near_square_floorplan(self, dram_org):
+        ratio = dram_org.matrix_width / dram_org.matrix_height
+        assert 0.3 < ratio < 3.0
+
+    def test_block_height_includes_sa_strip(self, dram_org):
+        cells_only = dram_org.cells_per_lbl * dram_org.cell_height
+        assert dram_org.block_height > cells_only
+
+    def test_dynamic_strip_taller_than_static(self, dram_org, sram_org):
+        """Paper Fig. 4: the DRAM local block carries the write-after-read
+        loop on top of the SRAM local SA."""
+        assert (dram_org.local_sa_strip_height
+                > sram_org.local_sa_strip_height)
+
+    def test_dram_matrix_denser(self, dram_org, sram_org):
+        dram_area = dram_org.matrix_width * dram_org.matrix_height
+        sram_area = sram_org.matrix_width * sram_org.matrix_height
+        assert dram_area < 0.6 * sram_area
+
+
+class TestElectricalLoads:
+    def test_lbl_cap_small(self, dram_org):
+        """The very short LBL: ~10 fF for 32 cells."""
+        assert 3e-15 < dram_org.lbl_capacitance() < 30e-15
+
+    def test_lbl_cap_grows_with_cells(self, dram_org):
+        longer = dataclasses.replace(dram_org, cells_per_lbl=64,
+                                     block_columns=None)
+        assert longer.lbl_capacitance() > dram_org.lbl_capacitance()
+
+    def test_gbl_longer_than_lbl(self, dram_org):
+        assert (dram_org.global_bitline().length
+                > 5 * dram_org.local_bitline().length)
+
+    def test_read_signal_large_for_short_lbl(self, dram_org):
+        """30 fF cell vs ~10 fF LBL: most of the precharge appears."""
+        assert dram_org.read_signal() > 0.5
+
+    def test_sram_read_signal_fixed(self, sram_org):
+        assert sram_org.read_signal() == pytest.approx(0.15)
+
+
+class TestScaling:
+    def test_2mb_geometry_grows(self, dram_org):
+        big = dataclasses.replace(dram_org, total_bits=2 * Mb,
+                                  block_columns=None)
+        assert big.n_localblocks == 16 * dram_org.n_localblocks
+        assert (big.matrix_width * big.matrix_height
+                > 10 * dram_org.matrix_width * dram_org.matrix_height)
+
+    def test_gbl_cap_grows_with_size(self, dram_org):
+        big = dataclasses.replace(dram_org, total_bits=2 * Mb,
+                                  block_columns=None)
+        assert big.gbl_capacitance() > 2 * dram_org.gbl_capacitance()
+
+    def test_lbl_cap_size_independent(self, dram_org):
+        big = dataclasses.replace(dram_org, total_bits=2 * Mb,
+                                  block_columns=None)
+        assert big.lbl_capacitance() == pytest.approx(
+            dram_org.lbl_capacitance())
+
+
+class TestWithCell:
+    def test_swap_cell(self, dram_org, sram_cell):
+        swapped = dram_org.with_cell(sram_cell.spec(), cells_per_lbl=16)
+        assert swapped.cell.name.startswith("sram6t")
+        assert swapped.cells_per_lbl == 16
+        assert swapped.total_bits == dram_org.total_bits
+
+    def test_describe_mentions_blocks(self, dram_org):
+        text = dram_org.describe()
+        assert "128 localblocks" in text

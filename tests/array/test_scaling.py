@@ -1,0 +1,37 @@
+"""Tests for size scaling helpers."""
+
+import pytest
+
+from repro.array import scale_organization
+from repro.array.scaling import global_wire_penalty, standard_sizes
+from repro.errors import ConfigurationError
+from repro.units import kb, Mb
+
+
+class TestScaleOrganization:
+    def test_keeps_cell_and_structure(self, dram_macro_128kb):
+        org = dram_macro_128kb.organization
+        big = scale_organization(org, 2 * Mb)
+        assert big.total_bits == 2 * Mb
+        assert big.cell == org.cell
+        assert big.cells_per_lbl == org.cells_per_lbl
+
+    def test_rejects_nonpositive(self, dram_macro_128kb):
+        with pytest.raises(ConfigurationError):
+            scale_organization(dram_macro_128kb.organization, 0)
+
+    def test_standard_sizes_span_paper(self):
+        sizes = standard_sizes()
+        assert sizes[0] == 128 * kb
+        assert sizes[-1] == 2 * Mb
+        assert sizes == sorted(sizes)
+
+
+class TestWirePenalty:
+    def test_nonnegative(self, dram_macro_128kb):
+        assert global_wire_penalty(dram_macro_128kb.organization) >= 0.0
+
+    def test_grows_with_size(self, dram_macro_128kb, dram_macro_2mb):
+        small = global_wire_penalty(dram_macro_128kb.organization)
+        big = global_wire_penalty(dram_macro_2mb.organization)
+        assert big >= small

@@ -1,0 +1,79 @@
+"""Tests for the sense-amplifier model."""
+
+import dataclasses
+
+import pytest
+
+from repro.array import SenseAmplifier
+from repro.errors import ConfigurationError
+from repro.units import fF, mV, ps
+
+
+@pytest.fixture(scope="module")
+def sa(logic_node):
+    return SenseAmplifier(logic_node)
+
+
+class TestOffset:
+    def test_raw_offset_band(self, sa):
+        """A ~0.5 um input pair at 90 nm: offset sigma in the tens of mV."""
+        assert 5 * mV < sa.raw_offset_sigma() < 50 * mV
+
+    def test_tuning_reduces_offset(self, sa):
+        untuned = dataclasses.replace(sa, tunable=False)
+        assert sa.effective_offset_sigma() < untuned.effective_offset_sigma()
+
+    def test_required_signal_is_margin_sigma(self, sa):
+        assert sa.required_input_signal() == pytest.approx(
+            sa.margin_sigma * sa.effective_offset_sigma())
+
+    def test_bigger_devices_less_offset(self, logic_node):
+        small = SenseAmplifier(logic_node, input_units=2.0)
+        large = SenseAmplifier(logic_node, input_units=8.0)
+        assert large.raw_offset_sigma() < small.raw_offset_sigma()
+
+
+class TestDynamics:
+    def test_regeneration_tau_band(self, sa):
+        assert 1 * ps < sa.regeneration_tau() < 100 * ps
+
+    def test_sense_delay_logarithmic(self, sa):
+        """Halving the input adds exactly tau*ln2."""
+        d1 = sa.sense_delay(0.1)
+        d2 = sa.sense_delay(0.05)
+        import math
+        assert d2 - d1 == pytest.approx(sa.regeneration_tau() * math.log(2),
+                                        rel=1e-6)
+
+    def test_large_input_zero_delay(self, sa):
+        assert sa.sense_delay(1.0, output_level=0.5) == 0.0
+
+    def test_rejects_nonpositive_input(self, sa):
+        with pytest.raises(ConfigurationError):
+            sa.sense_delay(0.0)
+
+    def test_bigger_cap_slower(self, logic_node):
+        fast = SenseAmplifier(logic_node, internal_cap=2 * fF)
+        slow = SenseAmplifier(logic_node, internal_cap=16 * fF)
+        assert slow.regeneration_tau() > fast.regeneration_tau()
+
+
+class TestEnergy:
+    def test_energy_cv2_scale(self, sa):
+        base = sa.internal_cap * sa.supply ** 2
+        assert sa.energy_per_operation() == pytest.approx(1.15 * base)
+
+    def test_tuning_costs_energy(self, logic_node):
+        tuned = SenseAmplifier(logic_node, tunable=True)
+        plain = SenseAmplifier(logic_node, tunable=False)
+        assert tuned.energy_per_operation() > plain.energy_per_operation()
+
+
+class TestValidation:
+    def test_rejects_bad_tuning_factor(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            SenseAmplifier(logic_node, tuning_factor=0.0)
+
+    def test_rejects_bad_margin(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            SenseAmplifier(logic_node, margin_sigma=-1.0)

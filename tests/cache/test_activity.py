@@ -1,0 +1,76 @@
+"""Tests for the activity-to-power model (paper Fig. 9)."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import ActivityPowerModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dram_power(dram_macro_128kb):
+    return ActivityPowerModel(macro=dram_macro_128kb)
+
+
+@pytest.fixture(scope="module")
+def sram_power(sram_macro_128kb):
+    return ActivityPowerModel(macro=sram_macro_128kb)
+
+
+class TestCurveShape:
+    def test_power_monotone_in_activity(self, dram_power):
+        curve = dram_power.curve([0.0, 0.25, 0.5, 0.75, 1.0])
+        totals = [p.total for p in curve]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_zero_activity_is_static_floor(self, dram_power,
+                                           dram_macro_128kb):
+        point = dram_power.power_at(0.0)
+        assert point.dynamic_power == 0.0
+        assert point.total == pytest.approx(
+            dram_macro_128kb.static_power().power)
+
+    def test_mix_weights_energies(self, dram_macro_128kb):
+        read_only = ActivityPowerModel(macro=dram_macro_128kb,
+                                       read_fraction=1.0)
+        write_only = ActivityPowerModel(macro=dram_macro_128kb,
+                                        read_fraction=0.0)
+        assert (read_only.average_access_energy()
+                < write_only.average_access_energy())
+
+
+class TestFig9Claim:
+    def test_dram_wins_at_low_activity(self, dram_power, sram_power):
+        """Paper: 'an overall power consumption improvement, especially
+        for large arrays with low activity'."""
+        ratio = (sram_power.power_at(0.001).total
+                 / dram_power.power_at(0.001).total)
+        assert ratio > 3.0
+
+    def test_gap_narrows_at_high_activity(self, dram_power, sram_power):
+        low = (sram_power.power_at(0.001).total
+               / dram_power.power_at(0.001).total)
+        high = (sram_power.power_at(1.0).total
+                / dram_power.power_at(1.0).total)
+        assert high < 0.5 * low
+
+    def test_static_dominated_threshold(self, dram_power, sram_power):
+        """The SRAM's leakage floor dominates up to a much higher
+        activity than the DRAM's refresh floor."""
+        assert (sram_power.static_dominated_below()
+                > 3 * dram_power.static_dominated_below())
+
+
+class TestValidation:
+    def test_activity_bounds(self, dram_power):
+        with pytest.raises(ConfigurationError):
+            dram_power.power_at(1.5)
+
+    def test_clock_validated(self, dram_macro_128kb):
+        with pytest.raises(ConfigurationError):
+            ActivityPowerModel(macro=dram_macro_128kb, clock_frequency=0.0)
+
+    def test_read_fraction_validated(self, dram_macro_128kb):
+        with pytest.raises(ConfigurationError):
+            ActivityPowerModel(macro=dram_macro_128kb, read_fraction=-0.1)

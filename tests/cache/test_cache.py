@@ -1,0 +1,104 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache import Cache
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        assert not cache.access(100).hit
+        assert cache.access(100).hit
+
+    def test_line_granularity(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        cache.access(64)
+        # Same 8-word line: hit; next line: miss.
+        assert cache.access(71).hit
+        assert not cache.access(72).hit
+
+    def test_stats_counting(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        cache.access(0)
+        cache.access(0)
+        cache.access(8, write=True)
+        assert cache.stats.reads == 2
+        assert cache.stats.writes == 1
+        assert cache.stats.read_hits == 1
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_geometry(self):
+        cache = Cache(capacity_words=1024, ways=4, line_words=8)
+        assert cache.n_sets == 32
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        cache = Cache(capacity_words=16, ways=2, line_words=8)
+        # One set (16 / (2*8) = 1), two ways of 8-word lines.
+        cache.access(0)    # line A
+        cache.access(8)    # line B
+        cache.access(0)    # touch A: B becomes LRU
+        cache.access(16)   # line C evicts B
+        assert cache.access(0).hit          # A still resident
+        assert not cache.access(8).hit      # B was evicted
+
+    def test_dirty_eviction_reports_victim(self):
+        cache = Cache(capacity_words=16, ways=2, line_words=8)
+        cache.access(0, write=True)
+        cache.access(8)
+        result = cache.access(16)  # evicts dirty line 0
+        assert result.evicted_dirty_line == 0
+        assert cache.stats.dirty_evictions == 1
+
+    def test_clean_eviction_reports_nothing(self):
+        cache = Cache(capacity_words=16, ways=2, line_words=8)
+        cache.access(0)
+        cache.access(8)
+        result = cache.access(16)
+        assert result.evicted_dirty_line is None
+
+    def test_capacity_invariant(self):
+        cache = Cache(capacity_words=128, ways=4, line_words=4)
+        for address in range(0, 4000, 4):
+            cache.access(address)
+        assert cache.resident_lines() <= 128 // 4
+
+
+class TestWriteSemantics:
+    def test_write_allocates(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        cache.access(40, write=True)
+        assert cache.contains(40)
+
+    def test_write_hit_marks_dirty(self):
+        cache = Cache(capacity_words=16, ways=2, line_words=8)
+        cache.access(0)          # clean
+        cache.access(0, write=True)  # now dirty
+        cache.access(8)
+        result = cache.access(16)
+        assert result.evicted_dirty_line == 0
+
+    def test_flush_counts_dirty(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        cache.access(0, write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+        assert cache.resident_lines() == 0
+
+
+class TestValidation:
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Cache(capacity_words=100, ways=3, line_words=8)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Cache(capacity_words=0)
+
+    def test_rejects_negative_address(self):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        with pytest.raises(ConfigurationError):
+            cache.access(-1)

@@ -1,0 +1,90 @@
+"""Tests for the hybrid cache hierarchy (paper Fig. 2 application)."""
+
+import pytest
+
+from repro.cache import (
+    Cache,
+    CacheHierarchy,
+    HierarchyLevel,
+    looping_addresses,
+    uniform_addresses,
+)
+from repro.core import FastDramDesign
+from repro.errors import ConfigurationError
+from repro.units import Mb, kb, ns, pJ
+
+
+def build_hierarchy() -> CacheHierarchy:
+    l1 = FastDramDesign().build(128 * kb, retention_override=1e-3)
+    l2 = FastDramDesign(cells_per_lbl=128).build(2 * Mb,
+                                                 retention_override=1e-3)
+    return CacheHierarchy(levels=[
+        HierarchyLevel("L1", Cache(2048, 4, 8), l1),
+        HierarchyLevel("L2", Cache(32768, 8, 8), l2),
+    ])
+
+
+class TestBehaviour:
+    def test_looping_fits_in_l1(self, rng):
+        hierarchy = build_hierarchy()
+        trace = looping_addresses(20000, 1000, rng)
+        stats = hierarchy.run(trace)
+        assert stats.hit_rate(0) > 0.9
+        assert stats.backing_accesses < 200
+
+    def test_uniform_blows_through(self, rng):
+        hierarchy = build_hierarchy()
+        trace = uniform_addresses(5000, 10_000_000, rng)
+        stats = hierarchy.run(trace)
+        assert stats.hit_rate(0) < 0.05
+        assert stats.backing_accesses > 4000
+
+    def test_l2_catches_l1_capacity_misses(self, rng):
+        hierarchy = build_hierarchy()
+        # A working set bigger than L1 but inside L2: after the cold
+        # pass, most L1 misses must hit in L2.
+        trace = looping_addresses(60000, 16000, rng)
+        stats = hierarchy.run(trace)
+        l1_misses = stats.accesses - stats.level_hits[0]
+        assert l1_misses > 0
+        assert stats.level_hits[1] / l1_misses > 0.6
+
+    def test_energy_tracks_hit_level(self, rng):
+        hierarchy = build_hierarchy()
+        cheap = hierarchy.run(looping_addresses(5000, 500, rng))
+        hierarchy2 = build_hierarchy()
+        costly = hierarchy2.run(uniform_addresses(5000, 10_000_000, rng))
+        assert cheap.average_energy < 0.2 * costly.average_energy
+
+    def test_average_time_at_least_l1(self, rng):
+        hierarchy = build_hierarchy()
+        stats = hierarchy.run(looping_addresses(3000, 500, rng))
+        l1_time = hierarchy.levels[0].macro.access_time()
+        assert stats.average_time >= l1_time
+
+    def test_accesses_counted(self, rng):
+        hierarchy = build_hierarchy()
+        stats = hierarchy.run(looping_addresses(1234, 100, rng))
+        assert stats.accesses == 1234
+
+
+class TestValidation:
+    def test_levels_must_grow(self):
+        l1 = FastDramDesign().build(128 * kb, retention_override=1e-3)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=[
+                HierarchyLevel("L1", Cache(2048, 4, 8), l1),
+                HierarchyLevel("L2", Cache(1024, 4, 8), l1),
+            ])
+
+    def test_cache_must_fit_macro(self):
+        small_macro = FastDramDesign().build(128 * kb,
+                                             retention_override=1e-3)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=[
+                HierarchyLevel("L1", Cache(65536, 4, 8), small_macro),
+            ])
+
+    def test_needs_a_level(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=[])

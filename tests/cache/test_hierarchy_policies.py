@@ -1,0 +1,67 @@
+"""Tests for hierarchy behaviour under write policies and prefetching."""
+
+import pytest
+
+from repro.cache import (
+    Cache,
+    CacheHierarchy,
+    HierarchyLevel,
+    NextLinePrefetcher,
+    looping_addresses,
+    streaming_addresses,
+)
+from repro.core import FastDramDesign
+from repro.units import Mb, kb
+
+
+def macros():
+    l1 = FastDramDesign().build(128 * kb, retention_override=1e-3)
+    l2 = FastDramDesign(cells_per_lbl=128).build(2 * Mb,
+                                                 retention_override=1e-3)
+    return l1, l2
+
+
+class TestWriteThroughHierarchy:
+    def _build(self, write_back: bool) -> CacheHierarchy:
+        l1, l2 = macros()
+        return CacheHierarchy(levels=[
+            HierarchyLevel("L1", Cache(2048, 4, 8, write_back=write_back),
+                           l1),
+            HierarchyLevel("L2", Cache(32768, 8, 8), l2),
+        ])
+
+    def test_write_through_costs_more_energy(self, rng):
+        trace = looping_addresses(8000, 1000, rng, write_fraction=0.5)
+        wb = self._build(write_back=True).run(trace)
+        wt = self._build(write_back=False).run(trace)
+        assert wt.total_energy > wb.total_energy
+
+    def test_hit_rates_unchanged_by_policy(self, rng):
+        trace = looping_addresses(8000, 1000, rng, write_fraction=0.5)
+        wb = self._build(write_back=True).run(trace)
+        wt = self._build(write_back=False).run(trace)
+        assert wt.hit_rate(0) == pytest.approx(wb.hit_rate(0), abs=0.01)
+
+    def test_hits_counted_once_per_access(self, rng):
+        trace = looping_addresses(5000, 500, rng, write_fraction=0.5)
+        stats = self._build(write_back=False).run(trace)
+        assert sum(stats.level_hits) <= stats.accesses
+
+
+class TestPrefetchedHierarchy:
+    def test_prefetched_l1_accepted_and_helps(self, rng):
+        l1, l2 = macros()
+        plain = CacheHierarchy(levels=[
+            HierarchyLevel("L1", Cache(2048, 4, 8), l1),
+            HierarchyLevel("L2", Cache(32768, 8, 8), l2),
+        ])
+        prefetched = CacheHierarchy(levels=[
+            HierarchyLevel("L1",
+                           NextLinePrefetcher(Cache(2048, 4, 8), depth=2),
+                           l1),
+            HierarchyLevel("L2", Cache(32768, 8, 8), l2),
+        ])
+        trace = streaming_addresses(10000, 1 << 20, rng, stride=1)
+        plain_stats = plain.run(trace)
+        prefetch_stats = prefetched.run(trace)
+        assert prefetch_stats.hit_rate(0) > plain_stats.hit_rate(0) + 0.05

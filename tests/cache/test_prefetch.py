@@ -1,0 +1,81 @@
+"""Tests for write policies and the next-line prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.cache import Cache, NextLinePrefetcher, streaming_addresses
+from repro.errors import ConfigurationError
+
+
+class TestWritePolicies:
+    def test_write_through_never_dirty(self):
+        cache = Cache(16, 2, 8, write_back=False)
+        cache.access(0, write=True)
+        cache.access(0, write=True)
+        cache.access(8)
+        result = cache.access(16)  # evicts line 0
+        assert result.evicted_dirty_line is None
+        assert cache.stats.dirty_evictions == 0
+
+    def test_write_back_marks_dirty(self):
+        cache = Cache(16, 2, 8, write_back=True)
+        cache.access(0, write=True)
+        cache.access(8)
+        assert cache.access(16).evicted_dirty_line == 0
+
+    def test_no_allocate_bypasses_write_miss(self):
+        cache = Cache(256, 4, 8, write_allocate=False)
+        result = cache.access(40, write=True)
+        assert not result.hit
+        assert not cache.contains(40)
+
+    def test_no_allocate_still_allocates_reads(self):
+        cache = Cache(256, 4, 8, write_allocate=False)
+        cache.access(40, write=False)
+        assert cache.contains(40)
+
+    def test_write_hit_still_hits_under_no_allocate(self):
+        cache = Cache(256, 4, 8, write_allocate=False)
+        cache.access(40)  # read-allocate
+        assert cache.access(40, write=True).hit
+
+
+class TestPrefetcher:
+    def test_streaming_hit_rate_improves(self, rng):
+        trace = streaming_addresses(10000, 1 << 20, rng, stride=1)
+        plain = Cache(1024, 4, 8)
+        prefetched = NextLinePrefetcher(Cache(1024, 4, 8), depth=2)
+        for address, write in zip(trace.addresses, trace.writes):
+            plain.access(int(address), bool(write))
+            prefetched.access(int(address), bool(write))
+        assert prefetched.stats.hit_rate > plain.stats.hit_rate + 0.05
+
+    def test_accuracy_high_on_streams(self, rng):
+        trace = streaming_addresses(5000, 1 << 20, rng, stride=1)
+        prefetched = NextLinePrefetcher(Cache(1024, 4, 8), depth=1)
+        for address, write in zip(trace.addresses, trace.writes):
+            prefetched.access(int(address), bool(write))
+        assert prefetched.prefetch_stats.accuracy > 0.9
+
+    def test_accuracy_low_on_random(self, rng):
+        addresses = rng.integers(0, 1 << 22, size=4000)
+        prefetched = NextLinePrefetcher(Cache(1024, 4, 8), depth=1)
+        for address in addresses:
+            prefetched.access(int(address))
+        assert prefetched.prefetch_stats.accuracy < 0.3
+
+    def test_demand_stats_not_polluted(self, rng):
+        """Prefetch fills must not count as demand reads."""
+        trace = streaming_addresses(2000, 1 << 20, rng, stride=1)
+        prefetched = NextLinePrefetcher(Cache(1024, 4, 8), depth=2)
+        for address, write in zip(trace.addresses, trace.writes):
+            prefetched.access(int(address), bool(write))
+        assert prefetched.stats.accesses == len(trace)
+
+    def test_depth_validated(self):
+        with pytest.raises(ConfigurationError):
+            NextLinePrefetcher(Cache(64, 2, 8), depth=0)
+
+    def test_delegates_geometry(self):
+        prefetched = NextLinePrefetcher(Cache(64, 2, 8))
+        assert prefetched.line_words == 8

@@ -1,0 +1,59 @@
+"""Tests for address-trace file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    load_trace,
+    save_trace,
+    trace_from_text,
+    trace_to_text,
+    uniform_addresses,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, rng, tmp_path):
+        trace = uniform_addresses(500, 10000, rng)
+        path = save_trace(trace, tmp_path / "trace.txt")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.writes, trace.writes)
+
+    def test_text_roundtrip(self, rng):
+        trace = uniform_addresses(100, 1000, rng, write_fraction=0.3)
+        again = trace_from_text(trace_to_text(trace))
+        assert np.array_equal(again.addresses, trace.addresses)
+        assert np.array_equal(again.writes, trace.writes)
+
+
+class TestParsing:
+    def test_hex_addresses(self):
+        trace = trace_from_text("R 0x10\nW 0x20\n")
+        assert list(trace.addresses) == [16, 32]
+        assert list(trace.writes) == [False, True]
+
+    def test_comments_and_blanks_skipped(self):
+        trace = trace_from_text("# header\n\nR 1\n  \nW 2\n")
+        assert len(trace) == 2
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 1"):
+            trace_from_text("X 1\n")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad address"):
+            trace_from_text("R zz\n")
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            trace_from_text("R -5\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ConfigurationError, match="no accesses"):
+            trace_from_text("# nothing\n")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no trace file"):
+            load_trace(tmp_path / "absent.txt")

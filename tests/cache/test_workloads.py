@@ -1,0 +1,73 @@
+"""Tests for synthetic address traces."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    looping_addresses,
+    streaming_addresses,
+    uniform_addresses,
+    zipf_addresses,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_footprint_respected(self, rng):
+        trace = uniform_addresses(10000, 512, rng)
+        assert trace.addresses.max() < 512
+        assert trace.addresses.min() >= 0
+
+    def test_write_fraction(self, rng):
+        trace = uniform_addresses(20000, 512, rng, write_fraction=0.3)
+        assert trace.write_fraction == pytest.approx(0.3, abs=0.02)
+
+    def test_length(self, rng):
+        assert len(uniform_addresses(123, 512, rng)) == 123
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_addresses(0, 512, rng)
+
+    def test_rejects_bad_write_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_addresses(10, 512, rng, write_fraction=1.5)
+
+
+class TestZipf:
+    def test_skewed_towards_low_addresses(self, rng):
+        trace = zipf_addresses(50000, 10000, rng)
+        # The hot head: a small set of addresses dominates.
+        counts = np.bincount(trace.addresses)
+        top_share = np.sort(counts)[::-1][:10].sum() / len(trace)
+        # 10 addresses out of 10000 carry over a third of the traffic.
+        assert top_share > 0.3
+
+    def test_exponent_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            zipf_addresses(100, 100, rng, exponent=0.9)
+
+
+class TestStreaming:
+    def test_strictly_strided(self, rng):
+        trace = streaming_addresses(1000, 100000, rng, stride=4)
+        diffs = np.diff(trace.addresses)
+        assert np.all(diffs[diffs > 0] == 4)
+
+    def test_wraps_at_footprint(self, rng):
+        trace = streaming_addresses(300, 100, rng)
+        assert trace.addresses.max() < 100
+
+    def test_stride_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            streaming_addresses(100, 1000, rng, stride=0)
+
+
+class TestLooping:
+    def test_repeats_working_set(self, rng):
+        trace = looping_addresses(1000, 100, rng)
+        assert set(np.unique(trace.addresses)) == set(range(100))
+
+    def test_high_reuse(self, rng):
+        trace = looping_addresses(10000, 64, rng)
+        assert len(np.unique(trace.addresses)) == 64

@@ -1,0 +1,72 @@
+"""Tests for the cell-to-array interface."""
+
+import pytest
+
+from repro.cells import CellSpec, StorageKind
+from repro.errors import ConfigurationError
+from repro.units import fF, um2
+
+
+def static_spec(**overrides) -> CellSpec:
+    fields = dict(
+        name="test-static",
+        kind=StorageKind.STATIC,
+        area=1 * um2,
+        bitline_cap_per_cell=0.2 * fF,
+        wordline_cap_per_cell=0.5 * fF,
+        stored_high=1.2,
+        wordline_voltage=1.2,
+        standby_leakage=1e-10,
+        read_current=100e-6,
+    )
+    fields.update(overrides)
+    return CellSpec(**fields)
+
+
+def dynamic_spec(trench_cell, **overrides) -> CellSpec:
+    spec = trench_cell.spec()
+    if not overrides:
+        return spec
+    import dataclasses
+    return dataclasses.replace(spec, **overrides)
+
+
+class TestValidation:
+    def test_static_needs_read_current(self):
+        with pytest.raises(ConfigurationError):
+            static_spec(read_current=None)
+
+    def test_dynamic_needs_cap_and_retention(self, trench_cell):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(trench_cell.spec(), charge_sharing_cap=None)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(trench_cell.spec(), retention=None)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ConfigurationError):
+            static_spec(area=0.0)
+
+    def test_rejects_negative_leakage(self):
+        with pytest.raises(ConfigurationError):
+            static_spec(standby_leakage=-1.0)
+
+    def test_rejects_nonpositive_line_loads(self):
+        with pytest.raises(ConfigurationError):
+            static_spec(bitline_cap_per_cell=0.0)
+
+
+class TestVoltageStep:
+    def test_static_cell_has_no_step(self):
+        with pytest.raises(ConfigurationError):
+            static_spec().bitline_voltage_step(10 * fF, 1.0)
+
+    def test_dynamic_step_divider(self, trench_cell):
+        spec = trench_cell.spec()
+        step = spec.bitline_voltage_step(bitline_cap=30 * fF,
+                                         precharge_voltage=1.0)
+        assert step == pytest.approx(0.5)
+
+    def test_step_rejects_bad_bitline(self, trench_cell):
+        with pytest.raises(ConfigurationError):
+            trench_cell.spec().bitline_voltage_step(-1.0, 1.0)

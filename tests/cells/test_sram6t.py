@@ -1,0 +1,80 @@
+"""Tests for the 6T SRAM cell model."""
+
+import pytest
+
+from repro.cells import Sram6tCell, StorageKind, inverter_vtc
+from repro.errors import ConfigurationError
+from repro.tech import VtFlavor
+from repro.units import um2
+
+
+class TestDevices:
+    def test_default_ratios(self, sram_cell):
+        assert sram_cell.beta_ratio == pytest.approx(2.0 / 1.5)
+
+    def test_read_current_positive(self, sram_cell):
+        assert sram_cell.read_current() > 10e-6
+
+    def test_rejects_zero_widths(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            Sram6tCell(logic_node, pulldown_units=0.0)
+
+
+class TestVtc:
+    def test_inverts(self, sram_cell):
+        vtc = inverter_vtc(sram_cell, during_read=False)
+        assert vtc(0.0) > 1.1
+        assert vtc(1.2) < 0.05
+
+    def test_monotone_non_increasing(self, sram_cell):
+        vtc = inverter_vtc(sram_cell, during_read=False)
+        values = [vtc(v) for v in (0.0, 0.3, 0.5, 0.7, 0.9, 1.2)]
+        assert all(b <= a + 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_read_disturb_lifts_low_level(self, sram_cell):
+        hold = inverter_vtc(sram_cell, during_read=False)
+        read = inverter_vtc(sram_cell, during_read=True)
+        assert read(1.2) > hold(1.2)
+
+
+class TestSnm:
+    def test_hold_snm_band(self, sram_cell):
+        """90 nm 6T at 1.2 V: hold SNM of a few hundred millivolts."""
+        snm = sram_cell.hold_snm()
+        assert 0.25 < snm < 0.55
+
+    def test_read_snm_smaller_than_hold(self, sram_cell):
+        assert sram_cell.read_snm() < 0.6 * sram_cell.hold_snm()
+
+    def test_weaker_beta_degrades_read_snm(self, logic_node):
+        strong = Sram6tCell(logic_node, pulldown_units=3.0, access_units=1.0)
+        weak = Sram6tCell(logic_node, pulldown_units=1.0, access_units=2.0)
+        assert weak.read_snm() < strong.read_snm()
+
+    def test_snm_positive_for_functional_cell(self, sram_cell):
+        assert sram_cell.read_snm() > 0.05
+
+
+class TestSpec:
+    def test_static_kind(self, sram_cell):
+        spec = sram_cell.spec()
+        assert spec.kind is StorageKind.STATIC
+        assert not spec.is_dynamic
+
+    def test_two_access_gates_on_wordline(self, sram_cell):
+        spec = sram_cell.spec()
+        assert spec.wordline_cap_per_cell == pytest.approx(
+            2 * sram_cell.access.gate_capacitance())
+
+    def test_area_is_node_calibrated(self, sram_cell, logic_node):
+        assert sram_cell.area() == logic_node.sram6t_cell_area
+        assert sram_cell.area() == pytest.approx(1.0 * um2)
+
+    def test_leakage_band(self, sram_cell):
+        """An LP SVT cell leaks a few hundred picoamps at 300 K."""
+        assert 5e-11 < sram_cell.leakage() < 5e-9
+
+    def test_hvt_cell_leaks_less(self, logic_node):
+        svt = Sram6tCell(logic_node, flavor=VtFlavor.SVT)
+        hvt = Sram6tCell(logic_node, flavor=VtFlavor.HVT)
+        assert hvt.leakage() < 0.2 * svt.leakage()

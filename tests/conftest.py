@@ -1,0 +1,70 @@
+"""Shared fixtures.
+
+Expensive objects (technology nodes, built macros, SPICE waveform runs)
+are session-scoped: they are immutable (frozen dataclasses), so sharing
+them across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FastDramDesign, SramBaselineDesign
+from repro.cells import Dram1t1cCell, Sram6tCell
+from repro.tech import TechnologyNode
+from repro.units import kb
+
+RETENTION_FOR_TESTS = 1e-3  # pin retention: no Monte-Carlo in model tests
+
+
+@pytest.fixture(scope="session")
+def logic_node() -> TechnologyNode:
+    return TechnologyNode.logic_90nm()
+
+
+@pytest.fixture(scope="session")
+def dram_node() -> TechnologyNode:
+    return TechnologyNode.dram_90nm()
+
+
+@pytest.fixture(scope="session")
+def sram_cell(logic_node) -> Sram6tCell:
+    return Sram6tCell(logic_node)
+
+
+@pytest.fixture(scope="session")
+def scratchpad_cell(logic_node) -> Dram1t1cCell:
+    return Dram1t1cCell.scratchpad(logic_node)
+
+
+@pytest.fixture(scope="session")
+def trench_cell(dram_node) -> Dram1t1cCell:
+    return Dram1t1cCell.dram_technology(dram_node)
+
+
+@pytest.fixture(scope="session")
+def dram_macro_128kb():
+    return FastDramDesign().build(128 * kb,
+                                  retention_override=RETENTION_FOR_TESTS)
+
+
+@pytest.fixture(scope="session")
+def dram_macro_2mb():
+    return FastDramDesign().build(2048 * kb,
+                                  retention_override=RETENTION_FOR_TESTS)
+
+
+@pytest.fixture(scope="session")
+def sram_macro_128kb():
+    return SramBaselineDesign().build(128 * kb)
+
+
+@pytest.fixture(scope="session")
+def sram_macro_2mb():
+    return SramBaselineDesign().build(2048 * kb)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2009)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        subparser_action = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0])))
+        commands = set(subparser_action.choices)
+        assert {"headline", "compare", "fig5", "fig8", "fig9",
+                "methodology", "pvt", "refresh-plan", "banking",
+                "voltage", "optimize", "sensitivity"} <= commands
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "access time" in out
+        assert "energy per bit" in out
+
+    def test_headline_custom_size(self, capsys):
+        assert main(["headline", "--kb", "256"]) == 0
+        assert "256 kb" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "localblock" in out
+        assert "decode" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "activity" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--cycles", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "monoblock" in out
+
+    def test_refresh_plan(self, capsys):
+        assert main(["refresh-plan", "--granules", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+
+    def test_banking(self, capsys):
+        assert main(["banking", "--kb", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "banks" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "static_power" in out
+        assert "retention" in out
+
+    def test_voltage(self, capsys):
+        assert main(["voltage"]) == 0
+        assert "vdd" in capsys.readouterr().out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "best for" in out
+
+    def test_invalid_capacity_exits(self):
+        with pytest.raises(SystemExit):
+            main(["headline", "--kb", "-1"])

@@ -1,0 +1,97 @@
+"""Tests for the DRAM-vs-SRAM comparison harness."""
+
+import pytest
+
+from repro.core import SramDramComparison
+from repro.errors import ConfigurationError
+from repro.units import kb, Mb
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return SramDramComparison(sizes=(128 * kb, 2 * Mb),
+                              retention_override=1e-3)
+
+
+class TestRows:
+    def test_row_metadata(self, comparison):
+        rows = comparison.area()
+        assert [r.total_bits for r in rows] == [128 * kb, 2 * Mb]
+        assert rows[0].size_label == "128 kb"
+        assert rows[1].size_label == "2 Mb"
+
+    def test_ratio_definition(self, comparison):
+        row = comparison.area()[0]
+        assert row.ratio == pytest.approx(row.sram / row.dram)
+
+    def test_zero_dram_ratio_rejected(self):
+        from repro.core.compare import ComparisonRow
+        row = ComparisonRow(total_bits=1024, sram=1.0, dram=0.0)
+        with pytest.raises(ConfigurationError):
+            row.ratio
+
+    def test_needs_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SramDramComparison(sizes=())
+
+
+class TestFigures:
+    def test_fig7a_access_similar(self, comparison):
+        for row in comparison.access_time():
+            assert 0.7 < row.ratio < 1.5
+
+    def test_fig7b_read_similar(self, comparison):
+        for row in comparison.read_energy():
+            assert 0.7 < row.ratio < 1.6
+
+    def test_fig7b_write_dram_wins_large(self, comparison):
+        rows = comparison.write_energy()
+        assert rows[-1].ratio > 1.5
+
+    def test_fig7c_static_factor(self, comparison):
+        for row in comparison.static_power():
+            assert row.ratio > 5.0
+
+    def test_fig7d_area_factor(self, comparison):
+        for row in comparison.area():
+            assert 2.0 < row.ratio < 3.5
+
+    def test_fig8_breakdown_keys(self, comparison):
+        repartition = comparison.energy_repartition()
+        assert set(repartition) == {"read", "write"}
+        for access in repartition.values():
+            assert set(access) == {"decode", "cell", "localblock",
+                                   "global_path", "io"}
+
+    def test_fig9_point(self, comparison):
+        row = comparison.total_power(activity=0.1, total_bits=2 * Mb)
+        assert row.sram > 0 and row.dram > 0
+        assert row.ratio > 1.0  # DRAM wins with both static and write
+
+    def test_fig9_curves_shape(self, comparison):
+        curves = comparison.total_power_curves(activities=(0.0, 0.5, 1.0))
+        for rows in curves.values():
+            dram_totals = [r.dram for r in rows]
+            assert dram_totals == sorted(dram_totals)
+
+    def test_fig9_activity_validated(self, comparison):
+        with pytest.raises(ConfigurationError):
+            comparison.total_power(activity=1.2, total_bits=128 * kb)
+
+    def test_fig9_clock_validated(self, comparison):
+        with pytest.raises(ConfigurationError):
+            comparison.total_power(activity=0.5, total_bits=128 * kb,
+                                   clock_frequency=0.0)
+
+
+class TestRetentionResolution:
+    def test_override_respected(self, comparison):
+        macro = comparison.dram_macro(128 * kb)
+        assert macro.static_power_model.resolved_retention() == 1e-3
+
+    def test_auto_resolution_cached(self):
+        auto = SramDramComparison(sizes=(128 * kb,))
+        first = auto._resolved_retention()
+        second = auto._resolved_retention()
+        assert first == second
+        assert 1e-4 < first < 1e-2

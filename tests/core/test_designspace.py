@@ -1,0 +1,97 @@
+"""Tests for design-space sweeps and ablations."""
+
+import pytest
+
+from repro.core import (
+    ablate_architecture,
+    sweep_cells_per_lbl,
+    sweep_retention,
+    sweep_sizes,
+)
+from repro.errors import ConfigurationError
+from repro.units import kb
+
+
+class TestLblSweep:
+    def test_signal_monotone_decreasing(self):
+        rows = sweep_cells_per_lbl(values=(8, 16, 32, 64))
+        signals = [r.read_signal for r in rows]
+        assert signals == sorted(signals, reverse=True)
+
+    def test_area_monotone_decreasing(self):
+        rows = sweep_cells_per_lbl(values=(8, 16, 32, 64))
+        areas = [r.area for r in rows]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_doubling_energy_marginal(self):
+        """Paper Sec. IV: 16 -> 32 cells/LBL is 'marginal' on power."""
+        rows = {r.cells_per_lbl: r for r in sweep_cells_per_lbl(
+            values=(16, 32))}
+        delta = abs(rows[32].read_energy - rows[16].read_energy)
+        assert delta / rows[16].read_energy < 0.15
+
+    def test_infeasible_lengths_skipped(self):
+        rows = sweep_cells_per_lbl(values=(8, 4096))
+        assert [r.cells_per_lbl for r in rows] == [8]
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(ConfigurationError):
+            sweep_cells_per_lbl(values=(4096,))
+
+
+class TestRetentionSweep:
+    def test_power_inverse_in_retention(self):
+        rows = sweep_retention(values=(1e-4, 1e-3, 1e-2))
+        assert rows[0].static_power == pytest.approx(
+            10 * rows[1].static_power, rel=0.01)
+        assert rows[1].static_power == pytest.approx(
+            10 * rows[2].static_power, rel=0.01)
+
+    def test_refresh_rate_reported(self):
+        rows = sweep_retention(values=(1e-3,))
+        assert rows[0].refresh_rows_per_second == pytest.approx(
+            4096 / 1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            sweep_retention(values=(0.0,))
+
+
+class TestSizeSweep:
+    def test_everything_monotone(self):
+        rows = sweep_sizes(sizes=(128 * kb, 512 * kb, 2048 * kb))
+        for metric in ("access_time", "read_energy", "write_energy",
+                       "area", "static_power"):
+            values = [getattr(r, metric) for r in rows]
+            assert values == sorted(values), metric
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {r.feature: r for r in ablate_architecture()}
+
+    def test_all_features_present(self, results):
+        assert set(results) == {
+            "local_restore", "local_restore_latency", "low_swing_gbl",
+            "fine_granularity_signal",
+        }
+
+    def test_local_restore_saves_refresh_energy(self, results):
+        assert results["local_restore"].penalty_factor > 1.1
+
+    def test_local_restore_hides_latency(self, results):
+        assert results["local_restore_latency"].penalty_factor > 1.2
+
+    def test_low_swing_gbl_saves_energy(self, results):
+        assert results["low_swing_gbl"].penalty_factor > 1.1
+
+    def test_monolithic_bitline_kills_signal(self, results):
+        assert results["fine_granularity_signal"].penalty_factor < 0.1
+
+    def test_penalty_requires_positive_baseline(self):
+        from repro.core.designspace import AblationResult
+        bad = AblationResult(feature="x", proposed_value=0.0,
+                             ablated_value=1.0, metric="m")
+        with pytest.raises(ConfigurationError):
+            bad.penalty_factor

@@ -1,0 +1,65 @@
+"""Tests for the fast-DRAM design factory."""
+
+import pytest
+
+from repro.core import FastDramDesign
+from repro.errors import ConfigurationError
+from repro.units import kb, ns, pJ
+
+
+class TestFactory:
+    def test_default_is_dram_technology(self):
+        design = FastDramDesign()
+        assert design.technology == "dram"
+        assert design.resolved_cells_per_lbl() == 32
+
+    def test_scratchpad_uses_16_cells(self):
+        design = FastDramDesign(technology="scratchpad")
+        assert design.resolved_cells_per_lbl() == 16
+        assert design.cell().capacitor.capacitance == pytest.approx(11e-15)
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FastDramDesign(technology="edram")
+
+    def test_explicit_cells_per_lbl(self):
+        design = FastDramDesign(cells_per_lbl=64)
+        assert design.resolved_cells_per_lbl() == 64
+
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FastDramDesign(cells_per_lbl=1).resolved_cells_per_lbl()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FastDramDesign().build(0)
+
+
+class TestBuiltMacro:
+    def test_dynamic_cell(self, dram_macro_128kb):
+        assert dram_macro_128kb.organization.cell.is_dynamic
+
+    def test_refresh_views(self, dram_macro_128kb):
+        assert dram_macro_128kb.refresh_row_energy() > 0
+        assert 0 < dram_macro_128kb.refresh_slot_time() < 5 * ns
+
+    def test_retention_statistics_available(self, dram_macro_128kb):
+        stats = dram_macro_128kb.retention_statistics(count=300)
+        assert stats.worst_case > 0
+
+    def test_headline_figures(self, dram_macro_128kb):
+        """The abstract's numbers, as bands."""
+        assert dram_macro_128kb.access_time() < 1.9 * ns
+        assert dram_macro_128kb.energy_per_bit() < 0.2 * pJ
+
+    def test_scratchpad_macro_buildable(self):
+        macro = FastDramDesign(technology="scratchpad").build(
+            128 * kb, retention_override=1e-4)
+        assert macro.organization.cells_per_lbl == 16
+        assert macro.access_time() < 2 * ns
+
+    def test_dram_local_sa_larger_than_sram(self, dram_macro_128kb,
+                                            sram_macro_128kb):
+        """Paper Sec. IV: more local-SA power for the DRAM."""
+        assert (dram_macro_128kb.local_sa.energy_per_operation()
+                > sram_macro_128kb.local_sa.energy_per_operation())

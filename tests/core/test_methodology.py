@@ -1,0 +1,64 @@
+"""Tests for the paper Fig. 6 methodology flow.
+
+The circuit-simulation step makes this the slowest test module; the
+full flow is run once (module scope) and inspected by every test.
+"""
+
+import pytest
+
+from repro.core import MethodologyFlow
+from repro.units import kb
+
+
+@pytest.fixture(scope="module")
+def report():
+    return MethodologyFlow(total_bits=128 * kb).run()
+
+
+class TestStep1:
+    def test_scratchpad_macro_built(self, report):
+        org = report.scratchpad_macro.organization
+        assert org.cells_per_lbl == 16
+        assert org.cell.name == "dram1t1c-cmos-gate"
+
+    def test_both_data_values_simulated(self, report):
+        stored = sorted(w.stored_value for w in report.scratchpad_waveforms)
+        assert stored == [0, 1]
+
+    def test_circuit_restores_correctly(self, report):
+        assert all(w.restored_correctly for w in report.scratchpad_waveforms)
+
+    def test_read0_produces_gbl_swing(self, report):
+        read0 = next(w for w in report.scratchpad_waveforms
+                     if w.stored_value == 0)
+        assert 0.05 < read0.gbl_swing < 0.15
+
+
+class TestStep2:
+    def test_doubling_holds(self, report):
+        """Paper Sec. III: 'it is possible to double this number of
+        cells, from 16 to 32 cells per bitline' at similar timing."""
+        assert report.doubling_holds
+        assert 0.75 < report.timing_ratio < 1.25
+
+    def test_dram_macro_uses_32_cells(self, report):
+        assert report.dram_macro.organization.cells_per_lbl == 32
+
+
+class TestStep3:
+    def test_sweep_covers_paper_sizes(self, report):
+        sizes = [row.total_bits for row in report.size_sweep]
+        assert sizes[0] == 128 * kb
+        assert sizes[-1] == 2048 * kb
+
+    def test_sweep_monotone_area(self, report):
+        areas = [row.area for row in report.size_sweep]
+        assert areas == sorted(areas)
+
+
+class TestFastPath:
+    def test_flow_without_circuits(self):
+        flow = MethodologyFlow(total_bits=128 * kb, simulate_circuits=False)
+        macro, waveforms = flow.step1_scratchpad()
+        assert waveforms == []
+        assert macro.organization.cells_per_lbl == 16

@@ -1,0 +1,92 @@
+"""Tests for the design-space optimiser."""
+
+import pytest
+
+from repro.core import DesignOptimizer
+from repro.core.optimizer import DesignCandidate
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+
+@pytest.fixture(scope="module")
+def result():
+    return DesignOptimizer(max_access_time=1.3 * ns).run()
+
+
+class TestSearch:
+    def test_constraint_respected(self, result):
+        for candidate in result.candidates:
+            assert candidate.access_time <= 1.3 * ns
+
+    def test_front_is_nondominated(self, result):
+        for a in result.pareto_front:
+            assert not any(b.dominates(a) for b in result.candidates)
+
+    def test_front_within_candidates(self, result):
+        for candidate in result.pareto_front:
+            assert candidate in result.candidates
+
+    def test_best_per_objective_is_minimum(self, result):
+        for objective, winner in result.best.items():
+            values = [c.metric(objective) for c in result.candidates]
+            assert winner.metric(objective) == min(values)
+
+    def test_bests_on_front_for_front_axes(self, result):
+        """Single-objective winners on the Pareto axes lie on the front."""
+        for objective in ("access_time", "total_power", "area"):
+            assert result.best[objective] in result.pareto_front
+
+    def test_paper_point_is_reasonable(self, result):
+        """The paper's (32 cells, 32 bits, 1.2 V) choice must be feasible
+        and near the front: no candidate dominates it by a wide margin."""
+        paper = next(c for c in result.candidates
+                     if c.cells_per_lbl == 32 and c.word_bits == 32
+                     and c.vdd == pytest.approx(1.2))
+        for other in result.candidates:
+            if other.dominates(paper):
+                assert other.area > 0.8 * paper.area
+                assert other.total_power > 0.8 * paper.total_power
+
+
+class TestConstraints:
+    def test_impossible_constraint_raises(self):
+        with pytest.raises(ConfigurationError, match="no design"):
+            DesignOptimizer(max_access_time=0.01 * ns).run()
+
+    def test_tighter_constraint_fewer_candidates(self):
+        loose = DesignOptimizer(max_access_time=None).run()
+        tight = DesignOptimizer(max_access_time=1.1 * ns).run()
+        assert len(tight.candidates) < len(loose.candidates)
+
+    def test_unknown_objective_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            result.candidates[0].metric("beauty")
+
+    def test_activity_validated(self):
+        with pytest.raises(ConfigurationError):
+            DesignOptimizer(activity=2.0)
+
+
+class TestDominance:
+    def _candidate(self, t, p, a):
+        return DesignCandidate(
+            cells_per_lbl=32, word_bits=32, vdd=1.2, access_time=t,
+            read_energy=1.0, write_energy=1.0, energy_per_bit=1.0,
+            area=a, static_power=0.1, total_power=p)
+
+    def test_strict_dominance(self):
+        better = self._candidate(1.0, 1.0, 1.0)
+        worse = self._candidate(2.0, 2.0, 2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_incomparable_points(self):
+        fast_big = self._candidate(1.0, 1.0, 3.0)
+        slow_small = self._candidate(3.0, 1.0, 1.0)
+        assert not fast_big.dominates(slow_small)
+        assert not slow_small.dominates(fast_big)
+
+    def test_equal_points_do_not_dominate(self):
+        a = self._candidate(1.0, 1.0, 1.0)
+        b = self._candidate(1.0, 1.0, 1.0)
+        assert not a.dominates(b)

@@ -1,0 +1,31 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core import format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        assert len(lines) == 4
+
+    def test_floats_compact(self):
+        text = format_table(["x"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_trailing_whitespace(self):
+        text = format_table(["a", "bbbb"], [["x", "y"]])
+        assert all(line == line.rstrip() for line in text.splitlines())

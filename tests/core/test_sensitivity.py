@@ -1,0 +1,58 @@
+"""Tests for the sensitivity analysis."""
+
+import pytest
+
+from repro.core import SensitivityAnalysis
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis()
+
+
+class TestKnownSensitivities:
+    def test_static_power_inverse_in_retention(self, analysis):
+        """P_refresh = N * E / t_ret: exact -1 slope."""
+        s = analysis.retention_sensitivity("static_power")
+        assert s.value == pytest.approx(-1.0, abs=0.05)
+
+    def test_static_power_linear_in_capacity(self, analysis):
+        s = analysis.capacity_sensitivity("static_power")
+        assert s.value == pytest.approx(1.0, abs=0.05)
+
+    def test_dynamic_energy_retention_independent(self, analysis):
+        s = analysis.retention_sensitivity("read_energy")
+        assert s.value == pytest.approx(0.0, abs=1e-6)
+
+    def test_area_shrinks_with_lbl_length(self, analysis):
+        """Longer LBLs amortise the local-SA strips."""
+        s = analysis.lbl_length_sensitivity("area")
+        assert s.value < 0
+
+    def test_area_grows_with_capacity(self, analysis):
+        s = analysis.capacity_sensitivity("area")
+        assert 0.6 < s.value <= 1.05
+
+    def test_access_time_sublinear_in_capacity(self, analysis):
+        """The hierarchical organization's entire point."""
+        s = analysis.capacity_sensitivity("access_time")
+        assert 0.0 < s.value < 0.3
+
+
+class TestReport:
+    def test_full_report_covers_grid(self, analysis):
+        report = analysis.full_report()
+        metrics = {s.metric for s in report}
+        parameters = {s.parameter for s in report}
+        assert len(report) == len(metrics) * len(parameters)
+        assert "static_power" in metrics
+        assert "retention" in parameters
+
+    def test_unknown_metric_rejected(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.retention_sensitivity("speed_of_light")
+
+    def test_step_validated(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityAnalysis(step=0.9)

@@ -1,0 +1,56 @@
+"""Tests for supply-voltage scaling (boost mode)."""
+
+import pytest
+
+from repro.core import build_at_supply, scaled_supply_design, voltage_sweep
+from repro.core.fastdram import FastDramDesign
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return voltage_sweep(supplies=(0.9, 1.0, 1.2, 1.3))
+
+
+class TestSweepShape:
+    def test_speed_improves_with_supply(self, sweep):
+        times = [p.access_time for p in sweep]
+        assert times == sorted(times, reverse=True)
+
+    def test_energy_grows_with_supply(self, sweep):
+        energies = [p.read_energy for p in sweep]
+        assert energies == sorted(energies)
+
+    def test_energy_roughly_quadratic(self, sweep):
+        low = next(p for p in sweep if p.vdd == 0.9)
+        high = next(p for p in sweep if p.vdd == 1.3)
+        ratio = high.read_energy / low.read_energy
+        # Pure CV^2 would be (1.3/0.9)^2 = 2.09; fixed-rail pieces (the
+        # low-swing GBL, the 1.7 V WL) damp it.
+        assert 1.15 < ratio < 2.1
+
+    def test_boost_mode_band(self, sweep):
+        """At +10 % supply the macro gains ~5-15 % speed — the boost-mode
+        character of the baseline [10]."""
+        nominal = next(p for p in sweep if p.vdd == 1.2)
+        boost = next(p for p in sweep if p.vdd == 1.3)
+        gain = nominal.access_time / boost.access_time
+        assert 1.02 < gain < 1.25
+
+
+class TestGuards:
+    def test_ceiling_enforced(self):
+        with pytest.raises(ConfigurationError):
+            scaled_supply_design(FastDramDesign(), vdd=2.0)
+
+    def test_floor_enforced(self):
+        with pytest.raises(ConfigurationError):
+            scaled_supply_design(FastDramDesign(), vdd=0.5)
+
+    def test_macro_buildable_at_boost(self):
+        macro = build_at_supply(1.3)
+        assert macro.organization.node.vdd == pytest.approx(1.3)
+
+    def test_precharge_tracks_supply(self):
+        macro = build_at_supply(1.0)
+        assert macro.cell_design.bitline_precharge == pytest.approx(0.8)

@@ -1,0 +1,97 @@
+"""Property-based tests of the cache and refresh substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache
+from repro.refresh import (
+    LocalizedRefresh,
+    MonoblockRefresh,
+    RefreshSimulator,
+    uniform_random_trace,
+)
+
+
+class TestCacheInvariants:
+    @given(
+        ways=st.sampled_from([1, 2, 4, 8]),
+        line_words=st.sampled_from([1, 4, 8]),
+        sets=st.sampled_from([2, 8, 32]),
+        addresses=st.lists(st.integers(0, 10_000), min_size=1, max_size=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, ways, line_words, sets, addresses):
+        cache = Cache(capacity_words=ways * line_words * sets, ways=ways,
+                      line_words=line_words)
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines() <= ways * sets
+
+    @given(addresses=st.lists(st.integers(0, 1000), min_size=1,
+                              max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addresses):
+        cache = Cache(capacity_words=256, ways=4, line_words=8)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address).hit
+
+    @given(addresses=st.lists(st.integers(0, 5000), min_size=1,
+                              max_size=200),
+           writes=st.lists(st.booleans(), min_size=200, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_accounting_consistent(self, addresses, writes):
+        cache = Cache(capacity_words=128, ways=2, line_words=4)
+        for address, write in zip(addresses, writes):
+            cache.access(address, write=write)
+        stats = cache.stats
+        assert stats.accesses == len(addresses)
+        assert stats.hits <= stats.accesses
+        assert stats.dirty_evictions <= stats.evictions
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    @given(seed=st.integers(0, 2 ** 16),
+           footprint=st.sampled_from([64, 256, 4096]))
+    @settings(max_examples=25, deadline=None)
+    def test_bigger_cache_never_worse(self, seed, footprint):
+        """Inclusion property: more capacity cannot reduce the hit rate
+        under LRU for the same trace."""
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, footprint, size=400)
+        small = Cache(capacity_words=64, ways=2, line_words=4)
+        large = Cache(capacity_words=256, ways=8, line_words=4)
+        for address in addresses:
+            small.access(int(address))
+            large.access(int(address))
+        assert large.stats.hit_rate >= small.stats.hit_rate - 1e-12
+
+
+class TestRefreshInvariants:
+    @given(seed=st.integers(0, 1000),
+           activity=st.floats(0.05, 0.6),
+           retention_cycles=st.sampled_from([25_000, 100_000, 400_000]))
+    @settings(max_examples=15, deadline=None)
+    def test_localized_never_worse_than_monoblock(self, seed, activity,
+                                                  retention_cycles):
+        rng = np.random.default_rng(seed)
+        trace = uniform_random_trace(30_000, 128, activity, rng)
+        local = RefreshSimulator(LocalizedRefresh(
+            n_blocks=128, rows_per_block=32,
+            refresh_period_cycles=retention_cycles)).run(trace)
+        mono = RefreshSimulator(MonoblockRefresh(
+            n_blocks=128, rows_per_block=32,
+            refresh_period_cycles=retention_cycles)).run(trace)
+        assert local.busy_fraction <= mono.busy_fraction
+        assert local.completed == mono.completed == local.accesses
+
+    @given(seed=st.integers(0, 1000), activity=st.floats(0.0, 0.6))
+    @settings(max_examples=15, deadline=None)
+    def test_busy_fraction_bounded(self, seed, activity):
+        rng = np.random.default_rng(seed)
+        trace = uniform_random_trace(20_000, 64, activity, rng)
+        stats = RefreshSimulator(LocalizedRefresh(
+            n_blocks=64, rows_per_block=32,
+            refresh_period_cycles=200_000)).run(trace)
+        assert 0.0 <= stats.busy_fraction <= 1.0

@@ -1,0 +1,81 @@
+"""Property-based tests for the extension modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import Dram1t1cCell
+from repro.core.voltage import build_at_supply
+from repro.refresh import TemperatureAdaptiveRefresh, plan_binned_refresh
+
+_RETENTION = Dram1t1cCell.dram_technology().retention_model()
+
+
+class TestTemperatureAdaptiveProperties:
+    @given(base=st.floats(1e-5, 1e-1), t1=st.floats(280, 380),
+           t2=st.floats(280, 380))
+    @settings(max_examples=60, deadline=None)
+    def test_retention_monotone_in_temperature(self, base, t1, t2):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=base)
+        lo, hi = sorted((t1, t2))
+        assert adaptive.retention_at(hi) <= adaptive.retention_at(lo)
+
+    @given(base=st.floats(1e-5, 1e-1), temperature=st.floats(280, 380),
+           interval=st.floats(5.0, 20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_doubling_law(self, base, temperature, interval):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=base,
+                                              doubling_interval=interval)
+        ratio = (adaptive.retention_at(temperature)
+                 / adaptive.retention_at(temperature + interval))
+        assert ratio == pytest.approx(2.0, rel=1e-9)
+
+    @given(base=st.floats(1e-5, 1e-1), guard=st.floats(1.0, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_period_below_retention(self, base, guard):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=base,
+                                              guard=guard)
+        assert (adaptive.refresh_period_at(320.0)
+                <= adaptive.retention_at(320.0))
+
+
+class TestBinnedPlanProperties:
+    @given(n_blocks=st.sampled_from([16, 64, 256]),
+           rows=st.sampled_from([1, 8, 32]),
+           bins=st.integers(1, 8),
+           seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, n_blocks, rows, bins, seed):
+        plan = plan_binned_refresh(_RETENTION, n_blocks=n_blocks,
+                                   rows_per_block=rows, n_bins=bins,
+                                   seed=seed)
+        # Block accounting exact.
+        assert plan.n_blocks == n_blocks
+        # Binning never costs power, and bin periods never under-refresh:
+        assert plan.saving_factor() >= 1.0 - 1e-12
+        for bin_ in plan.bins:
+            assert bin_.period >= plan.base_period
+
+    @given(bins_small=st.integers(1, 3), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_more_bins_never_worse(self, bins_small, seed):
+        small = plan_binned_refresh(_RETENTION, n_blocks=128,
+                                    rows_per_block=8,
+                                    n_bins=bins_small, seed=seed)
+        large = plan_binned_refresh(_RETENTION, n_blocks=128,
+                                    rows_per_block=8,
+                                    n_bins=bins_small + 3, seed=seed)
+        assert large.saving_factor() >= small.saving_factor() - 1e-12
+
+
+class TestVoltageProperties:
+    @given(v1=st.floats(0.85, 1.3), v2=st.floats(0.85, 1.3))
+    @settings(max_examples=8, deadline=None)
+    def test_speed_energy_tradeoff(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        if hi - lo < 0.05:
+            return
+        slow = build_at_supply(lo)
+        fast = build_at_supply(hi)
+        assert fast.access_time() < slow.access_time()
+        assert fast.read_energy().total > slow.read_energy().total

@@ -1,0 +1,103 @@
+"""Property-based tests of the device and architecture models.
+
+Monotonicity and scaling invariants that must hold for any parameter
+combination the models accept.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array import ArrayOrganization, SenseAmplifier
+from repro.cells import Dram1t1cCell
+from repro.tech import Mosfet, Polarity, TechnologyNode, VtFlavor
+from repro.units import kb, um
+
+_NODE = TechnologyNode.logic_90nm()
+_DRAM_NODE = TechnologyNode.dram_90nm()
+_TRENCH = Dram1t1cCell.dram_technology(_DRAM_NODE)
+
+widths = st.floats(min_value=0.12, max_value=10.0)
+biases = st.floats(min_value=0.0, max_value=1.2)
+
+
+class TestDeviceInvariants:
+    @given(w=widths, vg1=biases, vg2=biases, vd=biases)
+    @settings(max_examples=80, deadline=None)
+    def test_current_monotone_in_vgs(self, w, vg1, vg2, vd):
+        device = Mosfet(_NODE, Polarity.NMOS, VtFlavor.SVT, width=w * um)
+        lo, hi = sorted((vg1, vg2))
+        assert (device.drain_current(hi, vd)
+                >= device.drain_current(lo, vd) - 1e-18)
+
+    @given(w=widths, vg=biases, vd1=biases, vd2=biases)
+    @settings(max_examples=80, deadline=None)
+    def test_current_monotone_in_vds(self, w, vg, vd1, vd2):
+        device = Mosfet(_NODE, Polarity.NMOS, VtFlavor.SVT, width=w * um)
+        lo, hi = sorted((vd1, vd2))
+        assert (device.drain_current(vg, hi)
+                >= device.drain_current(vg, lo) - 1e-18)
+
+    @given(w=widths, ratio=st.floats(1.1, 10.0), vg=biases, vd=biases)
+    @settings(max_examples=60, deadline=None)
+    def test_current_scales_with_width(self, w, ratio, vg, vd):
+        narrow = Mosfet(_NODE, Polarity.NMOS, VtFlavor.SVT, width=w * um)
+        wide = narrow.scaled(ratio)
+        i_n = narrow.drain_current(vg, vd)
+        if i_n > 1e-18:
+            assert wide.drain_current(vg, vd) == pytest.approx(
+                ratio * i_n, rel=1e-6)
+
+    @given(w=widths)
+    @settings(max_examples=40, deadline=None)
+    def test_currents_never_negative(self, w):
+        device = Mosfet(_NODE, Polarity.NMOS, VtFlavor.HVT, width=w * um)
+        assert device.off_current() >= 0
+        assert device.on_current() > 0
+
+
+class TestSenseAmpInvariants:
+    @given(units=st.floats(1.0, 20.0), signal=st.floats(1e-3, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_positive_and_decreasing_in_signal(self, units, signal):
+        sa = SenseAmplifier(_NODE, input_units=units)
+        d1 = sa.sense_delay(signal)
+        d2 = sa.sense_delay(signal * 2)
+        assert d1 >= 0
+        assert d2 <= d1
+
+    @given(sigma=st.floats(1.0, 8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_required_signal_linear_in_margin(self, sigma):
+        import dataclasses
+        base = SenseAmplifier(_NODE, margin_sigma=1.0)
+        scaled = dataclasses.replace(base, margin_sigma=sigma)
+        assert scaled.required_input_signal() == pytest.approx(
+            sigma * base.required_input_signal())
+
+
+class TestOrganizationInvariants:
+    @given(exponent=st.integers(2, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_signal_decreasing_in_lbl_length(self, exponent):
+        cells = 2 ** exponent
+        org = ArrayOrganization(node=_DRAM_NODE, cell=_TRENCH.spec(),
+                                total_bits=128 * kb, cells_per_lbl=cells,
+                                cell_aspect_ratio=1.0)
+        longer = ArrayOrganization(node=_DRAM_NODE, cell=_TRENCH.spec(),
+                                   total_bits=128 * kb,
+                                   cells_per_lbl=cells * 2,
+                                   cell_aspect_ratio=1.0)
+        assert longer.read_signal() < org.read_signal()
+        assert longer.lbl_capacitance() > org.lbl_capacitance()
+
+    @given(exponent=st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_block_accounting_exact(self, exponent):
+        bits = 128 * kb * 2 ** exponent
+        org = ArrayOrganization(node=_DRAM_NODE, cell=_TRENCH.spec(),
+                                total_bits=bits, cells_per_lbl=32,
+                                cell_aspect_ratio=1.0)
+        assert (org.n_localblocks * org.bits_per_localblock
+                == org.total_bits)
+        assert org.n_block_rows * org.n_block_columns == org.n_localblocks

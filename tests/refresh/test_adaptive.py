@@ -1,0 +1,131 @@
+"""Tests for adaptive refresh extensions (temperature + binned)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.refresh import (
+    BinnedRefreshPlan,
+    RefreshBin,
+    TemperatureAdaptiveRefresh,
+    plan_binned_refresh,
+)
+
+
+@pytest.fixture(scope="module")
+def retention_model(trench_cell):
+    return trench_cell.retention_model()
+
+
+class TestTemperatureAdaptive:
+    def test_base_point(self):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+        assert adaptive.retention_at(300.0) == pytest.approx(1e-3)
+
+    def test_halving_per_interval(self):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3,
+                                              doubling_interval=10.0)
+        assert adaptive.retention_at(310.0) == pytest.approx(0.5e-3)
+        assert adaptive.retention_at(290.0) == pytest.approx(2e-3)
+
+    def test_period_guard_banded(self):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3, guard=2.0)
+        assert adaptive.refresh_period_at(300.0) == pytest.approx(0.5e-3)
+
+    def test_saving_at_cool_operation(self):
+        """The headline of the feature: a die at room temperature saved
+        ~50x refresh power vs a fixed 85 C design point."""
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+        saving = adaptive.power_saving_vs_fixed(300.0, 358.0)
+        assert 30.0 < saving < 100.0
+
+    def test_saving_identity_at_design_point(self):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+        assert adaptive.power_saving_vs_fixed(358.0, 358.0) == pytest.approx(1.0)
+
+    def test_rejects_operation_above_design_point(self):
+        adaptive = TemperatureAdaptiveRefresh(base_retention=1e-3)
+        with pytest.raises(ConfigurationError):
+            adaptive.power_saving_vs_fixed(400.0, 358.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureAdaptiveRefresh(base_retention=0.0)
+        with pytest.raises(ConfigurationError):
+            TemperatureAdaptiveRefresh(base_retention=1e-3, guard=0.5)
+
+
+class TestBinnedPlan:
+    @pytest.fixture(scope="class")
+    def plan(self, retention_model):
+        return plan_binned_refresh(retention_model, n_blocks=128,
+                                   rows_per_block=32, n_bins=5)
+
+    def test_all_blocks_assigned(self, plan):
+        assert plan.n_blocks == 128
+
+    def test_periods_are_power_of_two_multiples(self, plan):
+        for i, bin_ in enumerate(plan.bins):
+            assert bin_.period == pytest.approx(plan.base_period * 2 ** i)
+
+    def test_binning_saves_power(self, plan):
+        """Most blocks escape the matrix-worst rate."""
+        assert plan.saving_factor() > 1.1
+
+    def test_finer_granularity_saves_more(self, retention_model):
+        coarse = plan_binned_refresh(retention_model, n_blocks=128,
+                                     rows_per_block=32, n_bins=6, seed=3)
+        fine = plan_binned_refresh(retention_model, n_blocks=4096,
+                                   rows_per_block=1, n_bins=6, seed=3)
+        assert fine.saving_factor() > coarse.saving_factor()
+
+    def test_single_bin_equals_uniform(self, retention_model):
+        plan = plan_binned_refresh(retention_model, n_blocks=64,
+                                   rows_per_block=32, n_bins=1)
+        assert plan.saving_factor() == pytest.approx(1.0)
+
+    def test_deterministic_under_seed(self, retention_model):
+        a = plan_binned_refresh(retention_model, n_blocks=64,
+                                rows_per_block=32, seed=5)
+        b = plan_binned_refresh(retention_model, n_blocks=64,
+                                rows_per_block=32, seed=5)
+        assert [x.block_count for x in a.bins] == \
+            [x.block_count for x in b.bins]
+
+    def test_power_formula(self, plan):
+        row_energy = 1.2e-12
+        manual = sum(b.block_count * plan.rows_per_block * row_energy
+                     / b.period for b in plan.bins)
+        assert plan.refresh_power(row_energy) == pytest.approx(manual)
+
+    def test_validation(self, retention_model):
+        with pytest.raises(ConfigurationError):
+            plan_binned_refresh(retention_model, n_blocks=0,
+                                rows_per_block=32)
+        with pytest.raises(ConfigurationError):
+            plan_binned_refresh(retention_model, n_blocks=4,
+                                rows_per_block=4, guard=0.5)
+        with pytest.raises(ConfigurationError):
+            RefreshBin(period=0.0, block_count=1)
+        with pytest.raises(ConfigurationError):
+            BinnedRefreshPlan(bins=[], rows_per_block=1, base_period=1.0,
+                              uniform_period=1.0)
+
+
+class TestVectorisedSampling:
+    def test_matches_scalar_distribution(self, retention_model, rng):
+        """sample_many must agree with the scalar sampler statistically."""
+        import numpy as np
+        vector = retention_model.sample_many(rng, 4000)
+        scalar = retention_model.monte_carlo(count=800).samples
+        # Compare medians within 20 %.
+        assert np.median(vector) == pytest.approx(np.median(scalar),
+                                                  rel=0.2)
+
+    def test_all_positive(self, retention_model, rng):
+        import numpy as np
+        samples = retention_model.sample_many(rng, 1000)
+        assert np.all(samples > 0)
+
+    def test_count_validated(self, retention_model, rng):
+        with pytest.raises(ConfigurationError):
+            retention_model.sample_many(rng, 0)

@@ -1,0 +1,113 @@
+"""Tests for the refresh-interference simulator (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.refresh import (
+    LocalizedRefresh,
+    MonoblockRefresh,
+    RefreshSimulator,
+    analytic_busy_fraction,
+    uniform_random_trace,
+)
+
+N_BLOCKS, ROWS = 128, 32
+CLOCK = 500e6
+
+
+def policy(cls, retention_s: float):
+    return cls(n_blocks=N_BLOCKS, rows_per_block=ROWS,
+               refresh_period_cycles=int(retention_s * CLOCK))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(7)
+    return uniform_random_trace(120_000, N_BLOCKS, 0.5, rng)
+
+
+class TestBasics:
+    def test_all_accesses_complete(self, trace):
+        stats = RefreshSimulator(policy(LocalizedRefresh, 200e-6)).run(trace)
+        assert stats.completed == stats.accesses
+
+    def test_refreshes_issued(self, trace):
+        stats = RefreshSimulator(policy(LocalizedRefresh, 200e-6)).run(trace)
+        # 120k cycles at one row per (period / 4096) cycles.
+        expected = 120_000 / (200e-6 * CLOCK / 4096)
+        assert stats.refreshes_issued == pytest.approx(expected, rel=0.1)
+
+    def test_empty_traffic_no_stalls(self):
+        empty = np.full(10_000, -1, dtype=np.int64)
+        stats = RefreshSimulator(policy(MonoblockRefresh, 200e-6)).run(empty)
+        assert stats.stall_cycles == 0
+        assert stats.busy_fraction == 0.0
+
+    def test_trace_validation(self):
+        bad = np.array([0, 5, 999])
+        with pytest.raises(SimulationError):
+            RefreshSimulator(policy(LocalizedRefresh, 200e-6)).run(bad)
+
+    def test_2d_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            RefreshSimulator(policy(LocalizedRefresh, 200e-6)).run(
+                np.zeros((2, 2), dtype=np.int64))
+
+
+class TestPaperFig5:
+    def test_localized_beats_monoblock(self, trace):
+        """The figure's core message, at every retention."""
+        for retention in (50e-6, 200e-6, 1e-3):
+            mono = RefreshSimulator(policy(MonoblockRefresh, retention)).run(trace)
+            local = RefreshSimulator(policy(LocalizedRefresh, retention)).run(trace)
+            assert local.busy_fraction < 0.05 * mono.busy_fraction
+
+    def test_penalty_negligible_at_high_retention(self, trace):
+        """Paper: 'the refresh timing penalty is negligible … especially
+        for high retention time'."""
+        local = RefreshSimulator(policy(LocalizedRefresh, 1e-3)).run(trace)
+        assert local.busy_fraction < 0.001
+
+    def test_monoblock_penalty_scales_inverse_retention(self, trace):
+        slow = RefreshSimulator(policy(MonoblockRefresh, 1e-3)).run(trace)
+        fast = RefreshSimulator(policy(MonoblockRefresh, 100e-6)).run(trace)
+        ratio = fast.busy_fraction / slow.busy_fraction
+        assert ratio == pytest.approx(10.0, rel=0.35)
+
+    def test_simulator_matches_analytic_order(self, trace):
+        """The closed form predicts the right magnitude (within 3x —
+        queueing effects make the simulation higher)."""
+        for cls in (MonoblockRefresh, LocalizedRefresh):
+            pol = policy(cls, 500e-6)
+            simulated = RefreshSimulator(pol).run(trace).busy_fraction
+            analytic = analytic_busy_fraction(pol, 0.5)
+            assert analytic <= simulated < 4 * analytic + 1e-5
+
+    def test_saturation_detected(self):
+        """A refresh period shorter than the refresh work saturates the
+        monoblock memory — the simulator must refuse, not hang."""
+        rng = np.random.default_rng(3)
+        heavy = uniform_random_trace(20_000, N_BLOCKS, 0.9, rng)
+        with pytest.raises(SimulationError):
+            RefreshSimulator(policy(MonoblockRefresh, 10e-6)).run(heavy)
+
+
+class TestAnalytic:
+    def test_localized_is_nblocks_cheaper(self):
+        mono = policy(MonoblockRefresh, 200e-6)
+        local = policy(LocalizedRefresh, 200e-6)
+        ratio = (analytic_busy_fraction(mono, 0.5)
+                 / analytic_busy_fraction(local, 0.5))
+        assert ratio == pytest.approx(N_BLOCKS, rel=0.01)
+
+    def test_scales_with_activity(self):
+        pol = policy(MonoblockRefresh, 200e-6)
+        assert analytic_busy_fraction(pol, 1.0) == pytest.approx(
+            2 * analytic_busy_fraction(pol, 0.5))
+
+    def test_activity_validated(self):
+        pol = policy(MonoblockRefresh, 200e-6)
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            analytic_busy_fraction(pol, 2.0)

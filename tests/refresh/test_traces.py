@@ -1,0 +1,82 @@
+"""Tests for access-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.refresh import (
+    bursty_trace,
+    hot_block_trace,
+    sequential_trace,
+    uniform_random_trace,
+)
+from repro.refresh.traces import IDLE
+
+
+class TestUniform:
+    def test_activity_matches(self, rng):
+        trace = uniform_random_trace(50000, 16, 0.5, rng)
+        assert np.mean(trace != IDLE) == pytest.approx(0.5, abs=0.02)
+
+    def test_blocks_in_range(self, rng):
+        trace = uniform_random_trace(10000, 16, 0.8, rng)
+        active = trace[trace != IDLE]
+        assert active.min() >= 0 and active.max() < 16
+
+    def test_roughly_uniform_across_blocks(self, rng):
+        trace = uniform_random_trace(64000, 8, 1.0, rng)
+        counts = np.bincount(trace, minlength=8)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_zero_activity_all_idle(self, rng):
+        trace = uniform_random_trace(1000, 16, 0.0, rng)
+        assert np.all(trace == IDLE)
+
+    def test_rejects_bad_activity(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_random_trace(100, 16, 1.5, rng)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_random_trace(0, 16, 0.5, rng)
+
+
+class TestBursty:
+    def test_long_run_activity(self, rng):
+        trace = bursty_trace(100000, 16, 0.5, rng, burst_length=16)
+        assert np.mean(trace != IDLE) == pytest.approx(0.5, abs=0.1)
+
+    def test_bursts_hit_single_block(self, rng):
+        trace = bursty_trace(10000, 16, 0.5, rng, burst_length=8)
+        # Find a burst start and check the next accesses share the block.
+        for i in range(len(trace) - 8):
+            if trace[i] != IDLE and (i == 0 or trace[i - 1] == IDLE):
+                burst = trace[i:i + 8]
+                if np.all(burst != IDLE):
+                    assert len(np.unique(burst)) == 1
+                    break
+        else:
+            pytest.fail("no complete burst found")
+
+    def test_rejects_bad_burst_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            bursty_trace(100, 16, 0.5, rng, burst_length=0)
+
+
+class TestSequential:
+    def test_visits_blocks_in_order(self, rng):
+        trace = sequential_trace(10000, 8, 1.0, rng)
+        active = trace[trace != IDLE]
+        diffs = np.diff(active) % 8
+        assert np.all(diffs == 1)
+
+
+class TestHotBlock:
+    def test_block_zero_dominates(self, rng):
+        trace = hot_block_trace(50000, 16, 0.5, rng, hot_fraction=0.8)
+        active = trace[trace != IDLE]
+        assert np.mean(active == 0) > 0.7
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            hot_block_trace(100, 16, 0.5, rng, hot_fraction=1.5)

@@ -1,0 +1,82 @@
+"""Tests for element parameter checks and waveform builders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spice import Capacitor, CurrentSource, Resistor, Switch, dc, pulse, pwl
+from repro.units import ns, ps
+
+
+class TestWaveforms:
+    def test_dc_constant(self):
+        w = dc(1.2)
+        assert w(0.0) == 1.2
+        assert w(1e-3) == 1.2
+
+    def test_pulse_levels(self):
+        w = pulse(0.0, 1.0, delay=1 * ns, rise=0.1 * ns, width=2 * ns)
+        assert w(0.0) == 0.0
+        assert w(1.05 * ns) == pytest.approx(0.5)
+        assert w(2 * ns) == 1.0
+        assert w(3.15 * ns) == pytest.approx(0.5)
+        assert w(10 * ns) == 0.0
+
+    def test_pulse_periodic(self):
+        w = pulse(0.0, 1.0, delay=0.0, rise=1 * ps, width=1 * ns,
+                  period=4 * ns)
+        assert w(0.5 * ns) == 1.0
+        assert w(2 * ns) == 0.0
+        assert w(4.5 * ns) == 1.0
+
+    def test_pulse_rejects_zero_rise(self):
+        with pytest.raises(ConfigurationError):
+            pulse(0.0, 1.0, delay=0.0, rise=0.0, width=1 * ns)
+
+    def test_pwl_interpolates(self):
+        w = pwl([(0.0, 0.0), (1e-9, 1.0)])
+        assert w(0.5e-9) == pytest.approx(0.5)
+
+    def test_pwl_clamps_outside(self):
+        w = pwl([(1e-9, 0.5), (2e-9, 1.5)])
+        assert w(0.0) == 0.5
+        assert w(5e-9) == 1.5
+
+    def test_pwl_rejects_non_increasing(self):
+        with pytest.raises(ConfigurationError):
+            pwl([(1e-9, 0.0), (1e-9, 1.0)])
+
+    def test_pwl_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            pwl([])
+
+
+class TestElementValidation:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Resistor("r", "a", "b", 0.0)
+
+    def test_resistor_current(self):
+        r = Resistor("r", "a", "b", 2.0)
+        assert r.current(3.0, 1.0) == pytest.approx(1.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor("c", "a", "b", -1e-15)
+
+    def test_switch_rejects_bad_resistances(self):
+        with pytest.raises(ConfigurationError):
+            Switch("s", "a", "b", "c", "0", r_on=1e3, r_off=10.0)
+
+    def test_switch_conductance_limits(self):
+        s = Switch("s", "a", "b", "c", "0", threshold=0.6, r_on=100.0)
+        assert s.conductance(1.2) == pytest.approx(1 / 100.0, rel=0.01)
+        assert s.conductance(0.0) == pytest.approx(1e-12, rel=0.1)
+
+    def test_switch_monotone_transition(self):
+        s = Switch("s", "a", "b", "c", "0", threshold=0.6)
+        values = [s.conductance(v) for v in (0.0, 0.55, 0.6, 0.65, 1.2)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_current_source_terminals(self):
+        i = CurrentSource("i", "a", "b", dc(1e-6))
+        assert list(i.terminals()) == ["a", "b"]

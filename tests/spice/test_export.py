@@ -1,0 +1,66 @@
+"""Tests for waveform CSV export."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    VoltageSource,
+    pulse,
+    save_waveforms,
+    simulate_transient,
+    waveforms_to_csv,
+)
+from repro.units import kohm, ns, pF, ps
+
+
+@pytest.fixture(scope="module")
+def result():
+    c = Circuit("rc")
+    c.add(VoltageSource("v1", "in", "0",
+                        pulse(0.0, 1.0, delay=0.1 * ns, rise=1 * ps,
+                              width=100 * ns)))
+    c.add(Resistor("r1", "in", "out", 1 * kohm))
+    c.add(Capacitor("c1", "out", "0", 1 * pF))
+    return simulate_transient(c, 2 * ns, 100 * ps)
+
+
+class TestCsv:
+    def test_header_and_row_count(self, result):
+        csv = waveforms_to_csv(result, ["in", "out"])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time,in,out"
+        assert len(lines) == 1 + len(result.time)
+
+    def test_time_unit_applied(self, result):
+        csv = waveforms_to_csv(result, ["out"], time_unit=1e-9)
+        last = csv.strip().splitlines()[-1]
+        assert float(last.split(",")[0]) == pytest.approx(2.0)
+
+    def test_values_match_result(self, result):
+        csv = waveforms_to_csv(result, ["out"])
+        final = float(csv.strip().splitlines()[-1].split(",")[1])
+        assert final == pytest.approx(result.final_voltage("out"),
+                                      rel=1e-4)
+
+    def test_unknown_node_rejected(self, result):
+        with pytest.raises(SimulationError):
+            waveforms_to_csv(result, ["nope"])
+
+    def test_empty_selection_rejected(self, result):
+        with pytest.raises(SimulationError):
+            waveforms_to_csv(result, [])
+
+    def test_bad_units_rejected(self, result):
+        with pytest.raises(SimulationError):
+            waveforms_to_csv(result, ["out"], time_unit=0.0)
+
+
+class TestSave:
+    def test_roundtrip_to_disk(self, result, tmp_path):
+        path = save_waveforms(result, ["in", "out"],
+                              tmp_path / "wave.csv")
+        assert path.exists()
+        assert path.read_text().startswith("time,in,out")

@@ -1,0 +1,95 @@
+"""Tests for waveform measurements."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    VoltageSource,
+    crossing_time,
+    delay_between,
+    pulse,
+    signal_swing,
+    simulate_transient,
+    source_charge,
+    source_energy,
+)
+from repro.units import kohm, ns, pF, ps
+
+
+@pytest.fixture(scope="module")
+def rc_result():
+    c = Circuit("rc")
+    c.add(VoltageSource("v1", "in", "0",
+                        pulse(0.0, 1.0, delay=0.1 * ns, rise=1 * ps,
+                              width=100 * ns)))
+    c.add(Resistor("r1", "in", "out", 1 * kohm))
+    c.add(Capacitor("c1", "out", "0", 1 * pF))
+    return simulate_transient(c, 10 * ns, 5 * ps)
+
+
+class TestCrossing:
+    def test_rise_crossing(self, rc_result):
+        t = crossing_time(rc_result, "out", 0.5, "rise")
+        expected = 0.1e-9 + 1e-9 * math.log(2.0)
+        assert t == pytest.approx(expected, rel=0.02)
+
+    def test_never_crossing_raises(self, rc_result):
+        with pytest.raises(SimulationError):
+            crossing_time(rc_result, "out", 2.0, "rise")
+
+    def test_wrong_direction_raises(self, rc_result):
+        with pytest.raises(SimulationError):
+            crossing_time(rc_result, "out", 0.5, "fall")
+
+    def test_any_direction(self, rc_result):
+        t_any = crossing_time(rc_result, "out", 0.5, "any")
+        t_rise = crossing_time(rc_result, "out", 0.5, "rise")
+        assert t_any == t_rise
+
+    def test_bad_direction_rejected(self, rc_result):
+        with pytest.raises(SimulationError):
+            crossing_time(rc_result, "out", 0.5, "sideways")
+
+    def test_start_time_skips_early_crossing(self, rc_result):
+        with pytest.raises(SimulationError):
+            crossing_time(rc_result, "out", 0.5, "rise", start=5 * ns)
+
+
+class TestDelay:
+    def test_input_to_output(self, rc_result):
+        d = delay_between(rc_result, "in", "out", 0.5, 0.5,
+                          "rise", "rise")
+        assert d == pytest.approx(1e-9 * math.log(2.0), rel=0.03)
+
+
+class TestSwing:
+    def test_full_swing(self, rc_result):
+        assert signal_swing(rc_result, "in") == pytest.approx(1.0, abs=1e-6)
+
+    def test_windowed_swing(self, rc_result):
+        late = signal_swing(rc_result, "out", start=6 * ns)
+        assert late < 0.01
+
+
+class TestEnergyCharge:
+    def test_charge_equals_cv(self, rc_result):
+        q = source_charge(rc_result, "v1")
+        assert q == pytest.approx(1e-12, rel=0.01)  # C * V
+
+    def test_energy_equals_cv2(self, rc_result):
+        e = source_energy(rc_result, "v1")
+        assert e == pytest.approx(1e-12, rel=0.01)  # C * V^2
+
+    def test_window_restricts_integral(self, rc_result):
+        early = source_energy(rc_result, "v1", stop=0.6 * ns)
+        total = source_energy(rc_result, "v1")
+        assert 0 < early < total
+
+    def test_empty_window_raises(self, rc_result):
+        with pytest.raises(SimulationError):
+            source_energy(rc_result, "v1", start=9.999 * ns, stop=9.9995 * ns)

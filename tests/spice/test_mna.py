@@ -1,0 +1,92 @@
+"""Tests for MNA assembly primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError, SimulationError
+from repro.spice import Circuit, Resistor, VoltageSource, dc
+from repro.spice.mna import MnaSystem, StampContext
+
+
+@pytest.fixture()
+def system():
+    c = Circuit("t")
+    c.add(VoltageSource("v1", "a", "0", dc(1.0)))
+    c.add(Resistor("r1", "a", "b", 1e3))
+    c.add(Resistor("r2", "b", "0", 1e3))
+    return MnaSystem(c)
+
+
+class TestIndexing:
+    def test_ground_is_minus_one(self, system):
+        assert system.index("0") == -1
+
+    def test_nodes_then_branches(self, system):
+        assert system.index("a") == 0
+        assert system.index("b") == 1
+        assert system.branch("v1") == 2
+        assert system.size == 3
+
+    def test_unknown_node_raises(self, system):
+        with pytest.raises(NetlistError):
+            system.index("zz")
+
+    def test_non_source_branch_raises(self, system):
+        with pytest.raises(NetlistError):
+            system.branch("r1")
+
+
+class TestStamps:
+    def test_conductance_stamp_symmetry(self, system):
+        system.stamp_conductance("a", "b", 2.0)
+        m = system.matrix
+        assert m[0, 0] == 2.0 and m[1, 1] == 2.0
+        assert m[0, 1] == -2.0 and m[1, 0] == -2.0
+
+    def test_conductance_to_ground_only_diagonal(self, system):
+        system.stamp_conductance("a", "0", 3.0)
+        assert system.matrix[0, 0] == 3.0
+        assert system.matrix[0, 1] == 0.0
+
+    def test_current_stamp(self, system):
+        system.stamp_current("a", "b", 1e-3)
+        assert system.rhs[0] == -1e-3
+        assert system.rhs[1] == 1e-3
+
+    def test_voltage_source_stamp(self, system):
+        system.stamp_voltage_source("v1", "a", "0", 1.0)
+        br = system.branch("v1")
+        assert system.matrix[0, br] == 1.0
+        assert system.matrix[br, 0] == 1.0
+        assert system.rhs[br] == 1.0
+
+    def test_reset_clears(self, system):
+        system.stamp_conductance("a", "b", 2.0)
+        system.reset()
+        assert np.all(system.matrix == 0.0)
+        assert np.all(system.rhs == 0.0)
+
+    def test_singular_solve_raises(self, system):
+        # Nothing stamped: singular.
+        with pytest.raises(SimulationError):
+            system.solve()
+
+    def test_transconductance_stamp(self, system):
+        system.stamp_transconductance("a", "b", "b", "0", 0.5)
+        # Current 0.5*V(b) flows a -> b.
+        assert system.matrix[0, 1] == 0.5
+        assert system.matrix[1, 1] == -0.5
+
+
+class TestStampContext:
+    def test_voltage_reads_iterate(self, system):
+        x = np.array([1.0, 0.5, 0.0])
+        ctx = StampContext(system=system, x=x)
+        assert ctx.voltage("a") == 1.0
+        assert ctx.voltage("b") == 0.5
+        assert ctx.voltage("0") == 0.0
+
+    def test_previous_requires_history(self, system):
+        ctx = StampContext(system=system, x=np.zeros(3))
+        with pytest.raises(SimulationError):
+            ctx.voltage("a", previous=True)

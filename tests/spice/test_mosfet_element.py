@@ -1,0 +1,115 @@
+"""Tests for the nonlinear MOSFET circuit element."""
+
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    MosfetElement,
+    VoltageSource,
+    crossing_time,
+    dc,
+    pulse,
+    simulate_transient,
+)
+from repro.tech import Mosfet, Polarity, VtFlavor
+from repro.units import fF, ns, ps, um
+
+
+@pytest.fixture(scope="module")
+def nmos(dram_node):
+    return Mosfet(dram_node, Polarity.NMOS, VtFlavor.HVT, width=0.24 * um,
+                  length_factor=1.5)
+
+
+@pytest.fixture(scope="module")
+def svt(logic_node):
+    return Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+
+
+class TestCurrentConvention:
+    def test_forward_conduction_positive(self, svt):
+        element = MosfetElement("m", "d", "g", "s", svt)
+        assert element.current(v_d=1.2, v_g=1.2, v_s=0.0) > 0
+
+    def test_reverse_conduction_negative(self, svt):
+        element = MosfetElement("m", "d", "g", "s", svt)
+        assert element.current(v_d=0.0, v_g=1.2, v_s=1.2) < 0
+
+    def test_symmetric_pass_transistor(self, svt):
+        """|I| equal for mirrored drain/source biases."""
+        element = MosfetElement("m", "d", "g", "s", svt)
+        forward = element.current(1.0, 1.2, 0.2)
+        reverse = element.current(0.2, 1.2, 1.0)
+        assert forward == pytest.approx(-reverse, rel=1e-9)
+
+    def test_off_device_negligible(self, svt):
+        element = MosfetElement("m", "d", "g", "s", svt)
+        assert abs(element.current(1.2, 0.0, 0.0)) < 1e-8
+
+    def test_pmos_conducts_with_low_gate(self, logic_node):
+        pmos = Mosfet(logic_node, Polarity.PMOS, VtFlavor.SVT, width=1 * um)
+        element = MosfetElement("m", "d", "g", "s", pmos)
+        # Source at vdd, gate low: current flows source -> drain,
+        # i.e. negative in drain->source convention.
+        assert element.current(v_d=0.0, v_g=0.0, v_s=1.2) < 0
+
+    def test_pmos_off_with_high_gate(self, logic_node):
+        pmos = Mosfet(logic_node, Polarity.PMOS, VtFlavor.SVT, width=1 * um)
+        element = MosfetElement("m", "d", "g", "s", pmos)
+        assert abs(element.current(v_d=0.0, v_g=1.2, v_s=1.2)) < 1e-8
+
+
+class TestPulldownTransient:
+    def test_delay_matches_cv_over_i(self, svt):
+        load = 20 * fF
+        c = Circuit("pulldown")
+        c.add(VoltageSource("vg", "g", "0",
+                            pulse(0.0, 1.2, delay=50 * ps, rise=5 * ps,
+                                  width=100 * ns)))
+        c.add(MosfetElement("m1", "out", "g", "0", svt))
+        c.add(Capacitor("cl", "out", "0", load, initial_voltage=1.2))
+        result = simulate_transient(c, 1 * ns, 1 * ps)
+        measured = crossing_time(result, "out", 0.6, "fall") - 55 * ps
+        analytic = load * 0.6 / svt.on_current()
+        assert measured == pytest.approx(analytic, rel=0.5)
+
+    def test_full_discharge(self, svt):
+        c = Circuit("pulldown")
+        c.add(VoltageSource("vg", "g", "0", dc(1.2)))
+        c.add(MosfetElement("m1", "out", "g", "0", svt))
+        c.add(Capacitor("cl", "out", "0", 20 * fF, initial_voltage=1.2))
+        result = simulate_transient(c, 2 * ns, 2 * ps)
+        assert result.final_voltage("out") < 1e-3
+
+
+class TestChargeSharing:
+    def test_bidirectional_settling(self, nmos):
+        """Cell and bitline equalise through the access device —
+        the paper's fundamental read mechanism."""
+        c = Circuit("share")
+        c.add(VoltageSource("wl", "wl", "0",
+                            pulse(0.0, 1.7, delay=50 * ps, rise=20 * ps,
+                                  width=100 * ns)))
+        c.add(MosfetElement("acc", "bl", "wl", "cell", nmos))
+        c.add(Capacitor("ccell", "cell", "0", 30 * fF, initial_voltage=0.0))
+        c.add(Capacitor("cbl", "bl", "0", 10 * fF, initial_voltage=1.0))
+        result = simulate_transient(c, 5 * ns, 2 * ps)
+        expected = 10.0 / 40.0  # charge conservation
+        assert result.final_voltage("bl") == pytest.approx(expected, abs=0.02)
+        assert result.final_voltage("cell") == pytest.approx(expected,
+                                                             abs=0.02)
+
+    def test_threshold_drop_without_overdrive(self, logic_node):
+        """Writing '1' through a 1.2 V word line loses a threshold —
+        the scratch-pad limitation the 1.7 V overdrive removes."""
+        access = Mosfet(logic_node, Polarity.NMOS, VtFlavor.HVT,
+                        width=0.24 * um, length_factor=1.5)
+        c = Circuit("write1")
+        c.add(VoltageSource("wl", "wl", "0", dc(1.2)))
+        c.add(VoltageSource("bl", "bl", "0", dc(1.2)))
+        c.add(MosfetElement("acc", "bl", "wl", "cell", access))
+        c.add(Capacitor("ccell", "cell", "0", 11 * fF, initial_voltage=0.0))
+        result = simulate_transient(c, 20 * ns, 10 * ps)
+        final = result.final_voltage("cell")
+        assert 0.55 < final < 0.95  # well below the 1.2 V bitline

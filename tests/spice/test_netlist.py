@@ -1,0 +1,62 @@
+"""Tests for circuit netlist construction."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, Resistor, VoltageSource, dc
+
+
+def divider() -> Circuit:
+    c = Circuit("divider")
+    c.add(VoltageSource("v1", "in", "0", dc(1.0)))
+    c.add(Resistor("r1", "in", "mid", 1e3))
+    c.add(Resistor("r2", "mid", "0", 1e3))
+    return c
+
+
+class TestConstruction:
+    def test_nodes_in_first_use_order(self):
+        assert divider().nodes() == ["in", "mid"]
+
+    def test_ground_not_a_node(self):
+        assert "0" not in divider().nodes()
+
+    def test_duplicate_element_name_rejected(self):
+        c = divider()
+        with pytest.raises(NetlistError):
+            c.add(Resistor("r1", "a", "b", 1.0))
+
+    def test_empty_element_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_element_lookup(self):
+        c = divider()
+        assert c.element("r1").resistance == 1e3
+
+    def test_unknown_element_lookup(self):
+        with pytest.raises(NetlistError):
+            divider().element("nope")
+
+    def test_elements_returns_all(self):
+        assert len(divider().elements) == 3
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        divider().validate()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit("empty").validate()
+
+    def test_floating_circuit_rejected(self):
+        c = Circuit("floating")
+        c.add(Resistor("r1", "a", "b", 1.0))
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_source_flags(self):
+        c = divider()
+        assert c.element("v1").is_source()
+        assert not c.element("r1").is_source()

@@ -1,0 +1,61 @@
+"""Tests for hierarchical netlist scopes."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, Resistor, Scope, VoltageSource, dc, solve_dc
+
+
+def build_divider(scope: Scope, r_top: float, r_bot: float) -> None:
+    scope.add(Resistor(scope.name("rt"), scope.node("in"),
+                       scope.node("mid"), r_top))
+    scope.add(Resistor(scope.name("rb"), scope.node("mid"),
+                       scope.node("out"), r_bot))
+
+
+class TestScopeNaming:
+    def test_ports_resolve_to_parent(self):
+        c = Circuit("t")
+        scope = Scope(c, "x1", {"in": "vin", "out": "0"})
+        assert scope.node("in") == "vin"
+        assert scope.node("out") == "0"
+
+    def test_internal_nodes_prefixed(self):
+        scope = Scope(Circuit("t"), "x1")
+        assert scope.node("mid") == "x1.mid"
+        assert scope.name("r1") == "x1.r1"
+
+    def test_ground_is_global(self):
+        scope = Scope(Circuit("t"), "x1")
+        assert scope.node("0") == "0"
+
+    def test_instance_name_validated(self):
+        with pytest.raises(NetlistError):
+            Scope(Circuit("t"), "")
+        with pytest.raises(NetlistError):
+            Scope(Circuit("t"), "a.b")
+
+    def test_child_scopes_nest(self):
+        c = Circuit("t")
+        parent = Scope(c, "x1", {"in": "vin"})
+        child = parent.child("y", ports={"a": "in", "b": "local"})
+        assert child.node("a") == "vin"          # via parent port
+        assert child.node("b") == "x1.local"     # parent-internal node
+        assert child.node("own") == "x1/y.own"   # child-internal node
+
+
+class TestInstantiation:
+    def test_two_instances_isolated(self):
+        c = Circuit("two")
+        c.add(VoltageSource("v1", "vin", "0", dc(1.0)))
+        build_divider(Scope(c, "x1", {"in": "vin", "out": "0"}), 1e3, 1e3)
+        build_divider(Scope(c, "x2", {"in": "vin", "out": "0"}), 3e3, 1e3)
+        op = solve_dc(c)
+        assert op["x1.mid"] == pytest.approx(0.5, abs=1e-6)
+        assert op["x2.mid"] == pytest.approx(0.25, abs=1e-6)
+
+    def test_same_instance_twice_collides(self):
+        c = Circuit("dup")
+        build_divider(Scope(c, "x1", {"in": "a", "out": "0"}), 1e3, 1e3)
+        with pytest.raises(NetlistError):
+            build_divider(Scope(c, "x1", {"in": "a", "out": "0"}), 1e3, 1e3)

@@ -1,0 +1,37 @@
+"""Tests for the SRAM baseline model assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sramref import SramBaselineDesign
+from repro.tech import VtFlavor
+from repro.units import kb
+
+
+class TestAssembly:
+    def test_default_build(self, sram_macro_128kb):
+        org = sram_macro_128kb.organization
+        assert org.total_bits == 128 * kb
+        assert org.cells_per_lbl == 16
+        assert not org.cell.is_dynamic
+
+    def test_static_mechanism(self, sram_macro_128kb):
+        assert sram_macro_128kb.static_power().mechanism == "leakage"
+
+    def test_tunable_sense_amplifiers(self, sram_macro_128kb):
+        """The [10] design's signature feature."""
+        assert sram_macro_128kb.local_sa.tunable
+        assert sram_macro_128kb.global_sa.tunable
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ConfigurationError):
+            SramBaselineDesign().build(0)
+
+    def test_custom_flavor(self):
+        hvt = SramBaselineDesign(cell_flavor=VtFlavor.HVT).build(128 * kb)
+        svt = SramBaselineDesign(cell_flavor=VtFlavor.SVT).build(128 * kb)
+        assert (hvt.static_power().power < 0.3 * svt.static_power().power)
+
+    def test_custom_capacity(self):
+        macro = SramBaselineDesign().build(512 * kb)
+        assert macro.organization.total_bits == 512 * kb

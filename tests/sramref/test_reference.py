@@ -1,0 +1,53 @@
+"""Tests for the published-SRAM calibration anchors."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.sramref import PUBLISHED_REFERENCE
+from repro.units import MHz, kb, ns, pJ
+
+
+class TestPublishedFigures:
+    def test_identity(self):
+        ref = PUBLISHED_REFERENCE
+        assert ref.capacity_bits == 128 * kb
+        assert ref.energy_per_access == pytest.approx(3.6 * pJ)
+        assert ref.nominal_frequency == pytest.approx(480 * MHz)
+        assert ref.boost_frequency == pytest.approx(850 * MHz)
+
+    def test_cycle_times(self):
+        assert PUBLISHED_REFERENCE.nominal_cycle_time == pytest.approx(
+            2.083 * ns, rel=0.01)
+        assert PUBLISHED_REFERENCE.boost_cycle_time == pytest.approx(
+            1.176 * ns, rel=0.01)
+
+
+class TestChecks:
+    def test_energy_in_band_passes(self):
+        error = PUBLISHED_REFERENCE.check_energy(3.2 * pJ)
+        assert error == pytest.approx(-0.111, rel=0.01)
+
+    def test_energy_out_of_band_raises(self):
+        with pytest.raises(CalibrationError):
+            PUBLISHED_REFERENCE.check_energy(10 * pJ)
+
+    def test_access_time_in_band_passes(self):
+        error = PUBLISHED_REFERENCE.check_access_time(1.0 * ns)
+        assert abs(error) < 0.45
+
+    def test_access_time_out_of_band_raises(self):
+        with pytest.raises(CalibrationError):
+            PUBLISHED_REFERENCE.check_access_time(5 * ns)
+
+
+class TestModelAgainstAnchors:
+    def test_modelled_energy_within_tolerance(self, sram_macro_128kb):
+        """The calibration guard: our SRAM instance must stay near the
+        silicon numbers, or every DRAM ratio in the paper reproduction
+        loses its meaning."""
+        PUBLISHED_REFERENCE.check_energy(
+            sram_macro_128kb.read_energy().total)
+
+    def test_modelled_access_within_tolerance(self, sram_macro_128kb):
+        PUBLISHED_REFERENCE.check_access_time(
+            sram_macro_128kb.access_time())

@@ -1,0 +1,114 @@
+"""Tests for the stack thermal model and refresh coupling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.refresh import TemperatureAdaptiveRefresh
+from repro.stack3d import (
+    RefreshThermalCoupling,
+    StackThermalModel,
+    ThermalLayer,
+)
+
+
+def two_die_stack(logic_power: float = 2.0,
+                  sink_resistance: float = 2.0) -> StackThermalModel:
+    return StackThermalModel(
+        layers=(ThermalLayer("logic", power=logic_power, area=25e-6),
+                ThermalLayer("memory", power=0.05, area=25e-6)),
+        ambient=318.0,
+        sink_resistance=sink_resistance,
+    )
+
+
+class TestLadder:
+    def test_total_power_sets_base_rise(self):
+        result = two_die_stack(logic_power=2.0).solve()
+        assert result.temperatures[0] == pytest.approx(
+            318.0 + 2.05 * 2.0, rel=1e-6)
+
+    def test_upper_die_at_least_as_hot(self):
+        result = two_die_stack().solve()
+        assert result.temperatures[1] >= result.temperatures[0]
+
+    def test_more_power_hotter(self):
+        cool = two_die_stack(logic_power=1.0).solve()
+        hot = two_die_stack(logic_power=6.0).solve()
+        assert hot.hottest() > cool.hottest() + 5.0
+
+    def test_better_heatsink_cooler(self):
+        weak = two_die_stack(sink_resistance=4.0).solve()
+        strong = two_die_stack(sink_resistance=0.5).solve()
+        assert strong.hottest() < weak.hottest()
+
+    def test_extra_powers_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            two_die_stack().solve(extra_powers=[1.0])
+
+    def test_layer_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalLayer("bad", power=-1.0, area=1e-6)
+        with pytest.raises(ConfigurationError):
+            StackThermalModel(layers=())
+
+
+class TestRefreshCoupling:
+    @pytest.fixture()
+    def coupling(self):
+        return RefreshThermalCoupling(
+            stack=two_die_stack(),
+            memory_layer=1,
+            refresh_model=TemperatureAdaptiveRefresh(
+                base_retention=1e-3, base_temperature=300.0),
+            rows=4096,
+            row_energy=1.77e-12,
+        )
+
+    def test_fixed_point_converges(self, coupling):
+        result, power = coupling.solve()
+        assert result.iterations < 20
+        assert power > 0
+
+    def test_refresh_power_above_cold_value(self, coupling):
+        """The stack runs above the 300 K calibration point, so the
+        converged refresh power exceeds the cold 14.5 uW figure."""
+        _result, power = coupling.solve()
+        cold = coupling.refresh_power_at(300.0)
+        assert power > 2 * cold
+
+    def test_hotter_logic_more_refresh_power(self):
+        def solve(logic_power):
+            coupling = RefreshThermalCoupling(
+                stack=two_die_stack(logic_power=logic_power),
+                memory_layer=1,
+                refresh_model=TemperatureAdaptiveRefresh(
+                    base_retention=1e-3, base_temperature=300.0),
+                rows=4096, row_energy=1.77e-12)
+            return coupling.solve()[1]
+
+        assert solve(6.0) > 1.5 * solve(1.0)
+
+    def test_feedback_contributes_heat(self, coupling):
+        """The converged temperature includes the refresh power itself."""
+        no_feedback = coupling.stack.solve()
+        result, power = coupling.solve()
+        assert result.temperatures[1] >= no_feedback.temperatures[1]
+        del power
+
+    def test_runaway_detected(self):
+        """An absurdly weak heatsink with a huge refresh load must be
+        reported as thermal runaway, not iterated forever."""
+        coupling = RefreshThermalCoupling(
+            stack=two_die_stack(logic_power=40.0, sink_resistance=10.0),
+            memory_layer=1,
+            refresh_model=TemperatureAdaptiveRefresh(
+                base_retention=1e-4, base_temperature=300.0,
+                doubling_interval=5.0),
+            rows=65536, row_energy=2e-12)
+        with pytest.raises(ConfigurationError, match="runaway"):
+            coupling.solve(max_iterations=30)
+
+    def test_layer_index_validated(self, coupling):
+        import dataclasses
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(coupling, memory_layer=5)

@@ -1,0 +1,51 @@
+"""Tests for the TSV model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stack3d import TsvModel
+from repro.units import fF, um
+
+
+class TestElectrical:
+    def test_resistance_small(self):
+        """A 10 um Cu column: well below an ohm."""
+        assert TsvModel().resistance < 0.1
+
+    def test_capacitance_tens_of_ff(self):
+        assert 10 * fF < TsvModel().capacitance < 100 * fF
+
+    def test_energy_quadratic_in_swing(self):
+        tsv = TsvModel()
+        assert tsv.energy_per_transition(1.2) == pytest.approx(
+            4 * tsv.energy_per_transition(0.6))
+
+    def test_narrower_via_more_resistive(self):
+        thin = TsvModel(diameter=5 * um, pitch=20 * um)
+        thick = TsvModel(diameter=10 * um)
+        assert thin.resistance > thick.resistance
+
+
+class TestDensity:
+    def test_vias_scale_with_area(self):
+        tsv = TsvModel()
+        assert tsv.vias_per_area(4e-6) == 4 * tsv.vias_per_area(1e-6)
+
+    def test_area_argument_validated(self):
+        with pytest.raises(ConfigurationError):
+            TsvModel().vias_per_area(0.0)
+
+    def test_thousands_per_die(self):
+        """The paper's bandwidth argument: TSVs spread across a die give
+        thousands of connections (vs hundreds of pins)."""
+        assert TsvModel().vias_per_area(25e-6) > 1000
+
+
+class TestValidation:
+    def test_pitch_below_diameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TsvModel(diameter=20 * um, pitch=10 * um)
+
+    def test_nonpositive_swing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TsvModel().energy_per_transition(0.0)

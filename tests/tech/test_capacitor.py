@@ -1,0 +1,67 @@
+"""Tests for storage capacitor models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import CapacitorKind, StorageCapacitor
+from repro.units import fF, um2
+
+
+class TestCmosGate:
+    def test_paper_value(self, logic_node):
+        cap = StorageCapacitor.cmos_gate(logic_node)
+        assert cap.capacitance == pytest.approx(11 * fF)
+        assert cap.kind is CapacitorKind.CMOS_GATE
+
+    def test_area_sub_micron_squared(self, logic_node):
+        cap = StorageCapacitor.cmos_gate(logic_node)
+        assert 0.1 * um2 < cap.area < 2 * um2
+
+    def test_dielectric_leak_scales_with_area(self, logic_node):
+        small = StorageCapacitor.cmos_gate(logic_node, capacitance=5 * fF)
+        big = StorageCapacitor.cmos_gate(logic_node, capacitance=20 * fF)
+        assert big.dielectric_leakage == pytest.approx(
+            4 * small.dielectric_leakage)
+
+
+class TestDeepTrench:
+    def test_paper_value(self, dram_node):
+        cap = StorageCapacitor.deep_trench(dram_node)
+        assert cap.capacitance == pytest.approx(30 * fF)
+        assert cap.kind is CapacitorKind.DEEP_TRENCH
+
+    def test_negligible_dielectric_leak(self, dram_node):
+        cap = StorageCapacitor.deep_trench(dram_node)
+        assert cap.dielectric_leakage < 1e-15
+
+    def test_small_footprint(self, dram_node, logic_node):
+        trench = StorageCapacitor.deep_trench(dram_node)
+        planar = StorageCapacitor.cmos_gate(logic_node)
+        # The trench goes down, not sideways.
+        assert trench.area < 0.2 * planar.area
+
+
+class TestMim:
+    def test_area_follows_density(self):
+        cap = StorageCapacitor.mim(capacitance=10 * fF, density=2 * fF / um2)
+        assert cap.area == pytest.approx(5 * um2)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            StorageCapacitor.mim(capacitance=10 * fF, density=0.0)
+
+
+class TestValidation:
+    def test_stored_charge(self, dram_node):
+        cap = StorageCapacitor.deep_trench(dram_node)
+        assert cap.stored_charge(1.0) == pytest.approx(30e-15)
+
+    def test_stored_charge_rejects_negative(self, dram_node):
+        cap = StorageCapacitor.deep_trench(dram_node)
+        with pytest.raises(ConfigurationError):
+            cap.stored_charge(-0.5)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            StorageCapacitor(kind=CapacitorKind.MIM, capacitance=0.0,
+                             area=1e-12, dielectric_leakage=0.0)

@@ -1,0 +1,75 @@
+"""Tests for process corners and temperature derating."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import Corner, Mosfet, Polarity, VtFlavor, apply_corner
+from repro.units import um
+
+
+def drive(node):
+    return Mosfet(node, Polarity.NMOS, VtFlavor.SVT, width=1 * um).on_current()
+
+
+def leak(node):
+    return Mosfet(node, Polarity.NMOS, VtFlavor.SVT, width=1 * um).off_current()
+
+
+class TestCornerOrdering:
+    def test_ff_faster_than_tt_faster_than_ss(self, logic_node):
+        tt = drive(apply_corner(logic_node, Corner.TT))
+        ff = drive(apply_corner(logic_node, Corner.FF))
+        ss = drive(apply_corner(logic_node, Corner.SS))
+        assert ff > tt > ss
+
+    def test_ff_leaks_most(self, logic_node):
+        tt = leak(apply_corner(logic_node, Corner.TT))
+        ff = leak(apply_corner(logic_node, Corner.FF))
+        ss = leak(apply_corner(logic_node, Corner.SS))
+        assert ff > tt > ss
+
+    def test_tt_is_identity_at_same_temperature(self, logic_node):
+        tt = apply_corner(logic_node, Corner.TT)
+        base = logic_node.params(Polarity.NMOS, VtFlavor.SVT)
+        shifted = tt.params(Polarity.NMOS, VtFlavor.SVT)
+        assert shifted.vth == pytest.approx(base.vth)
+        assert shifted.k_sat == pytest.approx(base.k_sat)
+
+    def test_skewed_corners_split_polarities(self, logic_node):
+        fs = apply_corner(logic_node, Corner.FS)
+        base_n = logic_node.params(Polarity.NMOS, VtFlavor.SVT).vth
+        base_p = logic_node.params(Polarity.PMOS, VtFlavor.SVT).vth
+        assert fs.params(Polarity.NMOS, VtFlavor.SVT).vth < base_n
+        assert fs.params(Polarity.PMOS, VtFlavor.SVT).vth > base_p
+
+
+class TestTemperature:
+    def test_hot_device_is_slower(self, logic_node):
+        hot = apply_corner(logic_node, Corner.TT, temperature=398.0)
+        assert drive(hot) < drive(logic_node)
+
+    def test_hot_device_leaks_more(self, logic_node):
+        hot = apply_corner(logic_node, Corner.TT, temperature=398.0)
+        assert leak(hot) > 10 * leak(logic_node)
+
+    def test_junction_leak_doubles_every_10k(self, logic_node):
+        hot = apply_corner(logic_node, Corner.TT, temperature=330.0)
+        ratio = hot.junction_leak_per_width / logic_node.junction_leak_per_width
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_swing_scales_with_temperature(self, logic_node):
+        hot = apply_corner(logic_node, Corner.TT, temperature=360.0)
+        base = logic_node.params(Polarity.NMOS, VtFlavor.SVT)
+        shifted = hot.params(Polarity.NMOS, VtFlavor.SVT)
+        assert shifted.subthreshold_swing == pytest.approx(
+            base.subthreshold_swing * 1.2, rel=0.01)
+
+    def test_rejects_extreme_temperature(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            apply_corner(logic_node, Corner.TT, temperature=500.0)
+        with pytest.raises(ConfigurationError):
+            apply_corner(logic_node, Corner.TT, temperature=100.0)
+
+    def test_corner_name_recorded(self, logic_node):
+        ss = apply_corner(logic_node, Corner.SS, temperature=398.0)
+        assert "ss" in ss.name and "398" in ss.name

@@ -1,0 +1,154 @@
+"""Tests for the analytic MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import Mosfet, Polarity, VtFlavor
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def nmos_svt(logic_node):
+    return Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+
+
+class TestConstruction:
+    def test_rejects_zero_width(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=0.0)
+
+    def test_rejects_sub_minimum_length(self, logic_node):
+        with pytest.raises(ConfigurationError):
+            Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um,
+                   length_factor=0.5)
+
+
+class TestCurrents:
+    def test_on_current_in_lp_band(self, nmos_svt):
+        # 90 nm LP NMOS: a few hundred uA/um.
+        ion = nmos_svt.on_current() / 1e-6
+        assert 300 < ion < 800
+
+    def test_off_current_matches_card(self, nmos_svt):
+        assert nmos_svt.off_current() == pytest.approx(
+            nmos_svt.params.i_off * nmos_svt.width, rel=0.05)
+
+    def test_monotonic_in_vgs(self, nmos_svt):
+        currents = [nmos_svt.drain_current(v, 1.2)
+                    for v in np.linspace(0, 1.2, 50)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_monotonic_in_vds(self, nmos_svt):
+        currents = [nmos_svt.drain_current(1.2, v)
+                    for v in np.linspace(0, 1.2, 50)]
+        assert all(b >= a - 1e-15 for a, b in zip(currents, currents[1:]))
+
+    def test_continuous_around_threshold(self, nmos_svt):
+        """No jump where subthreshold hands over to strong inversion.
+
+        Fine 1 mV steps across the transition: adjacent samples must
+        never jump by more than the steepest physical slope allows.
+        """
+        vth = nmos_svt.effective_vth(vds=0.6)
+        grid = np.arange(vth - 0.05, vth + 0.05, 0.001)
+        currents = [nmos_svt.drain_current(v, 0.6) for v in grid]
+        ratios = [b / a for a, b in zip(currents, currents[1:])]
+        assert max(ratios) < 1.5
+
+    def test_scales_linearly_with_width(self, logic_node):
+        narrow = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=0.5 * um)
+        wide = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=2 * um)
+        assert wide.on_current() == pytest.approx(
+            4 * narrow.on_current(), rel=0.01)
+
+    def test_longer_channel_weaker_drive(self, logic_node):
+        short = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+        long = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um,
+                      length_factor=2.0)
+        assert long.on_current() < short.on_current()
+
+    def test_negative_vgs_gives_negligible_current(self, nmos_svt):
+        assert nmos_svt.drain_current(-0.3, 1.0) < 1e-12
+
+    def test_rejects_negative_vds(self, nmos_svt):
+        with pytest.raises(ConfigurationError):
+            nmos_svt.drain_current(1.0, -0.1)
+
+    def test_subthreshold_decade_per_swing(self, nmos_svt):
+        swing = nmos_svt.params.subthreshold_swing
+        i1 = nmos_svt.drain_current(0.10, 1.2)
+        i2 = nmos_svt.drain_current(0.10 + swing, 1.2)
+        assert i2 / i1 == pytest.approx(10.0, rel=0.05)
+
+    def test_dibl_raises_leakage_with_vds(self, nmos_svt):
+        assert nmos_svt.off_current(1.2) > nmos_svt.off_current(0.4)
+
+    def test_linear_region_below_saturation(self, nmos_svt):
+        shallow = nmos_svt.drain_current(1.2, 0.05)
+        deep = nmos_svt.drain_current(1.2, 1.2)
+        assert shallow < 0.3 * deep
+
+
+class TestVthModifiers:
+    def test_dibl_lowers_vth(self, nmos_svt):
+        assert (nmos_svt.effective_vth(vds=1.2)
+                < nmos_svt.effective_vth(vds=0.0))
+
+    def test_body_effect_raises_vth(self, nmos_svt):
+        assert (nmos_svt.effective_vth(vds=0.0, vsb=0.5)
+                > nmos_svt.effective_vth(vds=0.0, vsb=0.0))
+
+    def test_vth_floor(self, nmos_svt):
+        # Even silly biases never yield a depletion-mode device.
+        assert nmos_svt.effective_vth(vds=100.0) >= 0.05
+
+
+class TestCapacitances:
+    def test_gate_cap_matches_constant(self, nmos_svt):
+        expected = nmos_svt.node.gate_cap_per_width * 1 * um
+        assert nmos_svt.gate_capacitance() == pytest.approx(expected)
+
+    def test_gate_cap_grows_with_length(self, logic_node):
+        short = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+        long = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um,
+                      length_factor=1.5)
+        assert long.gate_capacitance() == pytest.approx(
+            1.5 * short.gate_capacitance())
+
+    def test_junction_cap_positive(self, nmos_svt):
+        assert nmos_svt.junction_capacitance() > 0
+
+
+class TestHelpers:
+    def test_on_resistance_sane(self, nmos_svt):
+        # ~1 kohm/um at LP 90 nm.
+        assert 300 < nmos_svt.on_resistance() < 3000
+
+    def test_scaled_width(self, nmos_svt):
+        doubled = nmos_svt.scaled(2.0)
+        assert doubled.width == pytest.approx(2 * um)
+        assert doubled.on_resistance() == pytest.approx(
+            nmos_svt.on_resistance() / 2, rel=0.01)
+
+    def test_scaled_rejects_nonpositive(self, nmos_svt):
+        with pytest.raises(ConfigurationError):
+            nmos_svt.scaled(0.0)
+
+    def test_gate_leakage_scales_with_area(self, logic_node):
+        small = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+        big = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=3 * um)
+        assert big.gate_leakage() == pytest.approx(3 * small.gate_leakage())
+
+
+class TestPmos:
+    def test_pmos_weaker(self, logic_node):
+        n = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT, width=1 * um)
+        p = Mosfet(logic_node, Polarity.PMOS, VtFlavor.SVT, width=1 * um)
+        assert p.on_current() < n.on_current()
+
+    def test_pmos_still_monotone(self, logic_node):
+        p = Mosfet(logic_node, Polarity.PMOS, VtFlavor.SVT, width=1 * um)
+        currents = [p.drain_current(v, 1.2) for v in np.linspace(0, 1.2, 30)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))

@@ -1,0 +1,23 @@
+"""Run the doctests embedded in module docstrings.
+
+The examples in docstrings are part of the public documentation; this
+test keeps them executable so they cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.report
+import repro.spice.netlist
+import repro.units
+
+MODULES = [repro.units, repro.spice.netlist, repro.core.report]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "module has no doctests to run"

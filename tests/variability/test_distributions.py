@@ -1,0 +1,55 @@
+"""Tests for distribution specs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variability import GaussianSpec, LognormalSpec
+
+
+class TestGaussian:
+    def test_sample_statistics(self, rng):
+        spec = GaussianSpec(mean=2.0, sigma=0.5)
+        samples = spec.sample(rng, 20000)
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_quantile_at_sigma(self):
+        spec = GaussianSpec(mean=1.0, sigma=0.1)
+        assert spec.quantile_at_sigma(6.0) == pytest.approx(1.6)
+        assert spec.quantile_at_sigma(-6.0) == pytest.approx(0.4)
+
+    def test_zero_sigma_degenerate(self, rng):
+        spec = GaussianSpec(mean=3.0, sigma=0.0)
+        assert float(spec.sample(rng)) == 3.0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            GaussianSpec(mean=0.0, sigma=-1.0)
+
+
+class TestLognormal:
+    def test_median_preserved(self, rng):
+        spec = LognormalSpec(median=1e-12, sigma_ln=0.8)
+        samples = spec.sample(rng, 20000)
+        assert np.median(samples) == pytest.approx(1e-12, rel=0.05)
+
+    def test_quantiles_symmetric_in_log(self):
+        spec = LognormalSpec(median=1.0, sigma_ln=0.5)
+        high = spec.quantile_at_sigma(2.0)
+        low = spec.quantile_at_sigma(-2.0)
+        assert high * low == pytest.approx(1.0, rel=1e-9)
+
+    def test_mean_above_median(self):
+        spec = LognormalSpec(median=1.0, sigma_ln=1.0)
+        assert spec.mean() == pytest.approx(math.exp(0.5), rel=1e-9)
+
+    def test_all_samples_positive(self, rng):
+        spec = LognormalSpec(median=1e-15, sigma_ln=1.5)
+        assert np.all(spec.sample(rng, 5000) > 0)
+
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ConfigurationError):
+            LognormalSpec(median=0.0, sigma_ln=0.5)

@@ -1,0 +1,69 @@
+"""Tests for Pelgrom mismatch scaling."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import Mosfet, Polarity, VtFlavor
+from repro.units import mV, um
+from repro.variability import PelgromModel, vth_sigma
+
+
+class TestVthSigma:
+    def test_area_scaling(self, logic_node):
+        small = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                       width=0.12 * um)
+        large = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                       width=0.48 * um)
+        # 4x the area -> half the sigma.
+        assert vth_sigma(small) == pytest.approx(2 * vth_sigma(large))
+
+    def test_longer_channel_less_mismatch(self, logic_node):
+        short = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                       width=0.24 * um)
+        long = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                      width=0.24 * um, length_factor=4.0)
+        assert vth_sigma(long) == pytest.approx(vth_sigma(short) / 2)
+
+    def test_magnitude_minimum_device(self, logic_node):
+        """A near-minimum device at 90 nm: tens of millivolts."""
+        device = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=0.12 * um)
+        assert 20 * mV < vth_sigma(device) < 60 * mV
+
+    def test_rejects_bad_avt(self, logic_node):
+        device = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=1 * um)
+        with pytest.raises(ConfigurationError):
+            vth_sigma(device, avt=0.0)
+
+
+class TestPelgromModel:
+    def test_spec_zero_mean(self, logic_node):
+        device = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=1 * um)
+        spec = PelgromModel().vth_spec(device)
+        assert spec.mean == 0.0
+        assert spec.sigma == pytest.approx(vth_sigma(device))
+
+    def test_sample_count(self, logic_node, rng):
+        device = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=1 * um)
+        shifts = PelgromModel().sample_vth_shifts(device, rng, 100)
+        assert len(shifts) == 100
+
+    def test_sample_rejects_zero_count(self, logic_node, rng):
+        device = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                        width=1 * um)
+        with pytest.raises(ConfigurationError):
+            PelgromModel().sample_vth_shifts(device, rng, 0)
+
+    def test_beta_sigma_scales_with_area(self, logic_node):
+        model = PelgromModel()
+        small = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                       width=0.12 * um)
+        large = Mosfet(logic_node, Polarity.NMOS, VtFlavor.SVT,
+                       width=1.2 * um)
+        assert model.beta_sigma(small) == pytest.approx(
+            model.beta_sigma(large) * math.sqrt(10.0))

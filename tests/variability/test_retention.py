@@ -1,0 +1,91 @@
+"""Tests for the retention-time model — the paper's Sec. III methodology."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+
+class TestLeakageBudget:
+    def test_scratchpad_dominated_by_subthreshold(self, scratchpad_cell):
+        model = scratchpad_cell.retention_model()
+        assert model.subthreshold_leak() > model.junction_leak()
+        assert model.subthreshold_leak() > model.dielectric_leak()
+
+    def test_trench_dominated_by_junction(self, trench_cell):
+        """The negative word-line low level kills the subthreshold term."""
+        model = trench_cell.retention_model()
+        assert model.junction_leak() > 10 * model.subthreshold_leak()
+
+    def test_vth_shift_multiplies_exponentially(self, scratchpad_cell):
+        model = scratchpad_cell.retention_model()
+        swing = model.access_device.params.subthreshold_swing
+        base = model.subthreshold_leak(0.0)
+        shifted = model.subthreshold_leak(-swing)
+        assert shifted / base == pytest.approx(10.0, rel=0.05)
+
+
+class TestNominalRetention:
+    def test_scratchpad_hundreds_of_microseconds(self, scratchpad_cell):
+        t = scratchpad_cell.retention_model().nominal_retention()
+        assert 50 * us < t < 2000 * us
+
+    def test_trench_much_longer(self, scratchpad_cell, trench_cell):
+        sp = scratchpad_cell.retention_model().nominal_retention()
+        tr = trench_cell.retention_model().nominal_retention()
+        assert tr > 20 * sp
+
+    def test_retention_proportional_to_margin(self, trench_cell):
+        base = trench_cell.retention_model()
+        doubled = dataclasses.replace(base,
+                                      readable_margin=2 * base.readable_margin)
+        assert doubled.nominal_retention() == pytest.approx(
+            2 * base.nominal_retention())
+
+
+class TestStatistics:
+    def test_worst_case_below_typical(self, trench_cell):
+        stats = trench_cell.retention_model().statistics(count=600)
+        assert 0 < stats.worst_case < stats.typical
+
+    def test_more_sigma_is_more_conservative(self, trench_cell):
+        model = trench_cell.retention_model()
+        s3 = model.statistics(count=600, n_sigma=3.0)
+        s6 = model.statistics(count=600, n_sigma=6.0)
+        assert s6.worst_case < s3.worst_case
+
+    def test_reproducible(self, trench_cell):
+        model = trench_cell.retention_model()
+        a = model.statistics(count=400, seed=11)
+        b = model.statistics(count=400, seed=11)
+        assert a.worst_case == b.worst_case
+
+    def test_paper_band_scratchpad(self, scratchpad_cell):
+        """The paper's conservative scratch-pad worst case is in the
+        (single-digit to tens of) microseconds band."""
+        stats = scratchpad_cell.retention_model().statistics(count=1000)
+        assert 1 * us < stats.worst_case < 100 * us
+
+    def test_paper_band_trench(self, trench_cell):
+        """DRAM-technology worst case lands near a millisecond."""
+        stats = trench_cell.retention_model().statistics(count=1000)
+        assert 200 * us < stats.worst_case < 5000 * us
+
+    def test_sample_positive(self, trench_cell, rng):
+        model = trench_cell.retention_model()
+        assert model.sample_retention(rng) > 0
+
+
+class TestValidation:
+    def test_rejects_bad_margin(self, trench_cell):
+        model = trench_cell.retention_model()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(model, readable_margin=0.0)
+
+    def test_stats_ordering_enforced(self):
+        from repro.variability import RetentionStatistics
+        with pytest.raises(ConfigurationError):
+            RetentionStatistics(typical=1e-6, mean=1e-6, worst_case=1e-3,
+                                n_sigma=6.0, sample_count=100)
