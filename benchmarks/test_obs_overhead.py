@@ -1,0 +1,127 @@
+"""Disabled-instrumentation overhead bound on the Fig. 5 loop.
+
+The instrumentation layer promises that leaving its hooks compiled into
+the hot paths costs < 2 % of the Fig. 5 refresh-interference loop while
+disabled.  The bound is asserted deterministically: measure the cost of
+one disabled hook (no-op span enter/exit + null-registry instrument
+fetch/update), count how many hooks one simulator run actually
+executes (via a counting registry with instrumentation enabled), and
+compare the product against the measured loop time.  A direct
+enabled-vs-disabled wall-clock comparison is also recorded for the
+timing summary, but not asserted — it is the noisy version of the same
+quantity.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.refresh import (LocalizedRefresh, MonoblockRefresh,
+                           RefreshSimulator, uniform_random_trace)
+from benchmarks._util import record_result
+
+CYCLES = 20_000
+N_BLOCKS, ROWS = 128, 32
+OVERHEAD_BOUND = 0.02
+
+
+class _CountingRegistry(MetricsRegistry):
+    """Counts instrument fetches — one fetch ≈ one hook execution."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fetches = 0
+
+    def counter(self, name):
+        self.fetches += 1
+        return super().counter(name)
+
+    def gauge(self, name):
+        self.fetches += 1
+        return super().gauge(name)
+
+    def histogram(self, name, buckets=None):
+        self.fetches += 1
+        return super().histogram(name, buckets)
+
+
+def _fig5_iteration(trace: np.ndarray) -> None:
+    """One representative slice of the Fig. 5 sweep (both policies)."""
+    period = int(100e-6 * 500e6)
+    for cls in (MonoblockRefresh, LocalizedRefresh):
+        policy = cls(n_blocks=N_BLOCKS, rows_per_block=ROWS,
+                     refresh_period_cycles=period)
+        RefreshSimulator(policy).run(trace)
+
+
+def _time(fn, *args, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _disabled_hook_cost(iterations: int = 50_000) -> float:
+    """Mean cost of one disabled hook: span + metric fetch + update."""
+    assert not obs.is_enabled()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("bench", key=1):
+            pass
+        obs.metrics().counter("bench.counter").inc()
+    return (time.perf_counter() - start) / iterations
+
+
+def test_disabled_overhead_below_bound():
+    rng = np.random.default_rng(2009)
+    trace = uniform_random_trace(CYCLES, N_BLOCKS, 0.5, rng)
+
+    # 1. The real loop, instrumentation disabled (the shipped default).
+    assert not obs.is_enabled()
+    t_disabled = _time(_fig5_iteration, trace)
+
+    # 2. Hooks executed per iteration, counted with instrumentation on.
+    registry = _CountingRegistry()
+    tracer = Tracer()
+    with obs.instrumented(registry=registry, tracer=tracer):
+        _fig5_iteration(trace)
+    hooks = registry.fetches + tracer.total_spans()
+
+    # 3. Per-hook disabled cost, measured in isolation.
+    per_hook = _disabled_hook_cost()
+
+    overhead = hooks * per_hook / t_disabled
+    assert overhead < OVERHEAD_BOUND, (
+        f"disabled instrumentation costs {overhead:.3%} of the Fig. 5 "
+        f"loop ({hooks} hooks x {per_hook * 1e9:.0f} ns vs "
+        f"{t_disabled * 1e3:.1f} ms)")
+
+    # Noisy cross-check, recorded but not asserted.
+    with obs.instrumented():
+        t_enabled = _time(_fig5_iteration, trace)
+
+    record_result("obs_overhead", "\n".join([
+        f"fig5 slice ({CYCLES} cycles, both policies), best of 5:",
+        f"  disabled instrumentation : {t_disabled * 1e3:9.2f} ms",
+        f"  enabled instrumentation  : {t_enabled * 1e3:9.2f} ms",
+        f"  hooks per iteration      : {hooks}",
+        f"  disabled cost per hook   : {per_hook * 1e9:9.0f} ns",
+        f"  bounded disabled overhead: {overhead:9.4%} "
+        f"(asserted < {OVERHEAD_BOUND:.0%})",
+    ]))
+
+
+def test_disabled_hooks_record_nothing():
+    rng = np.random.default_rng(2009)
+    trace = uniform_random_trace(2000, N_BLOCKS, 0.5, rng)
+    _fig5_iteration(trace)
+    assert obs.tracer().finished_roots() == []
+    assert obs.metrics().snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}}

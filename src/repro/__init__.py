@@ -25,7 +25,16 @@ Subpackages
     The ESSCIRC'08 SRAM baseline.
 ``repro.stack3d`` / ``repro.cache``
     The 3D-interconnect context and the cache-level application.
+``repro.obs``
+    Instrumentation: metrics registry, span tracing, run reports.
 """
+
+import logging
+
+# Library convention: module loggers under the "repro" namespace emit
+# nothing unless the application configures handlers (the CLI's
+# -v/--verbose does).
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 from repro.core.fastdram import FastDramDesign, FastDramMacro
 from repro.core.compare import SramDramComparison

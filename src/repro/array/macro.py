@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
+from repro import obs
 from repro.array.energy import AccessEnergy, EnergyModel
 from repro.array.floorplan import Floorplan
 from repro.array.organization import ArrayOrganization
@@ -87,16 +88,31 @@ class MacroDesign:
 
     def summary(self) -> Dict[str, float]:
         """The paper's headline quantities as a flat dict (SI units)."""
-        static = self.static_power()
-        return {
+        with obs.span("macro.summary",
+                      total_bits=self.organization.total_bits):
+            with obs.span("macro.timing"):
+                access_time = self.access_time()
+            with obs.span("macro.energy"):
+                read_energy = self.read_energy().total
+                write_energy = self.write_energy().total
+                per_bit = self.energy_per_bit(write=False)
+            with obs.span("macro.floorplan"):
+                area = self.area()
+            with obs.span("macro.static"):
+                static = self.static_power()
+        figures = {
             "total_bits": float(self.organization.total_bits),
-            "access_time_s": self.access_time(),
-            "read_energy_j": self.read_energy().total,
-            "write_energy_j": self.write_energy().total,
-            "read_energy_per_bit_j": self.energy_per_bit(write=False),
-            "area_m2": self.area(),
+            "access_time_s": access_time,
+            "read_energy_j": read_energy,
+            "write_energy_j": write_energy,
+            "read_energy_per_bit_j": per_bit,
+            "area_m2": area,
             "static_power_w": static.power,
         }
+        m = obs.metrics()
+        for name, value in figures.items():
+            m.gauge(f"macro.{name}").set(value)
+        return figures
 
     def describe(self) -> str:
         """Multi-line human-readable report."""

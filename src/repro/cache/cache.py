@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 
@@ -157,6 +158,23 @@ class Cache:
                             evicted_dirty_line=evicted_dirty)
 
     # -- introspection -----------------------------------------------------------
+
+    def publish_metrics(self, prefix: str = "cache") -> None:
+        """Export the running stats as gauges under ``prefix``.
+
+        Gauges (not counters) because :class:`CacheStats` is already
+        cumulative — re-publishing after more accesses overwrites with
+        the new totals instead of double counting.
+        """
+        m = obs.metrics()
+        stats = self.stats
+        m.gauge(f"{prefix}.reads").set(stats.reads)
+        m.gauge(f"{prefix}.writes").set(stats.writes)
+        m.gauge(f"{prefix}.hits").set(stats.hits)
+        m.gauge(f"{prefix}.misses").set(stats.accesses - stats.hits)
+        m.gauge(f"{prefix}.evictions").set(stats.evictions)
+        m.gauge(f"{prefix}.dirty_evictions").set(stats.dirty_evictions)
+        m.gauge(f"{prefix}.hit_rate").set(stats.hit_rate)
 
     def contains(self, address: int) -> bool:
         set_index, tag = self._locate(address)

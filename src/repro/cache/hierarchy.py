@@ -12,13 +12,17 @@ of replacing the SRAM L1.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.array.macro import MacroDesign
 from repro.cache.cache import Cache
 from repro.cache.workloads import AddressTrace
 from repro.errors import ConfigurationError
 from repro.units import ns, pJ
+
+_log = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -115,6 +119,20 @@ class CacheHierarchy:
         the line back (one write per level filled), and dirty evictions
         write through to the next level.
         """
+        with obs.span("hierarchy.run", levels=len(self.levels),
+                      accesses=len(trace)):
+            stats = self._walk(trace)
+        m = obs.metrics()
+        m.counter("hierarchy.accesses").inc(stats.accesses)
+        m.counter("hierarchy.backing_accesses").inc(stats.backing_accesses)
+        for level in self.levels:
+            level.cache.publish_metrics(prefix=f"cache.{level.name}")
+        _log.debug("hierarchy run: %d accesses, hits per level %s, "
+                   "%d to backing", stats.accesses, stats.level_hits,
+                   stats.backing_accesses)
+        return stats
+
+    def _walk(self, trace: AddressTrace) -> HierarchyStats:
         total_energy = 0.0
         total_time = 0.0
         hits = [0] * len(self.levels)

@@ -66,6 +66,16 @@ class NextLinePrefetcher:
     def contains(self, address: int) -> bool:
         return self.cache.contains(address)
 
+    def publish_metrics(self, prefix: str = "cache") -> None:
+        """Demand-cache gauges plus the prefetcher's own counters."""
+        from repro import obs
+        self.cache.publish_metrics(prefix=prefix)
+        m = obs.metrics()
+        m.gauge(f"{prefix}.prefetches_issued").set(self.prefetch_stats.issued)
+        m.gauge(f"{prefix}.prefetches_useful").set(self.prefetch_stats.useful)
+        m.gauge(f"{prefix}.prefetch_accuracy").set(
+            self.prefetch_stats.accuracy)
+
     # -- the access path -------------------------------------------------------
 
     def access(self, address: int, write: bool = False) -> AccessResult:

@@ -18,11 +18,15 @@ shell.  Commands map one-to-one onto the library's top-level API:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core import FastDramDesign, SramDramComparison, format_table
 from repro.units import Mb, kb, ns, pJ, si_format, uW
+
+_log = logging.getLogger(__name__)
 
 
 def _add_size_argument(parser: argparse.ArgumentParser) -> None:
@@ -72,15 +76,18 @@ def cmd_fig5(args: argparse.Namespace) -> None:
     rng = np.random.default_rng(2009)
     trace = uniform_random_trace(args.cycles, 128, 0.5, rng)
     rows = []
-    for retention_us in (20, 100, 500, 1000):
-        period = int(retention_us * 1e-6 * 500e6)
-        entry = [f"{retention_us} us"]
-        for cls in (MonoblockRefresh, LocalizedRefresh):
-            policy = cls(n_blocks=128, rows_per_block=32,
-                         refresh_period_cycles=period)
-            stats = RefreshSimulator(policy).run(trace)
-            entry.append(f"{100 * stats.busy_fraction:.3f} %")
-        rows.append(entry)
+    with obs.span("simulate", cycles=args.cycles):
+        for retention_us in (20, 100, 500, 1000):
+            period = int(retention_us * 1e-6 * 500e6)
+            entry = [f"{retention_us} us"]
+            for cls in (MonoblockRefresh, LocalizedRefresh):
+                policy = cls(n_blocks=128, rows_per_block=32,
+                             refresh_period_cycles=period)
+                with obs.span(f"policy.{cls.__name__}",
+                              retention_us=retention_us):
+                    stats = RefreshSimulator(policy).run(trace)
+                entry.append(f"{100 * stats.busy_fraction:.3f} %")
+            rows.append(entry)
     print(format_table(["retention", "monoblock", "128 localblocks"], rows))
 
 
@@ -211,6 +218,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--retention", type=float, default=1e-3,
                         help="worst-case retention override, seconds "
                              "(default 1e-3)")
+    # Shared flags accepted after any subcommand: instrumentation and
+    # logging controls (`repro fig5 --profile --metrics-out run.json`).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--profile", action="store_true",
+                        help="enable instrumentation and print the span "
+                             "tree + metrics after the command")
+    common.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the instrumented run report "
+                             "(spans + metrics + config fingerprint) "
+                             "as JSON to FILE")
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log INFO (-v) or DEBUG (-vv) to stderr")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, extra in (
@@ -227,7 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("optimize", cmd_optimize, "optimize"),
         ("sensitivity", cmd_sensitivity, None),
     ):
-        sub = subparsers.add_parser(name, help=handler.__doc__)
+        sub = subparsers.add_parser(name, help=handler.__doc__,
+                                    parents=[common])
         _add_size_argument(sub)
         if extra == "fig5":
             sub.add_argument("--cycles", type=int, default=60_000)
@@ -247,10 +267,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(verbosity: int) -> None:
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(level)
+
+
+def _report_config(args: argparse.Namespace) -> dict:
+    """The run's effective configuration, for the report fingerprint."""
+    return {key: value for key, value in vars(args).items()
+            if key not in ("handler", "profile", "metrics_out", "verbose")}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.handler(args)
+    _configure_logging(getattr(args, "verbose", 0))
+    profiling = bool(getattr(args, "profile", False)
+                     or getattr(args, "metrics_out", None))
+    _log.info("running command %r", args.command)
+    if not profiling:
+        args.handler(args)
+        return 0
+
+    registry, tracer = obs.MetricsRegistry(), obs.Tracer()
+    with obs.instrumented(registry=registry, tracer=tracer):
+        with obs.span(args.command):
+            args.handler(args)
+    report = obs.build_run_report(args.command, _report_config(args),
+                                  registry, tracer)
+    if args.metrics_out:
+        obs.write_run_report(args.metrics_out, args.command,
+                             _report_config(args), report=report)
+        _log.info("run report written to %s", args.metrics_out)
+    if args.profile:
+        _print_profile(report, tracer)
     return 0
+
+
+def _print_profile(report: dict, tracer: "obs.Tracer") -> None:
+    print("\n== spans ==", file=sys.stderr)
+    print(obs.format_span_tree(tracer.finished_roots()), file=sys.stderr)
+    print("== metrics ==", file=sys.stderr)
+    snapshot = report["metrics"]
+    for counter, value in snapshot["counters"].items():
+        print(f"  {counter:<40} {value:g}", file=sys.stderr)
+    for gauge, value in snapshot["gauges"].items():
+        print(f"  {gauge:<40} {value:g}", file=sys.stderr)
+    for hist, data in snapshot["histograms"].items():
+        if data["count"]:
+            print(f"  {hist:<40} n={data['count']} "
+                  f"mean={data['sum'] / data['count']:.2f}",
+                  file=sys.stderr)
+        else:
+            print(f"  {hist:<40} n=0", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,9 @@ the methodology (paper Fig. 6):
 from __future__ import annotations
 
 import dataclasses
+import logging
 
+from repro import obs
 from repro.array.macro import MacroDesign
 from repro.array.organization import ArrayOrganization
 from repro.array.senseamp import SenseAmplifier
@@ -23,6 +25,8 @@ from repro.errors import ConfigurationError
 from repro.tech.node import TechnologyNode
 from repro.units import fF, kb
 from repro.variability.retention import RetentionStatistics
+
+_log = logging.getLogger(__name__)
 
 DRAM_CELLS_PER_LBL = 32
 SCRATCHPAD_CELLS_PER_LBL = 16
@@ -111,28 +115,33 @@ class FastDramDesign:
         """
         if total_bits <= 0:
             raise ConfigurationError("total_bits must be positive")
-        node = self.node()
-        cell = self.cell()
-        organization = ArrayOrganization(
-            node=node,
-            cell=cell.spec(),
-            total_bits=total_bits,
-            word_bits=word_bits,
-            cells_per_lbl=self.resolved_cells_per_lbl(),
-            cell_aspect_ratio=DRAM_CELL_ASPECT,
-        )
-        # DRAM local SA: larger than the SRAM one — it resolves a
-        # smaller useful differential (single-ended vs dummy reference)
-        # and restores the cell, which is the paper's "more power on the
-        # local sense amplifiers" remark.
-        local_sa = SenseAmplifier(node, input_units=5.0,
-                                  internal_cap=6 * fF, tunable=True)
-        global_sa = SenseAmplifier(node, input_units=6.0,
-                                   internal_cap=8 * fF, tunable=True)
-        return FastDramMacro(
-            organization=organization,
-            local_sa=local_sa,
-            global_sa=global_sa,
-            retention_override=retention_override,
-            cell_design=cell,
-        )
+        with obs.span("macro.build", technology=self.technology,
+                      total_bits=total_bits):
+            _log.debug("building %s macro: %d bits, %d-bit words",
+                       self.technology, total_bits, word_bits)
+            node = self.node()
+            cell = self.cell()
+            organization = ArrayOrganization(
+                node=node,
+                cell=cell.spec(),
+                total_bits=total_bits,
+                word_bits=word_bits,
+                cells_per_lbl=self.resolved_cells_per_lbl(),
+                cell_aspect_ratio=DRAM_CELL_ASPECT,
+            )
+            # DRAM local SA: larger than the SRAM one — it resolves a
+            # smaller useful differential (single-ended vs dummy
+            # reference) and restores the cell, which is the paper's
+            # "more power on the local sense amplifiers" remark.
+            local_sa = SenseAmplifier(node, input_units=5.0,
+                                      internal_cap=6 * fF, tunable=True)
+            global_sa = SenseAmplifier(node, input_units=6.0,
+                                       internal_cap=8 * fF, tunable=True)
+            obs.metrics().counter("macro.builds").inc()
+            return FastDramMacro(
+                organization=organization,
+                local_sa=local_sa,
+                global_sa=global_sa,
+                retention_override=retention_override,
+                cell_design=cell,
+            )

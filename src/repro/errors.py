@@ -17,7 +17,31 @@ class ConfigurationError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """A numerical solver (Newton, transient) failed to converge."""
+    """A numerical solver (Newton, transient) failed to converge.
+
+    Carries structured diagnostics when the raiser knows them:
+    ``time`` (failing time point, seconds), ``iterations`` (Newton
+    iterations spent), ``worst_node`` (name of the node with the
+    largest residual update).  They are folded into the message and
+    kept as attributes for programmatic triage.
+    """
+
+    def __init__(self, message: str, *, time: "float | None" = None,
+                 iterations: "int | None" = None,
+                 worst_node: "str | None" = None) -> None:
+        details = []
+        if time is not None:
+            details.append(f"t={time:g}s")
+        if iterations is not None:
+            details.append(f"after {iterations} Newton iterations")
+        if worst_node is not None:
+            details.append(f"worst residual at node {worst_node!r}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.time = time
+        self.iterations = iterations
+        self.worst_node = worst_node
 
 
 class NetlistError(ReproError):

@@ -1,0 +1,132 @@
+"""repro.obs — instrumentation: metrics, span tracing, run reports.
+
+The layer every performance claim in this repo reports through.  Three
+pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` — nested wall-time spans
+  (``with span("newton.solve"):``) folded into a per-run tree;
+* :mod:`repro.obs.report` — serialises one run (span tree + metrics +
+  config fingerprint) to JSON.
+
+Instrumentation is **disabled by default**.  Library code calls
+:func:`span` and :func:`metrics` unconditionally; while disabled those
+return shared no-op objects, so the cost at every call site is a flag
+test plus an empty ``with`` block — bounded below 2 % of the Fig. 5
+simulation loop by ``benchmarks/test_obs_overhead.py``.  The CLI's
+``--profile`` / ``--metrics-out`` flags (and tests, via
+:func:`instrumented`) switch the real implementations in.
+
+Typical library-side usage::
+
+    from repro import obs
+
+    with obs.span("simulate", cycles=n):
+        ...
+        obs.metrics().counter("refresh.stall_cycles").inc(stalls)
+
+Typical harness-side usage::
+
+    obs.enable()
+    run_the_thing()
+    report = obs.run_report("fig5", config={...})
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry, NULL_REGISTRY, NullRegistry)
+from repro.obs.report import (REPORT_SCHEMA, build_run_report,
+                              config_fingerprint, write_run_report)
+from repro.obs.tracing import (NOOP_SPAN, Span, Tracer, _NoopSpan,
+                               format_span_tree)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "DEFAULT_BUCKETS",
+    "Span", "Tracer", "NOOP_SPAN", "format_span_tree",
+    "REPORT_SCHEMA", "build_run_report", "config_fingerprint",
+    "write_run_report",
+    "enable", "disable", "is_enabled", "reset", "instrumented",
+    "metrics", "tracer", "span", "run_report",
+]
+
+# Process-global default instances.  ``enable()`` may swap in injected
+# ones; the defaults persist so repeated enable/disable cycles keep
+# accumulating into the same registry until ``reset()``.
+_enabled: bool = False
+_registry: MetricsRegistry = MetricsRegistry()
+_tracer: Tracer = Tracer()
+
+
+def is_enabled() -> bool:
+    """Is instrumentation currently recording?"""
+    return _enabled
+
+
+def enable(registry: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None) -> None:
+    """Turn instrumentation on, optionally injecting instances."""
+    global _enabled, _registry, _tracer
+    if registry is not None:
+        _registry = registry
+    if tracer is not None:
+        _tracer = tracer
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (recorded data stays until reset)."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear every recorded metric and span on the default instances."""
+    _registry.reset()
+    _tracer.reset()
+
+
+def metrics() -> Union[MetricsRegistry, NullRegistry]:
+    """The active registry — the null registry while disabled."""
+    return _registry if _enabled else NULL_REGISTRY
+
+
+def tracer() -> Tracer:
+    """The active tracer (even while disabled, for inspection)."""
+    return _tracer
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
+    """Open a (nested) timed span; no-op while disabled."""
+    if not _enabled:
+        return NOOP_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def run_report(command: str, config: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the JSON-serialisable report of the current run."""
+    return build_run_report(command, config, _registry, _tracer)
+
+
+@contextlib.contextmanager
+def instrumented(registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> Iterator[MetricsRegistry]:
+    """Temporarily enable instrumentation (tests' main entry point).
+
+    Yields the active registry; on exit the previous global state —
+    enabled flag, registry, tracer — is restored exactly.
+    """
+    global _enabled, _registry, _tracer
+    saved = (_enabled, _registry, _tracer)
+    try:
+        enable(registry=registry or MetricsRegistry(),
+               tracer=tracer or Tracer())
+        yield _registry
+    finally:
+        _enabled, _registry, _tracer = saved

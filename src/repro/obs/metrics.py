@@ -1,0 +1,274 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named instruments.  Instruments are
+created on first use (``registry.counter("refresh.stalls")``) and
+accumulate until :meth:`MetricsRegistry.reset`.  The registry is plain
+in-process bookkeeping — no background threads, no exporters — so it is
+cheap enough to leave compiled into the hot paths and serialise at the
+end of a run (:mod:`repro.obs.report`).
+
+Instrumented code should fetch instruments through
+:func:`repro.obs.metrics` (the process-global default), which returns
+no-op instruments while instrumentation is disabled; this module's
+classes are the *enabled* implementations plus their null twins.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("hits").inc()
+>>> registry.counter("hits").inc(2)
+>>> registry.counter("hits").value
+3.0
+>>> registry.histogram("lat", buckets=(1, 10)).observe(5)
+>>> registry.snapshot()["histograms"]["lat"]["counts"]
+[0, 1, 0]
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets — upper bounds, ascending; a final +inf
+#: overflow bucket is implicit.  Chosen to resolve iteration counts and
+#: millisecond-scale durations alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (a level, a fraction, a size)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    ``buckets`` are ascending upper bounds; an implicit +inf bucket
+    catches overflow, so ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "_sum", "_count")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
+        if any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must strictly ascend: {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+
+class _NullCounter:
+    """No-op counter handed out while instrumentation is disabled."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    buckets: Tuple[float, ...] = ()
+    counts: List[int] = []
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to exactly one instrument kind for the registry's
+    lifetime; asking for the same name as a different kind (or a
+    histogram with different buckets) raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unbound(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS)
+        elif (buckets is not None
+              and tuple(float(b) for b in buckets) != instrument.buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{instrument.buckets}")
+        return instrument
+
+    def _check_unbound(self, name: str, own_kind: Dict[str, object]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own_kind and name in kind:
+                raise ConfigurationError(
+                    f"metric name {name!r} already bound to another kind")
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Serialisable view of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests call this between cases)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class NullRegistry:
+    """Registry twin whose instruments discard everything.
+
+    Returned by :func:`repro.obs.metrics` while instrumentation is
+    disabled, so call sites never branch — they always fetch and update
+    an instrument, and the disabled path costs two no-op calls.
+    """
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def names(self) -> Iterable[str]:
+        return ()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,85 @@
+"""Run reports: one JSON document per instrumented run.
+
+A run report bundles everything the instrumentation layer captured —
+the span tree, the metrics snapshot, and a fingerprint of the run's
+configuration — into a single serialisable dict, so a benchmark result
+or a CLI invocation can be archived and diffed against later runs
+(``python -m repro fig5 --profile --metrics-out run.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import platform
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Bumped whenever the report layout changes incompatibly.
+REPORT_SCHEMA = 1
+
+
+def config_fingerprint(config: Dict[str, Any]) -> str:
+    """Stable short hash of a configuration mapping.
+
+    Key order does not matter; values are canonicalised through JSON
+    (falling back to ``repr`` for non-JSON types), so two runs with the
+    same effective configuration share a fingerprint.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def build_run_report(command: str, config: Dict[str, Any],
+                     registry: MetricsRegistry,
+                     tracer: Tracer) -> Dict[str, Any]:
+    """Assemble the serialisable report for one finished run."""
+    from repro import __version__
+
+    roots = tracer.finished_roots()
+    return {
+        "schema": REPORT_SCHEMA,
+        "command": command,
+        "config": {key: _jsonable(value) for key, value in config.items()},
+        "fingerprint": config_fingerprint(config),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "total_duration_s": sum(root.duration for root in roots),
+        "span_count": tracer.total_spans(),
+        "spans": tracer.to_dict(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_run_report(path: "str | pathlib.Path", command: str,
+                     config: Dict[str, Any],
+                     registry: Optional[MetricsRegistry] = None,
+                     tracer: Optional[Tracer] = None,
+                     report: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
+    """Serialise the run report to ``path``; returns the report dict.
+
+    Either pass ``registry`` + ``tracer`` to build the report here, or
+    a prebuilt ``report`` dict (in which case they are ignored).
+    """
+    if report is None:
+        if registry is None or tracer is None:
+            raise ValueError("need registry and tracer, or a report")
+        report = build_run_report(command, config, registry, tracer)
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2, default=repr) + "\n")
+    return report
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)

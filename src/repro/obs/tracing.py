@@ -1,0 +1,171 @@
+"""Span-based tracing: nested wall-time regions via context managers.
+
+A span is one timed region of a run::
+
+    with span("newton.solve", circuit="senseamp"):
+        ...
+
+Spans nest: a span opened while another is active becomes its child,
+so a whole run folds into a tree (``Tracer.finished_roots``).  Wall
+time comes from :func:`time.perf_counter`; a span that exits via an
+exception is still closed (and tagged with the exception type), so the
+tree stays consistent under failures.
+
+When instrumentation is disabled, :func:`repro.obs.span` returns the
+module-level :data:`NOOP_SPAN` singleton instead of touching any
+tracer — the disabled path is one flag test plus an empty ``with``
+block, which is what keeps the overhead below the benchmarked bound
+(``benchmarks/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed region; a node of the run's span tree."""
+
+    __slots__ = ("name", "attrs", "children", "start", "duration", "error",
+                 "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List[Span] = []
+        self.start = 0.0
+        self.duration = 0.0
+        self.error: Optional[str] = None
+        self._tracer = tracer
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._pop(self)
+        return False  # never swallow the exception
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        node: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            node["error"] = self.error
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+    def total_spans(self) -> int:
+        return 1 + sum(c.total_spans() for c in self.children)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first span named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class Tracer:
+    """Owns the active span stack and the finished root spans."""
+
+    def __init__(self) -> None:
+        self._stack: List[Span] = []
+        self._roots: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    # -- stack maintenance (called by Span.__enter__/__exit__) ---------------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate a corrupted stack (a span closed twice) rather than
+        # masking the caller's exception with an internal one.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+            if not self._stack:
+                self._roots.append(span)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def active(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def finished_roots(self) -> List[Span]:
+        return list(self._roots)
+
+    def total_spans(self) -> int:
+        return sum(root.total_spans() for root in self._roots)
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [root.to_dict() for root in self._roots]
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._roots.clear()
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+    name = "<noop>"
+    duration = 0.0
+    error = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def format_span_tree(roots: List[Span]) -> str:
+    """Indented text rendering of a span forest (the --profile view)."""
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = ""
+        if span.attrs:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        error = f" !{span.error}" if span.error else ""
+        lines.append(f"{'  ' * depth}{span.name:<{max(1, 40 - 2 * depth)}}"
+                     f"{span.duration * 1e3:10.3f} ms{attrs}{error}")
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

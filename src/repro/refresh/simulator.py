@@ -13,12 +13,16 @@ random traffic; tests cross-check the simulator against it.
 from __future__ import annotations
 
 import dataclasses
+import logging
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.refresh.controller import RefreshOperation, RefreshPolicy
 from repro.refresh.traces import IDLE
+
+_log = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -33,14 +37,38 @@ class SimulationStats:
 
     @property
     def busy_fraction(self) -> float:
-        """Fraction of all cycles lost to refresh stalls."""
+        """Fraction of all cycles lost to refresh stalls.
+
+        An empty simulation (zero cycles) is defined as 0.0 busy, not a
+        division error:
+
+        >>> SimulationStats(total_cycles=0, accesses=0, completed=0,
+        ...                 stall_cycles=0, refreshes_issued=0).busy_fraction
+        0.0
+        >>> SimulationStats(total_cycles=100, accesses=50, completed=50,
+        ...                 stall_cycles=25, refreshes_issued=3).busy_fraction
+        0.25
+        """
         if self.total_cycles == 0:
             return 0.0
         return self.stall_cycles / self.total_cycles
 
     @property
     def access_delay_ratio(self) -> float:
-        """Average extra cycles per access due to refresh."""
+        """Average extra cycles per access due to refresh.
+
+        An idle trace (zero accesses) experiences no delay by
+        definition, even if refreshes were issued:
+
+        >>> SimulationStats(total_cycles=100, accesses=0, completed=0,
+        ...                 stall_cycles=0, refreshes_issued=5
+        ...                 ).access_delay_ratio
+        0.0
+        >>> SimulationStats(total_cycles=100, accesses=10, completed=10,
+        ...                 stall_cycles=5, refreshes_issued=3
+        ...                 ).access_delay_ratio
+        0.5
+        """
         if self.accesses == 0:
             return 0.0
         return self.stall_cycles / self.accesses
@@ -60,6 +88,24 @@ class RefreshSimulator:
         """
         if trace.ndim != 1:
             raise SimulationError("trace must be one-dimensional")
+        policy = self.policy
+        scope = type(policy).__name__
+        with obs.span("refresh.run", policy=scope,
+                      n_blocks=policy.n_blocks, cycles=len(trace)):
+            stats = self._run(trace)
+        m = obs.metrics()
+        m.counter("refresh.runs").inc()
+        m.counter("refresh.stall_cycles").inc(stats.stall_cycles)
+        m.counter("refresh.refreshes_issued").inc(stats.refreshes_issued)
+        m.counter("refresh.accesses").inc(stats.accesses)
+        m.counter("refresh.completed").inc(stats.completed)
+        m.gauge(f"refresh.busy_fraction.{scope}").set(stats.busy_fraction)
+        _log.debug("refresh run (%s): %d cycles, %d stalls, %d refreshes",
+                   scope, stats.total_cycles, stats.stall_cycles,
+                   stats.refreshes_issued)
+        return stats
+
+    def _run(self, trace: np.ndarray) -> SimulationStats:
         policy = self.policy
         n_cycles = len(trace)
         pending = [int(b) for b in trace if b != IDLE]

@@ -11,18 +11,25 @@ matters more than start-up transients.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConvergenceError, SimulationError
 from repro.spice.elements import Capacitor
 from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
 
+_log = logging.getLogger(__name__)
+
 _MAX_NEWTON = 250
 _V_TOL = 1e-7
 _DAMP_LIMIT = 0.4
+
+#: Histogram buckets for Newton iterations spent per time point.
+_NEWTON_BUCKETS = (1, 2, 3, 5, 10, 20, 50, 100, 250)
 
 
 @dataclasses.dataclass
@@ -113,23 +120,30 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     data = np.empty((steps + 1, n_unknowns))
     data[0] = x
 
-    for step in range(1, steps + 1):
-        t = times[step]
-        x_prev = data[step - 1]
-        # Trapezoidal needs a consistent capacitor-current history, which
-        # an arbitrary initial condition does not provide; the standard
-        # remedy is one backward-Euler step to damp the inconsistency.
-        step_integrator = "be" if (integrator == "trap" and step == 1) \
-            else integrator
-        x = _solve_step_with_refinement(
-            system, circuit, x_prev, t - dt, dt, step_integrator, cap_state,
-            capacitors)
-        if integrator == "trap" and step == 1:
-            ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
-                               time=t, integrator="be", cap_state=cap_state)
-            for cap in capacitors:
-                cap_state[cap.name] = cap.branch_current(ctx, x)
-        data[step] = x
+    _log.debug("transient %r: %d steps of %gs (%s)",
+               circuit.name, steps, dt, integrator)
+    with obs.span("spice.transient", circuit=circuit.name, steps=steps,
+                  integrator=integrator):
+        for step in range(1, steps + 1):
+            t = times[step]
+            x_prev = data[step - 1]
+            # Trapezoidal needs a consistent capacitor-current history,
+            # which an arbitrary initial condition does not provide; the
+            # standard remedy is one backward-Euler step to damp the
+            # inconsistency.
+            step_integrator = "be" if (integrator == "trap" and step == 1) \
+                else integrator
+            x = _solve_step_with_refinement(
+                system, circuit, x_prev, t - dt, dt, step_integrator,
+                cap_state, capacitors)
+            if integrator == "trap" and step == 1:
+                ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
+                                   time=t, integrator="be",
+                                   cap_state=cap_state)
+                for cap in capacitors:
+                    cap_state[cap.name] = cap.branch_current(ctx, x)
+            data[step] = x
+        obs.metrics().counter("spice.timesteps").inc(steps)
 
     return TransientResult(
         circuit=circuit,
@@ -173,11 +187,15 @@ def _solve_step_with_refinement(system: MnaSystem, circuit: Circuit,
                         cap_state[cap.name] = cap.branch_current(ctx, x_new)
                 x = x_new
             return x
-        except ConvergenceError:
+        except ConvergenceError as exc:
             cap_state.clear()
             cap_state.update(saved_state)
+            obs.metrics().counter("spice.substep_halvings").inc()
             if halving == max_halvings:
+                obs.metrics().counter("spice.refinement_exhausted").inc()
                 raise
+            _log.debug("Newton failed (%s); retrying with %d substeps",
+                       exc, 2 ** (halving + 1))
     raise ConvergenceError("unreachable")  # pragma: no cover
 
 
@@ -188,7 +206,9 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
     n_nodes = len(system.node_index)
     previous_delta: np.ndarray | None = None
     damping = 1.0
-    for _iteration in range(_MAX_NEWTON):
+    damping_events = 0
+    v_delta = None
+    for iteration in range(1, _MAX_NEWTON + 1):
         system.reset()
         ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt, time=t,
                            integrator=integrator, cap_state=cap_state,
@@ -207,12 +227,35 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
         if previous_delta is not None:
             if float(np.dot(delta, previous_delta)) < 0.0:
                 damping = max(damping * 0.5, 1.0 / 256.0)
+                damping_events += 1
             else:
                 damping = min(1.0, damping * 1.5)
         previous_delta = delta
         x = x + delta * damping
         if max_step < _V_TOL:
+            m = obs.metrics()
+            m.histogram("spice.newton_iterations",
+                        _NEWTON_BUCKETS).observe(iteration)
+            if damping_events:
+                m.counter("spice.damping_events").inc(damping_events)
             return x
+    obs.metrics().counter("spice.convergence_failures").inc()
+    worst_node = _worst_residual_node(system, v_delta)
+    _log.warning("transient Newton failed at t=%gs for circuit %r "
+                 "(worst residual at node %r)", t, circuit.name, worst_node)
     raise ConvergenceError(
-        f"transient Newton failed at t={t:g}s for circuit {circuit.name!r}"
+        f"transient Newton failed for circuit {circuit.name!r}",
+        time=t, iterations=_MAX_NEWTON, worst_node=worst_node,
     )
+
+
+def _worst_residual_node(system: MnaSystem,
+                         v_delta: "np.ndarray | None") -> Optional[str]:
+    """Name of the node whose last Newton update was largest."""
+    if v_delta is None or not len(v_delta):
+        return None
+    worst = int(np.argmax(np.abs(v_delta)))
+    for name, index in system.node_index.items():
+        if index == worst:
+            return name
+    return None

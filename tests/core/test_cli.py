@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -77,3 +80,59 @@ class TestCommands:
     def test_invalid_capacity_exits(self):
         with pytest.raises(SystemExit):
             main(["headline", "--kb", "-1"])
+
+
+class TestInstrumentation:
+    def test_metrics_out_writes_run_report(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["fig5", "--cycles", "5000",
+                     "--metrics-out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["command"] == "fig5"
+        assert report["spans"][0]["name"] == "fig5"
+        simulate = report["spans"][0]["children"][0]
+        assert simulate["name"] == "simulate"
+        assert simulate["children"], "simulate must have component children"
+        assert report["metrics"]["counters"]["refresh.stall_cycles"] >= 0
+        assert "fingerprint" in report
+
+    def test_profile_prints_span_tree(self, capsys):
+        assert main(["fig5", "--cycles", "5000", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== spans ==" in err
+        assert "simulate" in err
+        assert "refresh.stall_cycles" in err
+
+    def test_fingerprint_stable_across_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            main(["fig5", "--cycles", "5000", "--metrics-out", str(path)])
+        fingerprints = [json.loads(p.read_text())["fingerprint"]
+                        for p in paths]
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_disabled_by_default_leaves_obs_off(self):
+        from repro import obs
+        main(["fig5", "--cycles", "5000"])
+        assert not obs.is_enabled()
+        assert obs.tracer().finished_roots() == []
+
+    def test_headline_profile_shows_macro_spans(self, capsys):
+        assert main(["headline", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "macro.build" in err
+        assert "macro.summary" in err
+
+    def test_verbose_flag_enables_info_logging(self, capsys):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            assert main(["fig5", "--cycles", "5000", "-v"]) == 0
+            assert logger.level == logging.INFO
+            err = capsys.readouterr().err
+            assert "running command 'fig5'" in err
+        finally:
+            for handler in logger.handlers[:]:
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)

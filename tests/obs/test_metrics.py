@@ -1,0 +1,139 @@
+"""Metrics registry semantics: counters, gauges, histograms, reset."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                               NULL_REGISTRY)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_same_name_same_instance(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("level")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_gauges_may_go_negative(self, registry):
+        g = registry.gauge("delta")
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(1, 10, 100))
+        for value in (0.5, 1.0, 5, 50, 1000):
+            h.observe(value)
+        # bucket upper bounds are inclusive: counts = [<=1, <=10, <=100, inf]
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(1056.5)
+        assert h.mean == pytest.approx(1056.5 / 5)
+
+    def test_default_buckets(self, registry):
+        h = registry.histogram("iters")
+        assert h.buckets == tuple(float(b) for b in DEFAULT_BUCKETS)
+
+    def test_bucket_mismatch_rejected(self, registry):
+        registry.histogram("lat", buckets=(1, 2))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.histogram("lat", buckets=(1, 2, 3))
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="ascend"):
+            registry.histogram("bad", buckets=(5, 1))
+
+    def test_empty_histogram_mean(self, registry):
+        assert registry.histogram("empty").mean == 0.0
+
+
+class TestRegistry:
+    def test_name_bound_to_one_kind(self, registry):
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="another kind"):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError, match="another kind"):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"] == {
+            "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1)
+        registry.reset()
+        assert list(registry.names()) == []
+        assert registry.counter("c").value == 0.0
+
+    def test_independent_instances(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        assert b.counter("x").value == 0.0
+
+
+class TestNullRegistry:
+    def test_discards_everything(self):
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.gauge("y").set(2)
+        NULL_REGISTRY.histogram("z").observe(1)
+        snap = NULL_REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestGlobalState:
+    def test_disabled_by_default_returns_null(self):
+        assert not obs.is_enabled()
+        assert obs.metrics() is NULL_REGISTRY
+
+    def test_instrumented_swaps_and_restores(self):
+        before = obs.metrics()
+        with obs.instrumented() as registry:
+            assert obs.is_enabled()
+            obs.metrics().counter("x").inc()
+            assert registry.counter("x").value == 1.0
+        assert not obs.is_enabled()
+        assert obs.metrics() is before
+
+    def test_instrumented_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.instrumented():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_injectable_registry(self):
+        mine = MetricsRegistry()
+        with obs.instrumented(registry=mine):
+            obs.metrics().counter("c").inc(4)
+        assert mine.counter("c").value == 4.0

@@ -1,0 +1,91 @@
+"""Run-report emitter: structure, fingerprint stability, file output."""
+
+import json
+
+import pytest
+
+from repro import __version__, obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (REPORT_SCHEMA, build_run_report,
+                              config_fingerprint, write_run_report)
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with tracer.span("simulate", cycles=10):
+        with tracer.span("refresh.run"):
+            registry.counter("refresh.stall_cycles").inc(42)
+    registry.histogram("iters", buckets=(1, 10)).observe(3)
+    return registry, tracer
+
+
+class TestFingerprint:
+    def test_stable_under_key_order(self):
+        assert (config_fingerprint({"a": 1, "b": 2})
+                == config_fingerprint({"b": 2, "a": 1}))
+
+    def test_sensitive_to_values(self):
+        assert (config_fingerprint({"a": 1})
+                != config_fingerprint({"a": 2}))
+
+    def test_non_json_values_fingerprintable(self):
+        class Odd:
+            def __repr__(self):
+                return "Odd()"
+        assert isinstance(config_fingerprint({"x": Odd()}), str)
+
+
+class TestBuildReport:
+    def test_report_structure(self, populated):
+        registry, tracer = populated
+        report = build_run_report("fig5", {"cycles": 10}, registry, tracer)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["command"] == "fig5"
+        assert report["config"] == {"cycles": 10}
+        assert report["repro_version"] == __version__
+        assert report["span_count"] == 2
+        assert report["spans"][0]["name"] == "simulate"
+        assert report["spans"][0]["children"][0]["name"] == "refresh.run"
+        counters = report["metrics"]["counters"]
+        assert counters["refresh.stall_cycles"] == 42.0
+        assert report["total_duration_s"] >= 0.0
+
+    def test_report_is_json_serialisable(self, populated):
+        registry, tracer = populated
+        report = build_run_report("cmd", {"obj": object()}, registry, tracer)
+        json.dumps(report)  # must not raise
+
+
+class TestWriteReport:
+    def test_writes_valid_json(self, populated, tmp_path):
+        registry, tracer = populated
+        path = tmp_path / "nested" / "run.json"
+        returned = write_run_report(path, "fig5", {"cycles": 10},
+                                    registry, tracer)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(returned))
+        assert on_disk["command"] == "fig5"
+
+    def test_prebuilt_report_passthrough(self, populated, tmp_path):
+        registry, tracer = populated
+        report = build_run_report("x", {}, registry, tracer)
+        path = tmp_path / "run.json"
+        write_run_report(path, "x", {}, report=report)
+        assert json.loads(path.read_text())["command"] == "x"
+
+    def test_requires_sources_or_report(self, tmp_path):
+        with pytest.raises(ValueError, match="registry and tracer"):
+            write_run_report(tmp_path / "r.json", "x", {})
+
+
+class TestModuleRunReport:
+    def test_run_report_uses_global_state(self):
+        with obs.instrumented():
+            with obs.span("simulate"):
+                obs.metrics().counter("c").inc()
+            report = obs.run_report("cmd", {"k": "v"})
+        assert report["spans"][0]["name"] == "simulate"
+        assert report["metrics"]["counters"]["c"] == 1.0

@@ -1,0 +1,141 @@
+"""Span tracing: nesting, exception safety, the disabled fast path."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NOOP_SPAN, Tracer, format_span_tree
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestNesting:
+    def test_single_span_becomes_root(self, tracer):
+        with tracer.span("solve"):
+            pass
+        roots = tracer.finished_roots()
+        assert [r.name for r in roots] == ["solve"]
+        assert roots[0].duration >= 0.0
+
+    def test_children_attach_to_open_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        (root,) = tracer.finished_roots()
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert root.children[1].children[0].name == "leaf"
+        assert root.total_spans() == 4
+
+    def test_sequential_roots(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.finished_roots()] == [
+            "first", "second"]
+
+    def test_child_duration_within_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        (root,) = tracer.finished_roots()
+        assert root.children[0].duration <= root.duration
+
+    def test_attrs_and_set_attr(self, tracer):
+        with tracer.span("run", cycles=100) as span:
+            span.set_attr("stalls", 7)
+        (root,) = tracer.finished_roots()
+        assert root.attrs == {"cycles": 100, "stalls": 7}
+
+    def test_find(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.finished_roots()
+        assert root.find("b").name == "b"
+        assert root.find("missing") is None
+
+
+class TestExceptionSafety:
+    def test_span_closed_and_tagged_on_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        (root,) = tracer.finished_roots()
+        assert root.error == "ValueError"
+        assert root.children[0].error == "ValueError"
+        assert tracer.active is None  # stack fully unwound
+
+    def test_tracer_usable_after_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError
+        with tracer.span("good"):
+            pass
+        assert [r.name for r in tracer.finished_roots()] == ["bad", "good"]
+
+    def test_exception_not_swallowed(self, tracer):
+        with pytest.raises(KeyError):
+            with tracer.span("s"):
+                raise KeyError("k")
+
+
+class TestSerialisation:
+    def test_to_dict_round_trip(self, tracer):
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+        (node,) = tracer.to_dict()
+        assert node["name"] == "outer"
+        assert node["attrs"] == {"kind": "test"}
+        assert node["children"][0]["name"] == "inner"
+        assert "children" not in node["children"][0]
+
+    def test_format_span_tree(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner", n=3):
+                pass
+        text = format_span_tree(tracer.finished_roots())
+        assert "outer" in text
+        assert "  inner" in text
+        assert "n=3" in text
+
+    def test_reset(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished_roots() == []
+        assert tracer.total_spans() == 0
+
+
+class TestDisabledPath:
+    def test_span_returns_noop_when_disabled(self):
+        assert not obs.is_enabled()
+        assert obs.span("anything", key="value") is NOOP_SPAN
+
+    def test_noop_span_is_harmless(self):
+        with obs.span("disabled") as span:
+            span.set_attr("x", 1)
+        assert obs.tracer().finished_roots() == []
+
+    def test_noop_span_does_not_swallow(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("disabled"):
+                raise RuntimeError
+
+    def test_enabled_records_through_module_api(self):
+        with obs.instrumented():
+            with obs.span("top", a=1):
+                with obs.span("child"):
+                    pass
+            roots = obs.tracer().finished_roots()
+            assert roots[0].name == "top"
+            assert roots[0].children[0].name == "child"
+        # The instrumented() exit restored the previous (empty) tracer.
+        assert obs.tracer().finished_roots() == []

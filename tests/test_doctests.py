@@ -5,14 +5,21 @@ test keeps them executable so they cannot rot.
 """
 
 import doctest
+import importlib
 
 import pytest
 
 import repro.core.report
+import repro.refresh.simulator
 import repro.spice.netlist
 import repro.units
 
-MODULES = [repro.units, repro.spice.netlist, repro.core.report]
+# repro.obs exposes a `metrics()` accessor that shadows the submodule
+# attribute, so resolve the module itself through importlib.
+_obs_metrics = importlib.import_module("repro.obs.metrics")
+
+MODULES = [repro.units, repro.spice.netlist, repro.core.report,
+           repro.refresh.simulator, _obs_metrics]
 
 
 @pytest.mark.parametrize("module", MODULES,
