@@ -62,5 +62,14 @@ def main() -> None:
         print()
 
 
+def repro_check_targets():
+    """Netlists validated by ``python -m repro check examples/``."""
+    from repro.array import build_localblock_read_circuit
+    cell = Dram1t1cCell.scratchpad()
+    return [build_localblock_read_circuit(cell, stored_value=stored,
+                                          refresh_only=refresh_only)
+            for stored, refresh_only in ((0, False), (1, False), (0, True))]
+
+
 if __name__ == "__main__":
     main()

@@ -59,5 +59,11 @@ def main() -> None:
           f"6-sigma worst case {si_format(stats.worst_case, 's')}")
 
 
+def repro_check_targets():
+    """Models validated by ``python -m repro check examples/``."""
+    return [FastDramDesign().build(128 * kb),
+            SramBaselineDesign().build(128 * kb)]
+
+
 if __name__ == "__main__":
     main()

@@ -21,11 +21,11 @@ from repro.refresh import (
     hot_block_trace,
     uniform_random_trace,
 )
-from repro.units import us
+from repro.units import MHz, ms, us
 
 N_BLOCKS = 128
 ROWS_PER_BLOCK = 32
-CLOCK = 500e6
+CLOCK = 500 * MHz
 N_CYCLES = 150_000
 ACTIVITY = 0.5
 
@@ -81,6 +81,14 @@ def main() -> None:
     print("Localized refresh keeps the penalty negligible even for the "
           "hot-block adversary — the refreshed block is only one of "
           f"{N_BLOCKS}.")
+
+
+def repro_check_targets():
+    """Policies validated by ``python -m repro check examples/``."""
+    period = int(1 * ms * CLOCK)
+    return [cls(n_blocks=N_BLOCKS, rows_per_block=ROWS_PER_BLOCK,
+                refresh_period_cycles=period)
+            for cls in (MonoblockRefresh, LocalizedRefresh)]
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from typing import Dict
 from repro.array.macro import MacroDesign
 from repro.errors import ConfigurationError
 from repro.tech.wire import GLOBAL_LAYER, Wire
+from repro.units import ms, ps
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,7 +59,7 @@ class BankedMemory:
         spine = self._spine()
         distributed = 0.38 * spine.resistance * spine.capacitance
         decode_levels = math.log2(self.n_banks)
-        gate = 15e-12 * decode_levels  # ~1 gate per level at LP 90 nm
+        gate = 15 * ps * decode_levels  # ~1 gate per level at LP 90 nm
         return distributed + gate
 
     def fabric_energy(self) -> float:
@@ -108,7 +109,7 @@ class BankedMemory:
 
 def compare_banking_options(design, total_bits: int,
                             bank_counts=(1, 2, 4, 8),
-                            retention_override: float | None = 1e-3
+                            retention_override: float | None = 1 * ms
                             ) -> Dict[int, BankedMemory]:
     """Build the same capacity as 1, 2, 4, ... banks.
 

@@ -15,7 +15,7 @@ import math
 from typing import Dict
 
 from repro.array.organization import ArrayOrganization
-from repro.units import um, um2
+from repro.units import mm2, um, um2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +100,6 @@ class Floorplan:
         b = self.breakdown()
         return (
             f"{self.organization.describe()}: "
-            f"{b.total / 1e-6:.4f} mm^2 "
+            f"{b.total / mm2:.4f} mm^2 "
             f"(cells {100 * b.array_efficiency:.0f} %)"
         )

@@ -40,7 +40,7 @@ from repro.spice import (
 from repro.tech.node import Polarity, VtFlavor
 from repro.tech.transistor import Mosfet
 from repro.tech.wire import LOCAL_LAYER, Wire
-from repro.units import fF, ns, ps
+from repro.units import fF, kohm, ns, ps, um
 
 # Simulation schedule (seconds).
 _T_PRECHARGE_OFF = 0.10 * ns
@@ -79,9 +79,10 @@ def build_localblock_read_circuit(cell: Dram1t1cCell,
                                   refresh_only: bool = False) -> Circuit:
     """Netlist of one local-block column (paper Fig. 4).
 
-    ``refresh_only`` disables the read buffer: the GBL side floats, as
-    in the paper's localized refresh ("the GBL gnd node is left floating
-    during this operation").
+    ``gbl_cap`` is the global-bitline load seen by the read buffer, in
+    farads.  ``refresh_only`` disables the read buffer: the GBL side
+    floats, as in the paper's localized refresh ("the GBL gnd node is
+    left floating during this operation").
     """
     if stored_value not in (0, 1):
         raise SimulationError("stored_value must be 0 or 1")
@@ -118,12 +119,12 @@ def build_localblock_read_circuit(cell: Dram1t1cCell,
     # line's real load — the access gates of the word plus wire — is an
     # explicit capacitor; the WL driver energy is measured through it.
     lwl_load = (32 * cell.access.gate_capacitance()
-                + Wire(LOCAL_LAYER, 32 * 0.6e-6).capacitance)
+                + Wire(LOCAL_LAYER, 32 * 0.6 * um).capacitance)
     circuit.add(Capacitor("c_lwl", "wl", "0", lwl_load))
     circuit.add(MosfetElement("m_access", "lbl", "wl", "cell", cell.access))
     circuit.add(Capacitor("c_cell", "cell", "0", cell.capacitor.capacitance,
                           initial_voltage=v_cell0))
-    lbl_wire = Wire(LOCAL_LAYER, cells_per_lbl * 0.6e-6)
+    lbl_wire = Wire(LOCAL_LAYER, cells_per_lbl * 0.6 * um)
     c_lbl = (cells_per_lbl * cell.access.junction_capacitance()
              + lbl_wire.capacitance + 0.3 * fF)
     circuit.add(Capacitor("c_lbl", "lbl", "0", c_lbl,
@@ -142,9 +143,9 @@ def build_localblock_read_circuit(cell: Dram1t1cCell,
 
     # --- precharge devices ------------------------------------------------------------
     circuit.add(Switch("sw_pre_lbl", "lbl", "pre_rail", "prech_ctl", "0",
-                       threshold=0.6, r_on=2e3))
+                       threshold=0.6, r_on=2 * kohm))
     circuit.add(Switch("sw_pre_ref", "ref", "pre_rail", "prech_ctl", "0",
-                       threshold=0.6, r_on=2e3))
+                       threshold=0.6, r_on=2 * kohm))
 
     # --- cross-coupled latch local SA ----------------------------------------------------
     sa_n = Mosfet(node, Polarity.NMOS, VtFlavor.SVT,
@@ -181,7 +182,8 @@ def simulate_localblock_read(cell: Dram1t1cCell,
                              refresh_only: bool = False
                              ) -> LocalBlockWaveforms:
     """Run the local-block read (or refresh) and measure the paper's
-    Fig. 3 quantities."""
+    Fig. 3 quantities.  ``gbl_cap`` is the global-bitline load in
+    farads."""
     circuit = build_localblock_read_circuit(
         cell, cells_per_lbl=cells_per_lbl, stored_value=stored_value,
         gbl_cap=gbl_cap, refresh_only=refresh_only)

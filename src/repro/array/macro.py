@@ -18,7 +18,7 @@ from repro.array.organization import ArrayOrganization
 from repro.array.senseamp import SenseAmplifier
 from repro.array.static_power import StaticPowerModel, StaticPowerReport
 from repro.array.timing import AccessTiming, TimingModel
-from repro.units import si_format
+from repro.units import mm2, si_format
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,7 +124,7 @@ class MacroDesign:
             f"  read energy      : {si_format(s['read_energy_j'], 'J')}"
             f" ({si_format(s['read_energy_per_bit_j'], 'J')}/bit)",
             f"  write energy     : {si_format(s['write_energy_j'], 'J')}",
-            f"  area             : {s['area_m2'] / 1e-6:.4f} mm^2",
+            f"  area             : {s['area_m2'] / mm2:.4f} mm^2",
             f"  cell static power: {si_format(s['static_power_w'], 'W')}"
             f" ({static.mechanism})",
         ]

@@ -28,6 +28,7 @@ from repro.array.organization import ArrayOrganization
 from repro.array.senseamp import SenseAmplifier
 from repro.errors import ConfigurationError
 from repro.variability.retention import RetentionModel
+from repro.units import us
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,7 +125,7 @@ class ReadMarginAnalysis:
         return [self.evaluate(t) for t in intervals]
 
     def max_interval_at_yield(self, target_failure: float = 1e-3,
-                              t_lo: float = 1e-6,
+                              t_lo: float = 1 * us,
                               t_hi: float = 1.0) -> float:
         """Longest refresh interval keeping the failure fraction at or
         below ``target_failure`` (bisection over the interval axis)."""

@@ -19,7 +19,7 @@ from repro.tech.wire import (
     LOCAL_LAYER,
     Wire,
 )
-from repro.units import kb
+from repro.units import fF, kb
 
 
 @dataclasses.dataclass(frozen=True)
@@ -162,7 +162,7 @@ class ArrayOrganization:
     def lbl_capacitance(self) -> float:
         """Total LBL capacitance: cell junctions + wire + local SA input."""
         cells = self.cells_per_lbl * self.cell.bitline_cap_per_cell
-        sa_input = 0.3e-15  # local SA input device, ~0.3 fF
+        sa_input = 0.3 * fF  # local SA input device
         return cells + self.local_bitline().capacitance + sa_input
 
     def lwl_capacitance(self) -> float:
@@ -172,12 +172,12 @@ class ArrayOrganization:
 
     def gbl_capacitance(self) -> float:
         """Total GBL capacitance: wire + one read-buffer drain per block row."""
-        drains = self.n_block_rows * 0.4e-15
+        drains = self.n_block_rows * 0.4 * fF
         return self.global_bitline().capacitance + drains
 
     def gwl_capacitance(self) -> float:
         """Total GWL capacitance: wire + one LWL-receiver gate per block col."""
-        receivers = self.n_block_columns * 1.0e-15
+        receivers = self.n_block_columns * 1.0 * fF
         return self.global_wordline().capacitance + receivers
 
     def read_signal(self) -> float:

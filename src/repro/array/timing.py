@@ -33,6 +33,7 @@ from repro.tech.transistor import Mosfet
 from repro.array.decoder import DecoderModel
 from repro.array.organization import ArrayOrganization
 from repro.array.senseamp import SenseAmplifier
+from repro.units import mV, nA
 
 CLOCK_OVERHEAD_FO4 = 12.0
 SENSE_MARGIN_FACTOR = 1.8
@@ -150,8 +151,8 @@ class TimingModel:
             final = org.read_signal()
             if required >= final:
                 raise ConfigurationError(
-                    f"charge-sharing signal {final * 1e3:.0f} mV below the "
-                    f"local SA requirement {required * 1e3:.0f} mV: "
+                    f"charge-sharing signal {final / mV:.0f} mV below the "
+                    f"local SA requirement {required / mV:.0f} mV: "
                     "shorten the LBL or enlarge the cell capacitor"
                 )
             c_cell = org.cell.charge_sharing_cap
@@ -164,7 +165,7 @@ class TimingModel:
                             width=self._node.width_units(max(1.0, scale)))
             i_on = access.drain_current(vgs=org.cell.wordline_voltage,
                                         vds=0.5)
-            r_on = 0.5 / max(i_on, 1e-9)
+            r_on = 0.5 / max(i_on, 1 * nA)
             tau = r_on * c_series
             develop = -tau * math.log(1.0 - required / final)
         else:
@@ -181,7 +182,7 @@ class TimingModel:
         org = self.organization
         buffer = self._read_buffer()
         i_drive = buffer.drain_current(vgs=self._node.vdd, vds=GBL_SUPPLY - GBL_SWING / 2)
-        slew = org.gbl_capacitance() * GBL_SWING / max(i_drive, 1e-9)
+        slew = org.gbl_capacitance() * GBL_SWING / max(i_drive, 1 * nA)
         gbl = org.global_bitline()
         distributed = 0.38 * gbl.resistance * gbl.capacitance
         return slew + distributed
@@ -234,6 +235,6 @@ class TimingModel:
         access = Mosfet(self._node, Polarity.NMOS, VtFlavor.HVT,
                         width=self._node.width_units(max(1.0, scale)))
         i_on = access.drain_current(vgs=org.cell.wordline_voltage, vds=0.5)
-        r_on = 0.5 / max(i_on, 1e-9)
+        r_on = 0.5 / max(i_on, 1 * nA)
         # Four time constants to restore within a few percent.
         return 4.0 * r_on * (c_cell + org.lbl_capacitance()) * self.corner_factor

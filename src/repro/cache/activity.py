@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 from repro.array.macro import MacroDesign
 from repro.errors import ConfigurationError
+from repro.units import MHz
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,7 +45,7 @@ class ActivityPowerModel:
     """
 
     macro: MacroDesign
-    clock_frequency: float = 500e6
+    clock_frequency: float = 500 * MHz
     read_fraction: float = 0.5
 
     def __post_init__(self) -> None:

@@ -102,6 +102,9 @@ class CellSpec:
                              precharge_voltage: float) -> float:
         """Charge-sharing read signal of a dynamic cell, volts.
 
+        ``bitline_cap`` is the total bitline load in farads;
+        ``precharge_voltage`` is in volts.
+
         The stored '0' develops the full precharge-to-cell difference
         scaled by the capacitive divider — the paper's core limitation
         argument: "the voltage drop is limited by the ratio between the

@@ -147,7 +147,8 @@ class Dram1t1cCell:
     # -- read behaviour -----------------------------------------------------------
 
     def read_voltage_step(self, bitline_cap: float) -> float:
-        """Charge-sharing LBL signal for the worst (stored '0') level, volts."""
+        """Charge-sharing LBL signal for the worst (stored '0') level,
+        volts, for a bitline load of ``bitline_cap`` farads."""
         if bitline_cap <= 0:
             raise ConfigurationError("bitline cap must be positive")
         c = self.capacitor.capacitance

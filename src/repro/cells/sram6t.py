@@ -20,6 +20,7 @@ from repro.tech.leakage import sram_cell_leakage
 from repro.tech.node import Polarity, TechnologyNode, VtFlavor
 from repro.tech.transistor import Mosfet
 from repro.cells.cellspec import CellSpec, StorageKind
+from repro.units import uV
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,7 +127,7 @@ def inverter_vtc(cell: Sram6tCell, during_read: bool,
                 i_up = i_up + ax.drain_current(vgs=vdd - vout, vds=vdd - vout)
             return i_up - i_down
 
-        lo, hi = 1e-6, vdd - 1e-6
+        lo, hi = 1 * uV, vdd - 1 * uV
         f_lo, f_hi = imbalance(lo), imbalance(hi)
         if f_lo <= 0:
             return 0.0

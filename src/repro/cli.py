@@ -13,6 +13,11 @@ shell.  Commands map one-to-one onto the library's top-level API:
     refresh-plan   retention-binned refresh planning
     banking        banked vs monolithic composition
     sensitivity    normalised parameter sensitivities
+
+Two static-analysis commands gate CI (see ``repro.analysis``):
+
+    lint           AST unit-discipline linter over Python sources
+    check          pre-solve model checker (circuits + macro configs)
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.core import FastDramDesign, SramDramComparison, format_table
-from repro.units import Mb, kb, ns, pJ, si_format, uW
+from repro.units import MHz, Mb, kb, mV, mm2, ms, ns, pJ, si_format, uW, us
 
 _log = logging.getLogger(__name__)
 
@@ -58,7 +63,7 @@ def cmd_compare(args: argparse.Namespace) -> None:
         ("Fig. 7b read energy (pJ)", comparison.read_energy(), 1 / pJ),
         ("Fig. 7b write energy (pJ)", comparison.write_energy(), 1 / pJ),
         ("Fig. 7c static power (uW)", comparison.static_power(), 1 / uW),
-        ("Fig. 7d area (mm2)", comparison.area(), 1e6),
+        ("Fig. 7d area (mm2)", comparison.area(), 1 / mm2),
     ]
     for title, rows, scale in sections:
         print(f"== {title} ==")
@@ -78,7 +83,7 @@ def cmd_fig5(args: argparse.Namespace) -> None:
     rows = []
     with obs.span("simulate", cycles=args.cycles):
         for retention_us in (20, 100, 500, 1000):
-            period = int(retention_us * 1e-6 * 500e6)
+            period = int(retention_us * us * 500 * MHz)
             entry = [f"{retention_us} us"]
             for cls in (MonoblockRefresh, LocalizedRefresh):
                 policy = cls(n_blocks=128, rows_per_block=32,
@@ -121,7 +126,7 @@ def cmd_methodology(args: argparse.Namespace) -> None:
     for wave in report.scratchpad_waveforms:
         print(f"  circuit read '{wave.stored_value}': restore "
               f"{'ok' if wave.restored_correctly else 'FAILED'}, "
-              f"GBL swing {wave.gbl_swing * 1e3:.0f} mV")
+              f"GBL swing {wave.gbl_swing / mV:.0f} mV")
     print(f"step 2 DRAM tech  : {report.dram_macro.access_time() / ns:.2f} ns "
           f"({report.timing_ratio:.2f}x step 1; doubling "
           f"{'holds' if report.doubling_holds else 'BROKEN'})")
@@ -129,7 +134,7 @@ def cmd_methodology(args: argparse.Namespace) -> None:
     for row in report.size_sweep:
         print(f"  {row.total_bits // kb:5d} kb: "
               f"{row.access_time / ns:.2f} ns, {row.read_energy / pJ:.2f} pJ, "
-              f"{row.area * 1e6:.4f} mm2")
+              f"{row.area / mm2:.4f} mm2")
 
 
 def cmd_pvt(args: argparse.Namespace) -> None:
@@ -169,7 +174,7 @@ def cmd_banking(args: argparse.Namespace) -> None:
     print(format_table(
         ["banks", "access (ns)", "read (pJ)", "area (mm2)", "static (uW)"],
         [[count, memory.access_time() / ns, memory.read_energy() / pJ,
-          memory.area() * 1e6, memory.static_power() / uW]
+          memory.area() / mm2, memory.static_power() / uW]
          for count, memory in sorted(options.items())]))
 
 
@@ -185,8 +190,8 @@ def cmd_optimize(args: argparse.Namespace) -> None:
     rows = []
     for objective, c in result.best.items():
         rows.append([objective, c.cells_per_lbl, c.word_bits, c.vdd,
-                     c.access_time / ns, c.total_power * 1e6,
-                     c.area * 1e6])
+                     c.access_time / ns, c.total_power / uW,
+                     c.area / mm2])
     print(format_table(
         ["best for", "cells/LBL", "word", "vdd", "access (ns)",
          "power (uW)", "area (mm2)"], rows))
@@ -211,11 +216,87 @@ def cmd_sensitivity(args: argparse.Namespace) -> None:
          for s in analysis.full_report()]))
 
 
+def _finish_analysis(args: argparse.Namespace, diagnostics) -> int:
+    """Baseline filtering, rendering and exit-code policy for lint/check."""
+    from repro.analysis import (Baseline, Severity, diagnostics_to_json,
+                                format_diagnostics)
+    if args.write_baseline:
+        path = Baseline.from_diagnostics(diagnostics).save(args.write_baseline)
+        print(f"baseline with {len(diagnostics)} finding(s) written "
+              f"to {path}")
+        return 0
+    baseline = None
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+    elif not args.no_baseline:
+        start = args.paths[0] if getattr(args, "paths", None) else "."
+        baseline = Baseline.discover(start)
+    if baseline is not None:
+        before = len(diagnostics)
+        diagnostics = baseline.filter(diagnostics)
+        _log.info("baseline suppressed %d finding(s)",
+                  before - len(diagnostics))
+    if args.format == "json":
+        print(diagnostics_to_json(diagnostics))
+    elif diagnostics:
+        print(format_diagnostics(diagnostics))
+    else:
+        print("no findings")
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    return 1 if errors or (args.strict and warnings) else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST unit-discipline linter over Python files/directories."""
+    from repro.analysis import lint_paths
+    with obs.span("lint", paths=len(args.paths)):
+        diagnostics = lint_paths(args.paths)
+    return _finish_analysis(args, diagnostics)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the pre-solve model checker.
+
+    With no paths, checks the library's builtin model registry (the
+    paper's macros, refresh policies, tech nodes and the local-block
+    netlists).  Paths name Python files/directories whose module-level
+    model objects — and anything returned by a ``repro_check_targets()``
+    hook — are checked too.
+    """
+    from repro.analysis.model import check_targets
+    with obs.span("check", paths=len(args.paths)):
+        diagnostics = check_targets(
+            args.paths, include_defaults=not args.no_defaults)
+    return _finish_analysis(args, diagnostics)
+
+
+def _add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="diagnostic output format (default text)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="suppress findings recorded in FILE "
+                             "(default: auto-discover "
+                             ".repro-lint-baseline.json upwards from the "
+                             "first path)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any auto-discovered baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        nargs="?", const=".repro-lint-baseline.json",
+                        help="accept all current findings into FILE "
+                             "(default: .repro-lint-baseline.json in the "
+                             "current directory) and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too, not just "
+                             "errors")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fast low-leakage DRAM macro models (DATE 2009 repro)")
-    parser.add_argument("--retention", type=float, default=1e-3,
+    parser.add_argument("--retention", type=float, default=1 * ms,
                         help="worst-case retention override, seconds "
                              "(default 1e-3)")
     # Shared flags accepted after any subcommand: instrumentation and
@@ -264,6 +345,24 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--granules", type=int, default=128)
             sub.add_argument("--bins", type=int, default=5)
         sub.set_defaults(handler=handler)
+
+    lint = subparsers.add_parser("lint", help=cmd_lint.__doc__,
+                                 parents=[common])
+    lint.add_argument("paths", nargs="+", metavar="PATH",
+                      help="Python files or directories to lint")
+    _add_analysis_arguments(lint)
+    lint.set_defaults(handler=cmd_lint)
+
+    check = subparsers.add_parser("check", help=cmd_check.__doc__,
+                                  parents=[common])
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="Python files/directories whose model objects "
+                            "to check (default: builtin registry only)")
+    check.add_argument("--no-defaults", action="store_true",
+                       help="skip the builtin model registry and check "
+                            "only the given paths")
+    _add_analysis_arguments(check)
+    check.set_defaults(handler=cmd_check)
     return parser
 
 
@@ -292,13 +391,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      or getattr(args, "metrics_out", None))
     _log.info("running command %r", args.command)
     if not profiling:
-        args.handler(args)
-        return 0
+        return int(args.handler(args) or 0)
 
     registry, tracer = obs.MetricsRegistry(), obs.Tracer()
     with obs.instrumented(registry=registry, tracer=tracer):
         with obs.span(args.command):
-            args.handler(args)
+            rc = int(args.handler(args) or 0)
     report = obs.build_run_report(args.command, _report_config(args),
                                   registry, tracer)
     if args.metrics_out:
@@ -307,7 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _log.info("run report written to %s", args.metrics_out)
     if args.profile:
         _print_profile(report, tracer)
-    return 0
+    return rc
 
 
 def _print_profile(report: dict, tracer: "obs.Tracer") -> None:

@@ -22,7 +22,7 @@ from repro.array.macro import MacroDesign
 from repro.core.fastdram import FastDramDesign
 from repro.errors import ConfigurationError
 from repro.sramref.model import SramBaselineDesign
-from repro.units import kb
+from repro.units import MHz, kb
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,7 +36,9 @@ class ComparisonRow:
     @property
     def ratio(self) -> float:
         """SRAM / DRAM — >1 means the DRAM wins."""
-        if self.dram == 0:
+        # Exact-zero guard before dividing; a tolerance would hide
+        # legitimately tiny DRAM values.
+        if self.dram == 0:  # noqa: L102
             raise ConfigurationError("DRAM value is zero; ratio undefined")
         return self.sram / self.dram
 
@@ -130,7 +132,7 @@ class SramDramComparison:
         }
 
     def total_power(self, activity: float, total_bits: int,
-                    clock_frequency: float = 500e6) -> ComparisonRow:
+                    clock_frequency: float = 500 * MHz) -> ComparisonRow:
         """Fig. 9: one point of total power vs activity, watts.
 
         ``activity`` is the fraction of cycles with an access; accesses
@@ -154,7 +156,7 @@ class SramDramComparison:
         )
 
     def total_power_curves(self, activities: Sequence[float],
-                           clock_frequency: float = 500e6
+                           clock_frequency: float = 500 * MHz
                            ) -> Dict[int, List[ComparisonRow]]:
         """Fig. 9: full curves, one list of rows per memory size."""
         return {

@@ -23,7 +23,7 @@ from typing import List, Sequence
 from repro.core.fastdram import FastDramDesign
 from repro.errors import ConfigurationError
 from repro.array.timing import GBL_SUPPLY, GBL_SWING
-from repro.units import kb
+from repro.units import kb, ms
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,7 +52,7 @@ def sweep_cells_per_lbl(values: Sequence[int] = (4, 8, 16, 32, 64, 128),
     for cells in values:
         design = FastDramDesign(technology=technology, cells_per_lbl=cells)
         try:
-            macro = design.build(total_bits, retention_override=1e-3)
+            macro = design.build(total_bits, retention_override=1 * ms)
             rows.append(LblSweepRow(
                 cells_per_lbl=cells,
                 access_time=macro.access_time(),
@@ -112,7 +112,7 @@ class SizeSweepRow:
 
 def sweep_sizes(sizes: Sequence[int] = (128 * kb, 512 * kb, 2048 * kb),
                 technology: str = "dram",
-                retention_override: float = 1e-3) -> List[SizeSweepRow]:
+                retention_override: float = 1 * ms) -> List[SizeSweepRow]:
     """The paper's extension to larger memories (Sec. III last step)."""
     design = FastDramDesign(technology=technology)
     rows = []
@@ -153,7 +153,7 @@ def sweep_word_width(widths: Sequence[int] = (16, 32, 64, 128),
             continue
         design = FastDramDesign()
         macro = design.build(total_bits, word_bits=width,
-                             retention_override=1e-3)
+                             retention_override=1 * ms)
         design_rows.append(WordWidthRow(
             word_bits=width,
             access_time=macro.access_time(),
@@ -183,7 +183,7 @@ class AblationResult:
 
 
 def ablate_architecture(total_bits: int = 128 * kb,
-                        retention_override: float = 1e-3
+                        retention_override: float = 1 * ms
                         ) -> List[AblationResult]:
     """Quantify each architectural choice by disabling it."""
     design = FastDramDesign()

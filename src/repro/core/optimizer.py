@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence
 from repro.core.fastdram import FastDramDesign
 from repro.core.voltage import scaled_supply_design
 from repro.errors import ConfigurationError
-from repro.units import kb
+from repro.units import MHz, kb, ms
 
 OBJECTIVES = ("access_time", "total_power", "area", "energy_per_bit")
 
@@ -89,8 +89,8 @@ class DesignOptimizer:
     total_bits: int = 128 * kb
     max_access_time: float | None = None
     activity: float = 0.1
-    clock_frequency: float = 500e6
-    retention: float = 1e-3
+    clock_frequency: float = 500 * MHz
+    retention: float = 1 * ms
     cells_per_lbl_grid: Sequence[int] = (16, 32, 64, 128)
     word_bits_grid: Sequence[int] = (16, 32, 64)
     vdd_grid: Sequence[float] = (1.0, 1.2, 1.3)

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List
 
 from repro.core.fastdram import FastDramDesign
 from repro.errors import ConfigurationError
-from repro.units import kb
+from repro.units import kb, ms
 
 Metric = Callable[[object], float]
 
@@ -51,7 +51,7 @@ class SensitivityAnalysis:
     """
 
     total_bits: int = 128 * kb
-    retention: float = 1e-3
+    retention: float = 1 * ms
     step: float = 0.05
 
     def __post_init__(self) -> None:

@@ -17,7 +17,7 @@ from typing import List
 
 from repro.core.fastdram import FastDramDesign, FastDramMacro
 from repro.errors import ConfigurationError
-from repro.units import kb
+from repro.units import kb, ms
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,7 +54,7 @@ def scaled_supply_design(design: FastDramDesign,
 
 
 def build_at_supply(vdd: float, total_bits: int = 128 * kb,
-                    retention_override: float = 1e-3) -> FastDramMacro:
+                    retention_override: float = 1 * ms) -> FastDramMacro:
     """Convenience: the default fast DRAM at supply ``vdd``."""
     design = scaled_supply_design(FastDramDesign(), vdd)
     return design.build(total_bits, retention_override=retention_override)

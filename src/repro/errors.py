@@ -45,7 +45,19 @@ class ConvergenceError(ReproError):
 
 
 class NetlistError(ReproError):
-    """A circuit netlist is malformed (dangling node, duplicate name, ...)."""
+    """A circuit netlist is malformed (dangling node, duplicate name, ...).
+
+    When raised by :meth:`repro.spice.netlist.Circuit.validate` it
+    carries the model checker's full findings — every structural defect
+    of the circuit, not just the first — as ``diagnostics`` (a list of
+    :class:`repro.analysis.diagnostics.Diagnostic`); programmatic
+    callers can triage by rule ID instead of parsing the message.
+    """
+
+    def __init__(self, message: str, *,
+                 diagnostics: "list | None" = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 class SimulationError(ReproError):

@@ -23,6 +23,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.units import ms as _MS
+
 
 class Span:
     """One timed region; a node of the run's span tree."""
@@ -162,7 +164,7 @@ def format_span_tree(roots: List[Span]) -> str:
             attrs = " " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
         error = f" !{span.error}" if span.error else ""
         lines.append(f"{'  ' * depth}{span.name:<{max(1, 40 - 2 * depth)}}"
-                     f"{span.duration * 1e3:10.3f} ms{attrs}{error}")
+                     f"{span.duration / _MS:10.3f} ms{attrs}{error}")
         for child in span.children:
             walk(child, depth + 1)
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.variability.retention import RetentionModel
+from repro.units import pJ
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,7 +114,10 @@ class BinnedRefreshPlan:
         return sum(b.block_count for b in self.bins)
 
     def refresh_power(self, row_energy: float) -> float:
-        """Total refresh power under the plan, watts."""
+        """Total refresh power under the plan, watts.
+
+        ``row_energy`` is the energy of one row refresh, joules.
+        """
         if row_energy <= 0:
             raise ConfigurationError("row energy must be positive")
         return sum(
@@ -122,14 +126,21 @@ class BinnedRefreshPlan:
         )
 
     def uniform_power(self, row_energy: float) -> float:
-        """Refresh power of the paper's uniform worst-case scheme."""
+        """Refresh power of the paper's uniform worst-case scheme.
+
+        ``row_energy`` is the energy of one row refresh, joules.
+        """
         if row_energy <= 0:
             raise ConfigurationError("row energy must be positive")
         rows = self.n_blocks * self.rows_per_block
         return rows * row_energy / self.uniform_period
 
-    def saving_factor(self, row_energy: float = 1e-12) -> float:
-        """uniform / binned refresh power (>= 1 when binning helps)."""
+    def saving_factor(self, row_energy: float = 1 * pJ) -> float:
+        """uniform / binned refresh power (>= 1 when binning helps).
+
+        The ratio is independent of ``row_energy`` (joules); the
+        default only has to be positive.
+        """
         return self.uniform_power(row_energy) / self.refresh_power(row_energy)
 
 

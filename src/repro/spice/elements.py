@@ -106,6 +106,8 @@ class Capacitor(CircuitElement):
 
     def __init__(self, name: str, node_a: str, node_b: str, capacitance: float,
                  initial_voltage: float | None = None) -> None:
+        """``capacitance`` in farads; ``initial_voltage`` in volts
+        (``None`` lets the DC solve choose it)."""
         super().__init__(name)
         if capacitance <= 0:
             raise ConfigurationError(f"capacitance must be positive, got {capacitance}")
@@ -115,6 +117,9 @@ class Capacitor(CircuitElement):
 
     def terminals(self) -> List[str]:
         return [self.node_a, self.node_b]
+
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        return [(self.node_a, "capacitive"), (self.node_b, "capacitive")]
 
     def stamp(self, ctx: StampContext) -> None:
         if ctx.dt is None:
@@ -168,6 +173,9 @@ class VoltageSource(CircuitElement):
     def terminals(self) -> List[str]:
         return [self.node_p, self.node_n]
 
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        return [(self.node_p, "constraint"), (self.node_n, "constraint")]
+
     def is_source(self) -> bool:
         return True
 
@@ -189,6 +197,9 @@ class CurrentSource(CircuitElement):
     def terminals(self) -> List[str]:
         return [self.node_from, self.node_to]
 
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        return [(self.node_from, "injection"), (self.node_to, "injection")]
+
     def stamp(self, ctx: StampContext) -> None:
         ctx.system.stamp_current(self.node_from, self.node_to, self.waveform(ctx.time))
 
@@ -204,7 +215,7 @@ class Switch(CircuitElement):
 
     def __init__(self, name: str, node_a: str, node_b: str,
                  ctrl_p: str, ctrl_n: str, threshold: float = 0.6,
-                 r_on: float = 100.0, r_off: float = 1e12,
+                 r_on: float = 100.0, r_off: float = 1e12,  # noqa: L101 - ideal open, ohms
                  transition: float = 0.02) -> None:
         super().__init__(name)
         if r_on <= 0 or r_off <= r_on:
@@ -219,6 +230,10 @@ class Switch(CircuitElement):
 
     def terminals(self) -> List[str]:
         return [self.node_a, self.node_b, self.ctrl_p, self.ctrl_n]
+
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        return [(self.node_a, "conductive"), (self.node_b, "conductive"),
+                (self.ctrl_p, "sense"), (self.ctrl_n, "sense")]
 
     def is_nonlinear(self) -> bool:
         return True

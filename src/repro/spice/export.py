@@ -14,11 +14,12 @@ from typing import Sequence
 
 from repro.errors import SimulationError
 from repro.spice.transient import TransientResult
+from repro.units import ns
 
 
 def waveforms_to_csv(result: TransientResult,
                      nodes: Sequence[str],
-                     time_unit: float = 1e-9,
+                     time_unit: float = 1 * ns,
                      voltage_unit: float = 1.0) -> str:
     """Serialise node waveforms to CSV text.
 
@@ -42,7 +43,7 @@ def waveforms_to_csv(result: TransientResult,
 
 def save_waveforms(result: TransientResult, nodes: Sequence[str],
                    path: str | pathlib.Path,
-                   time_unit: float = 1e-9) -> pathlib.Path:
+                   time_unit: float = 1 * ns) -> pathlib.Path:
     """Write :func:`waveforms_to_csv` output to ``path``; returns it."""
     path = pathlib.Path(path)
     path.write_text(waveforms_to_csv(result, nodes, time_unit=time_unit))

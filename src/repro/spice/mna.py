@@ -106,14 +106,31 @@ class MnaSystem:
         self.rhs[br] += voltage
 
     def solve(self) -> np.ndarray:
-        """Solve the assembled system; raises on singular matrices."""
+        """Solve the assembled system; raises on singular matrices.
+
+        On a singular matrix the model checker
+        (:mod:`repro.analysis.model`) is consulted so the error names
+        the structural suspects (floating nodes, source loops) instead
+        of leaving the user to bisect the netlist.
+        """
         try:
             return np.linalg.solve(self.matrix, self.rhs)
         except np.linalg.LinAlgError as exc:
-            raise SimulationError(
-                f"singular MNA matrix for circuit {self.circuit.name!r}; "
-                "check for floating nodes"
-            ) from exc
+            message = (f"singular MNA matrix for circuit "
+                       f"{self.circuit.name!r}; check for floating nodes")
+            suspects = self._structural_suspects()
+            if suspects:
+                message += "\nstructural suspects:\n" + suspects
+            raise SimulationError(message) from exc
+
+    def _structural_suspects(self) -> str:
+        """Model-checker findings worth naming in a singular-solve error."""
+        try:
+            from repro.analysis.model import check_circuit
+            findings = check_circuit(self.circuit)
+        except Exception:  # pragma: no cover - diagnostics must not mask
+            return ""
+        return "\n".join(f"  [{d.rule}] {d.message}" for d in findings)
 
 
 @dataclasses.dataclass

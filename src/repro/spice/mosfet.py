@@ -21,8 +21,9 @@ from repro.tech.node import Polarity
 from repro.tech.transistor import Mosfet
 from repro.spice.mna import StampContext
 from repro.spice.netlist import CircuitElement
+from repro.units import mV
 
-_FD_STEP = 1e-4  # volts, finite-difference step for gm/gd
+_FD_STEP = 0.1 * mV  # finite-difference step for gm/gd
 
 
 class MosfetElement(CircuitElement):
@@ -42,6 +43,11 @@ class MosfetElement(CircuitElement):
 
     def terminals(self) -> List[str]:
         return [self.drain, self.gate, self.source]
+
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        # The gate is ideal (currentless): it senses but never stamps.
+        return [(self.drain, "conductive"), (self.gate, "sense"),
+                (self.source, "conductive")]
 
     def is_nonlinear(self) -> bool:
         return True

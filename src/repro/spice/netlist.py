@@ -8,7 +8,7 @@ identified by unique names, so measurements can refer to them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import NetlistError
 
@@ -63,21 +63,33 @@ class Circuit:
                     seen.setdefault(node)
         return list(seen)
 
-    def validate(self) -> None:
+    def validate(self, strict: bool = False) -> None:
         """Check the netlist is simulatable.
 
-        Raises :class:`NetlistError` for an empty circuit or for nodes
-        with a single connection (dangling), which make the MNA matrix
-        singular unless a capacitor-to-nowhere is intended.
+        Delegates to the model checker
+        (:func:`repro.analysis.model.check_circuit`) and raises
+        :class:`NetlistError` carrying *all* structural defects at once
+        (``exc.diagnostics``) instead of stopping at the first.
+
+        By default only the historically fatal defects raise (empty
+        circuit, no ground connection); ``strict=True`` also raises for
+        every error-severity finding the checker reports (floating
+        nodes, voltage-source loops) and is what ``repro check`` uses.
+        Warnings (dangling nodes, capacitor-to-nowhere patterns) never
+        raise — they are reported through the checker CLI.
         """
-        if not self._elements:
-            raise NetlistError(f"circuit {self.name!r} has no elements")
-        degree: Dict[str, int] = {}
-        for element in self._elements.values():
-            for node in element.terminals():
-                degree[node] = degree.get(node, 0) + 1
-        if GROUND not in degree:
-            raise NetlistError(f"circuit {self.name!r} has no ground connection")
+        from repro.analysis.diagnostics import Severity, format_diagnostics
+        from repro.analysis.model import LEGACY_VALIDATE_RULES, check_circuit
+
+        diagnostics = check_circuit(self)
+        fatal = [d for d in diagnostics
+                 if d.rule in LEGACY_VALIDATE_RULES
+                 or (strict and d.severity is Severity.ERROR)]
+        if fatal:
+            raise NetlistError(
+                f"circuit {self.name!r} failed validation:\n"
+                f"{format_diagnostics(fatal)}",
+                diagnostics=diagnostics)
 
 
 class CircuitElement:
@@ -99,6 +111,28 @@ class CircuitElement:
 
     def terminals(self) -> Iterable[str]:
         raise NotImplementedError
+
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        """How each terminal couples into the MNA system.
+
+        Each terminal is one of:
+
+        * ``"conductive"`` — stamps conductance (resistors, channels);
+        * ``"capacitive"`` — stamps a companion conductance in transient
+          (capacitors);
+        * ``"constraint"`` — pins the node voltage through a branch
+          equation (voltage sources);
+        * ``"injection"`` — injects current without conductance
+          (current sources);
+        * ``"sense"`` — reads the node voltage without stamping it
+          (MOSFET gates, switch control inputs).
+
+        The model checker (:mod:`repro.analysis.model`) uses this to
+        predict singular matrices before a solve.  The default declares
+        every terminal conductive, the safe assumption for resistive
+        elements.
+        """
+        return [(node, "conductive") for node in self.terminals()]
 
     def is_source(self) -> bool:
         return False

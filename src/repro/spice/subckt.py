@@ -21,7 +21,7 @@ expansion, no magic — just systematic naming.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Set
 
 from repro.errors import NetlistError
 from repro.spice.netlist import GROUND, Circuit, CircuitElement
@@ -39,6 +39,7 @@ class Scope:
         self.circuit = circuit
         self.instance = instance
         self.ports: Dict[str, str] = dict(ports or {})
+        self._resolved_ports: Set[str] = set()
 
     def node(self, local_name: str) -> str:
         """Resolve a local node name: port mapping first, else prefixed.
@@ -48,8 +49,19 @@ class Scope:
         if local_name == GROUND:
             return GROUND
         if local_name in self.ports:
+            self._resolved_ports.add(local_name)
             return self.ports[local_name]
         return f"{self.instance}.{local_name}"
+
+    def unresolved_ports(self) -> Set[str]:
+        """Ports declared in the map but never resolved by the builder.
+
+        A non-empty result after building usually means the instance
+        and the subcircuit disagree on a port name — the wire the port
+        was meant to connect is dangling.  The model checker reports
+        these as rule ``M207`` (:func:`repro.analysis.model.check_scope`).
+        """
+        return set(self.ports) - self._resolved_ports
 
     def name(self, local_name: str) -> str:
         """Prefixed element name for this instance."""
@@ -69,4 +81,5 @@ class Scope:
             local: self.node(parent)
             for local, parent in (ports or {}).items()
         }
+        nested._resolved_ports = set()
         return nested

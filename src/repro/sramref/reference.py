@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import CalibrationError
-from repro.units import GHz, MHz, kb, pJ
+from repro.units import GHz, MHz, kb, ns, pJ
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,9 +58,9 @@ class Esscirc2008Reference:
         error = (modelled - anchor) / anchor
         if abs(error) > tolerance:
             raise CalibrationError(
-                f"modelled SRAM access {modelled * 1e9:.2f} ns deviates "
+                f"modelled SRAM access {modelled / ns:.2f} ns deviates "
                 f"{100 * error:+.0f} % from the boost cycle "
-                f"{anchor * 1e9:.2f} ns"
+                f"{anchor / ns:.2f} ns"
             )
         return error
 

@@ -14,7 +14,7 @@ from typing import Dict
 from repro.errors import ConfigurationError
 from repro.stack3d.tsv import TsvModel
 from repro.tech.wire import GLOBAL_LAYER, Wire
-from repro.units import GHz, mm, pF
+from repro.units import GHz, mm, mm2, pF
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,8 +96,9 @@ def onchip_link(length: float = 5 * mm, lines: int = 512) -> RoutingLink:
     )
 
 
-def compare_links(die_area: float = 25e-6,
-                  bandwidth: float = 64e9) -> Dict[str, Dict[str, float]]:
+def compare_links(die_area: float = 25 * mm2,
+                  bandwidth: float = 64e9  # noqa: L101 - bits/s
+                  ) -> Dict[str, Dict[str, float]]:
     """The Sec. I comparison at a common bandwidth target.
 
     Returns energy/bit, aggregate bandwidth and power for the three link

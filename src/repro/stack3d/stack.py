@@ -15,7 +15,7 @@ from repro.core.fastdram import FastDramDesign
 from repro.errors import ConfigurationError
 from repro.stack3d.routing import RoutingLink, tsv_link
 from repro.stack3d.tsv import TsvModel
-from repro.units import kb, Mb
+from repro.units import kb, Mb, mm2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,8 +35,8 @@ class Die:
         macro_area = sum(m.area() for m in self.macros)
         if macro_area > self.area:
             raise ConfigurationError(
-                f"die {self.name!r}: macros need {macro_area * 1e6:.2f} mm^2 "
-                f"but the die has {self.area * 1e6:.2f} mm^2"
+                f"die {self.name!r}: macros need {macro_area / mm2:.2f} mm^2 "
+                f"but the die has {self.area / mm2:.2f} mm^2"
             )
 
 
@@ -73,7 +73,7 @@ class DieStack:
         )
 
 
-def hybrid_cache_stack(logic_area: float = 25e-6,
+def hybrid_cache_stack(logic_area: float = 25 * mm2,
                        l1_bits: int = 128 * kb,
                        l2_bits: int = 2 * Mb) -> DieStack:
     """Build the paper Fig. 2 system: cores below, hybrid cache above.

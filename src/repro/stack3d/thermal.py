@@ -18,10 +18,11 @@ from typing import List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.refresh.adaptive import TemperatureAdaptiveRefresh
+from repro.units import ns, pW, um
 
 SILICON_CONDUCTIVITY = 130.0  # W / (m K)
-DIE_THICKNESS = 100e-6  # thinned die, metres
-BOND_RESISTANCE_PER_AREA = 2e-5  # K m^2 / W, die-to-die bond layer
+DIE_THICKNESS = 100 * um  # thinned die
+BOND_RESISTANCE_PER_AREA = 2e-5  # noqa: L101 - K m^2 / W, die-to-die bond
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,7 +140,7 @@ class RefreshThermalCoupling:
     def refresh_power_at(self, temperature: float) -> float:
         """Refresh power when the memory die sits at ``temperature``."""
         period = self.refresh_model.refresh_period_at(temperature)
-        if period <= self.rows * 1e-9:
+        if period <= self.rows * ns:
             # Less than ~1 ns per row: the matrix cannot even keep up
             # with its own refresh — thermal runaway territory.
             raise ConfigurationError(
@@ -165,7 +166,7 @@ class RefreshThermalCoupling:
             result = self.stack.solve(extra_powers=extra)
             temperature = result.temperatures[self.memory_layer]
             updated = self.refresh_power_at(temperature)
-            if abs(updated - refresh_power) <= tolerance * max(updated, 1e-12):
+            if abs(updated - refresh_power) <= tolerance * max(updated, 1 * pW):
                 return (ThermalResult(temperatures=result.temperatures,
                                       ambient=result.ambient,
                                       iterations=iteration),

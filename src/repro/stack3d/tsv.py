@@ -13,7 +13,7 @@ import math
 from repro.errors import ConfigurationError
 from repro.units import fF, um
 
-_COPPER_RESISTIVITY = 1.7e-8  # ohm * m
+_COPPER_RESISTIVITY = 1.7e-8  # noqa: L101 - ohm * m (no units.py entry)
 
 
 @dataclasses.dataclass(frozen=True)

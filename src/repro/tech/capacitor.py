@@ -19,7 +19,7 @@ import enum
 
 from repro.errors import ConfigurationError
 from repro.tech.node import TechnologyNode
-from repro.units import fF, um2
+from repro.units import aF, fF, um2
 
 
 class CapacitorKind(enum.Enum):
@@ -87,7 +87,7 @@ class StorageCapacitor:
         is negligible compared to junction leakage.
         """
         return cls(kind=CapacitorKind.DEEP_TRENCH, capacitance=capacitance,
-                   area=0.1 * node.dram_cell_area, dielectric_leakage=1e-18)
+                   area=0.1 * node.dram_cell_area, dielectric_leakage=1 * aF)
 
     @classmethod
     def mim(cls, capacitance: float, density: float = 2 * fF / um2
@@ -96,7 +96,7 @@ class StorageCapacitor:
         if density <= 0:
             raise ConfigurationError("MIM density must be positive")
         return cls(kind=CapacitorKind.MIM, capacitance=capacitance,
-                   area=capacitance / density, dielectric_leakage=1e-18)
+                   area=capacitance / density, dielectric_leakage=1 * aF)
 
     def stored_charge(self, voltage: float) -> float:
         """Charge stored at ``voltage``, coulombs."""

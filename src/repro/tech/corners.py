@@ -14,6 +14,7 @@ import math
 
 from repro.errors import ConfigurationError
 from repro.tech.node import Polarity, TechnologyNode, TransistorParams
+from repro.units import mV
 
 
 class Corner(enum.Enum):
@@ -44,7 +45,7 @@ def _derate_params(params: TransistorParams, vth_shift: float,
     dt = temperature - _REFERENCE_TEMPERATURE
     # Mobility degrades ~ (T/T0)^-1.5; vth drops ~ 1 mV/K with temperature.
     mobility_factor = (temperature / _REFERENCE_TEMPERATURE) ** -1.5
-    vth = params.vth + vth_shift - 1e-3 * dt
+    vth = params.vth + vth_shift - 1 * mV * dt
     if vth <= 0.05:
         raise ConfigurationError(
             f"corner/temperature pushed vth to {vth:.3f} V; model invalid"

@@ -23,9 +23,9 @@ import math
 from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
-from repro.units import fF, nm, um, V
+from repro.units import fF, nA, nm, pA, uA, um, V
 
-BOLTZMANN_Q = 8.617333262e-5  # k/q in V/K
+BOLTZMANN_Q = 8.617333262e-5  # noqa: L101 - k/q in V/K, physical constant
 
 
 class Polarity(enum.Enum):
@@ -174,15 +174,15 @@ class TechnologyNode:
         """
         nmos = {
             VtFlavor.LVT: TransistorParams(
-                vth=0.22, k_sat=680e-6 / um, alpha=1.3, i_off=12e-9 / um,
+                vth=0.22, k_sat=680 * uA / um, alpha=1.3, i_off=12 * nA / um,
                 subthreshold_swing=0.092, dibl=0.10, body_effect=0.18,
             ),
             VtFlavor.SVT: TransistorParams(
-                vth=0.32, k_sat=540e-6 / um, alpha=1.3, i_off=1e-9 / um,
+                vth=0.32, k_sat=540 * uA / um, alpha=1.3, i_off=1 * nA / um,
                 subthreshold_swing=0.090, dibl=0.09, body_effect=0.20,
             ),
             VtFlavor.HVT: TransistorParams(
-                vth=0.45, k_sat=420e-6 / um, alpha=1.32, i_off=0.05e-9 / um,
+                vth=0.45, k_sat=420 * uA / um, alpha=1.32, i_off=50 * pA / um,
                 subthreshold_swing=0.088, dibl=0.08, body_effect=0.22,
             ),
         }
@@ -206,7 +206,7 @@ class TechnologyNode:
             gate_cap_per_width=1.45 * fF / um,
             junction_cap_per_width=0.9 * fF / um,
             gate_leak_per_area=0.5,  # A/m^2, 90 nm LP (thick-ish) gate oxide
-            junction_leak_per_width=5e-12 / um,
+            junction_leak_per_width=5 * pA / um,
             min_width=120 * nm,
             sram6t_cell_area=1.0 * um * um,
             dram_cell_area=0.3 * um * um,

@@ -116,7 +116,7 @@ def si_format(value: float, unit: str = "", digits: int = 3) -> str:
     >>> si_format(0.0, 'F')
     '0 F'
     """
-    if value == 0:
+    if value == 0:  # noqa: L102 - exact zero prints '0', by design
         return f"0 {unit}".rstrip()
     magnitude = abs(value)
     scale, prefix = _SI_PREFIXES[0]

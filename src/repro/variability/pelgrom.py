@@ -44,7 +44,7 @@ class PelgromModel:
     """
 
     avt: float = DEFAULT_AVT_90NM
-    abeta: float = 1.0e-2 * um  # ~1 % for a 1 um^2 device
+    abeta: float = 0.01 * um  # ~1 % for a 1 um^2 device
 
     def vth_spec(self, device: Mosfet) -> GaussianSpec:
         """Zero-mean VT shift distribution for ``device``."""

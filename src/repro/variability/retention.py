@@ -133,7 +133,7 @@ class RetentionModel:
         """Draw the retention time of one random cell, seconds."""
         vth_shift = float(self.mismatch.vth_spec(self.access_device).sample(rng))
         junction_spec = LognormalSpec(
-            median=self.junction_leak() if self.junction_leak() > 0 else 1e-30,
+            median=self.junction_leak() if self.junction_leak() > 0 else 1e-30,  # noqa: L101 - lognormal floor
             sigma_ln=self.junction_sigma_ln,
         )
         junction = float(junction_spec.sample(rng))
@@ -158,7 +158,7 @@ class RetentionModel:
         vth_shifts = rng.normal(0.0, sigma, size=count)
         swing = self.access_device.params.subthreshold_swing
         sub = self.subthreshold_leak() * 10.0 ** (-vth_shifts / swing)
-        junction_median = max(self.junction_leak(), 1e-30)
+        junction_median = max(self.junction_leak(), 1e-30)  # noqa: L101 - lognormal floor
         junction = rng.lognormal(math.log(junction_median),
                                  self.junction_sigma_ln, size=count)
         caps = self.capacitor.capacitance * rng.normal(1.0, 0.03,

@@ -1,0 +1,98 @@
+"""The shared diagnostics core: rendering, JSON, baselines."""
+
+import json
+
+import pytest
+
+from repro.analysis import (Baseline, Diagnostic, Severity,
+                            diagnostics_to_json, format_diagnostics)
+
+
+def make(rule="L101", severity=Severity.ERROR, message="bare magnitude",
+         path="src/x.py", line=3, column=7, hint=None):
+    return Diagnostic(rule=rule, severity=severity, message=message,
+                      path=path, line=line, column=column, hint=hint)
+
+
+class TestDiagnostic:
+    def test_location_includes_line_and_column(self):
+        assert make().location() == "src/x.py:3:7"
+
+    def test_location_without_line(self):
+        assert make(line=None, column=None).location() == "src/x.py"
+
+    def test_fingerprint_is_line_independent(self):
+        assert make(line=3).fingerprint() == make(line=99).fingerprint()
+
+    def test_fingerprint_changes_with_message(self):
+        assert make().fingerprint() != make(message="other").fingerprint()
+
+    def test_to_dict_round_trips_fields(self):
+        data = make(hint="use fF").to_dict()
+        assert data["rule"] == "L101"
+        assert data["severity"] == "error"
+        assert data["line"] == 3
+        assert data["hint"] == "use fF"
+        assert data["fingerprint"] == make().fingerprint()
+
+    def test_severity_ranks_order(self):
+        assert (Severity.ERROR.rank > Severity.WARNING.rank
+                > Severity.INFO.rank)
+
+
+class TestFormatting:
+    def test_text_output_has_one_line_per_finding_plus_tally(self):
+        text = format_diagnostics([make(), make(rule="L102", line=9,
+                                        severity=Severity.WARNING)])
+        lines = text.splitlines()
+        assert lines[0].startswith("src/x.py:3:7: error [L101]")
+        assert lines[-1] == "2 finding(s): 1 error(s), 1 warning(s)"
+
+    def test_hint_rendered_indented(self):
+        text = format_diagnostics([make(hint="write 11 * fF")])
+        assert "    hint: write 11 * fF" in text
+
+    def test_json_output_is_versioned_and_counted(self):
+        data = json.loads(diagnostics_to_json([make(), make(rule="M203")]))
+        assert data["version"] == 1
+        assert data["count"] == 2
+        assert data["errors"] == 2
+        assert {d["rule"] for d in data["diagnostics"]} == {"L101", "M203"}
+
+    def test_output_sorted_by_path_then_line(self):
+        data = json.loads(diagnostics_to_json(
+            [make(path="b.py", line=1), make(path="a.py", line=9),
+             make(path="a.py", line=2)]))
+        keys = [(d["path"], d["line"]) for d in data["diagnostics"]]
+        assert keys == sorted(keys)
+
+
+class TestBaseline:
+    def test_filter_removes_accepted_findings(self):
+        accepted, fresh = make(), make(message="new defect")
+        baseline = Baseline.from_diagnostics([accepted])
+        assert baseline.filter([accepted, fresh]) == [fresh]
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_diagnostics([make(), make(rule="M208")])
+        path = baseline.save(tmp_path / "base.json")
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert make() in loaded
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": {}}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_discover_walks_parent_directories(self, tmp_path):
+        Baseline.from_diagnostics([make()]).save(
+            tmp_path / Baseline.DEFAULT_NAME)
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        found = Baseline.discover(nested)
+        assert found is not None and make() in found
+
+    def test_discover_returns_none_without_file(self, tmp_path):
+        assert Baseline.discover(tmp_path) is None

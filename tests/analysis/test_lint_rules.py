@@ -1,0 +1,157 @@
+"""Golden-diagnostic tests: every lint rule fires on a known-bad snippet."""
+
+import textwrap
+
+from repro.analysis import LINT_RULES, lint_paths, lint_source
+from repro.analysis.lint import MetricNames
+
+
+def rules_of(source, path="src/example.py"):
+    return [d.rule for d in lint_source(textwrap.dedent(source), path)]
+
+
+class TestL100Parse:
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert [d.rule for d in findings] == ["L100"]
+        assert findings[0].severity.value == "error"
+
+
+class TestL101BareMagnitude:
+    def test_scientific_float_fires(self):
+        assert rules_of("cap = 11e-15\n") == ["L101"]
+
+    def test_plain_decimal_passes(self):
+        assert rules_of("ratio = 0.38\n") == []
+
+    def test_units_module_is_exempt(self):
+        assert rules_of("fF = 1e-15\n", "src/repro/units.py") == []
+
+    def test_units_multiplier_passes(self):
+        assert rules_of(
+            "from repro.units import fF\ncap = 11 * fF\n") == []
+
+    def test_tolerance_kwarg_exempt(self):
+        assert rules_of("solve(x, tol=1e-9)\n") == []
+
+    def test_tolerance_default_exempt(self):
+        assert rules_of("def f(x, rtol=1e-6):\n    return x\n") == []
+
+    def test_tolerance_named_assignment_exempt(self):
+        assert rules_of("_V_TOL = 1e-9\n") == []
+
+    def test_tolerance_named_loop_exempt(self):
+        assert rules_of(
+            "for gmin in (1e-3, 1e-6):\n    pass\n") == []
+
+    def test_hint_suggests_units_rewrite(self):
+        (finding,) = lint_source("cap = 11e-15\n", "src/example.py")
+        assert "fF" in (finding.hint or "")
+
+    def test_noqa_suppresses(self):
+        assert rules_of("k = 8.6e-5  # noqa: L101\n") == []
+
+    def test_bare_noqa_suppresses_all(self):
+        assert rules_of("k = 8.6e-5  # noqa\n") == []
+
+
+class TestL102FloatEquality:
+    def test_float_literal_comparison_fires(self):
+        assert "L102" in rules_of("ok = x == 1.5\n")
+
+    def test_float_annotated_param_fires(self):
+        assert "L102" in rules_of(
+            "def f(v: float):\n    return v == other\n")
+
+    def test_float_annotated_self_field_fires(self):
+        assert "L102" in rules_of("""\
+            class Row:
+                dram: float
+                def bad(self):
+                    return self.dram == 0
+            """)
+
+    def test_int_comparison_passes(self):
+        assert rules_of("ok = n == 3\n") == []
+
+    def test_inequality_operators_pass(self):
+        assert rules_of("ok = x <= 1.5\n") == []
+
+
+class TestL103UnitDocs:
+    def test_cap_param_without_units_warns(self):
+        assert rules_of("""\
+            def step(bitline_cap):
+                '''Signal step.'''
+            """) == ["L103"]
+
+    def test_documented_farads_passes(self):
+        assert rules_of("""\
+            def step(bitline_cap):
+                '''Signal step; bitline_cap in farads.'''
+            """) == []
+
+    def test_voltage_family_recognised(self):
+        assert rules_of("""\
+            def drive(wordline_voltage):
+                '''Overdrive level, volts.'''
+            """) == []
+
+    def test_finding_is_warning(self):
+        (finding,) = lint_source(textwrap.dedent("""\
+            def f(row_energy):
+                '''Refresh cost.'''
+            """), "x.py")
+        assert finding.severity.value == "warning"
+
+
+class TestL104MutableDefault:
+    def test_list_literal_default_fires(self):
+        assert rules_of("def f(items=[]):\n    return items\n") == ["L104"]
+
+    def test_dict_call_default_fires(self):
+        assert rules_of("def f(opts=dict()):\n    return opts\n") == ["L104"]
+
+    def test_none_default_passes(self):
+        assert rules_of("def f(items=None):\n    return items\n") == []
+
+
+class TestL105ObsNaming:
+    def test_camel_case_metric_fires(self):
+        assert rules_of(
+            "obs.counter('RefreshStalls', 1)\n") == ["L105"]
+
+    def test_dotted_lower_snake_passes(self):
+        assert rules_of(
+            "obs.counter('refresh.stall_cycles', 1)\n") == []
+
+    def test_span_names_checked(self):
+        assert rules_of("with obs.span('Bad Name'):\n    pass\n") == ["L105"]
+
+    def test_fstring_literal_prefix_checked(self):
+        assert rules_of(
+            "obs.span(f'Policy.{name}')\n") == ["L105"]
+
+
+class TestL106KindCollisions:
+    def test_conflicting_kinds_across_files_fire(self, tmp_path):
+        (tmp_path / "a.py").write_text("obs.counter('cache.hits', 1)\n")
+        (tmp_path / "b.py").write_text("obs.gauge('cache.hits', 2.0)\n")
+        findings = lint_paths([tmp_path])
+        assert [d.rule for d in findings] == ["L106"]
+        assert "cache.hits" in findings[0].message
+
+    def test_consistent_kind_passes(self, tmp_path):
+        (tmp_path / "a.py").write_text("obs.counter('cache.hits', 1)\n")
+        (tmp_path / "b.py").write_text("obs.counter('cache.hits', 2)\n")
+        assert lint_paths([tmp_path]) == []
+
+    def test_registry_records_first_use(self):
+        registry = MetricNames()
+        lint_source("obs.counter('a.b', 1)\n", "x.py", registry)
+        assert "counter" in registry.uses["a.b"]
+
+
+class TestRuleCatalogue:
+    def test_every_rule_has_a_description(self):
+        assert set(LINT_RULES) == {f"L10{i}" for i in range(7)}
