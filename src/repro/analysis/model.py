@@ -20,6 +20,9 @@ before anything is solved:
 ``M209``  refresh policy saturates (or nearly saturates) its victim scope
 ``M210``  technology-node parameter outside its plausible envelope
 ``M211``  check target failed to load
+``M212``  fault/resilience config physically inconsistent (fault plan
+          coordinates outside the matrix, duplicate faults, repair or
+          budget parameters out of range)
 
 :func:`check_circuit` is also the engine behind
 :meth:`repro.spice.netlist.Circuit.validate`.
@@ -46,6 +49,7 @@ MODEL_RULES: Dict[str, str] = {
     "M209": "refresh policy saturates its victim scope",
     "M210": "technology-node parameter outside plausible envelope",
     "M211": "check target failed to load",
+    "M212": "fault/resilience configuration physically inconsistent",
 }
 
 # The rules Circuit.validate() has always enforced by raising; kept as
@@ -279,6 +283,152 @@ def check_tech_node(node) -> List[Diagnostic]:
     return diagnostics
 
 
+def check_fault_plan(plan) -> List[Diagnostic]:
+    """Physical-consistency checks of a ``FaultPlan`` (rule M212).
+
+    The plan dataclass validates only types and signs so a questionable
+    config can be loaded and linted; this rule owns the physics.
+    """
+    path = f"faults:seed={plan.seed}"
+    diagnostics = []
+    if len(plan.weak_cells) > plan.total_rows:
+        diagnostics.append(_diag(
+            "M212", Severity.ERROR,
+            f"{len(plan.weak_cells)} weak cells exceed the matrix's "
+            f"{plan.total_rows} rows (weak-cell fraction "
+            f"{plan.weak_cell_fraction:.2f} > 1)", path,
+            hint="a row hosts at most one weakest cell; shrink the plan"))
+
+    seen_weak = set()
+    for cell in plan.weak_cells:
+        where = f"weak cell ({cell.block}, {cell.row})"
+        if not (0 <= cell.block < plan.n_blocks
+                and 0 <= cell.row < plan.rows_per_block):
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"{where} lies outside the {plan.n_blocks} x "
+                f"{plan.rows_per_block} matrix", path))
+        if cell.retention_time <= 0:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"{where} has non-positive retention "
+                f"{cell.retention_time!r} s", path))
+        if (cell.block, cell.row) in seen_weak:
+            diagnostics.append(_diag(
+                "M212", Severity.WARNING,
+                f"duplicate {where}; only the weakest matters", path))
+        seen_weak.add((cell.block, cell.row))
+
+    seen_stuck = set()
+    for stuck in plan.stuck_bits:
+        where = f"stuck bit ({stuck.block}, {stuck.row}, {stuck.bit})"
+        if not (0 <= stuck.block < plan.n_blocks
+                and 0 <= stuck.row < plan.rows_per_block):
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"{where} lies outside the matrix", path))
+        if not 0 <= stuck.bit < plan.word_bits:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"{where} exceeds the {plan.word_bits}-bit word", path))
+        if stuck.stuck_value not in (0, 1):
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"{where} sticks to {stuck.stuck_value!r}, not 0/1", path))
+        key = (stuck.block, stuck.row, stuck.bit)
+        if key in seen_stuck:
+            diagnostics.append(_diag(
+                "M212", Severity.WARNING,
+                f"duplicate {where}", path))
+        seen_stuck.add(key)
+
+    for outlier in plan.sa_outliers:
+        if not 0 <= outlier.block < plan.n_blocks:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"SA outlier block {outlier.block} outside the matrix",
+                path))
+        if outlier.offset_multiplier < 1.0:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"SA outlier on block {outlier.block} has multiplier "
+                f"{outlier.offset_multiplier:.3g} < 1: an outlier cannot "
+                "shrink the required differential", path,
+                hint="offset multipliers are >= 1 in any physical plan"))
+
+    seen_rows = set()
+    for fault in plan.refresh_faults:
+        if not 0 <= fault.row < plan.total_rows:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"refresh fault on row {fault.row} outside the "
+                f"{plan.total_rows}-row schedule", path))
+        if fault.kind == "late" and fault.delay_cycles <= 0:
+            diagnostics.append(_diag(
+                "M212", Severity.ERROR,
+                f"late refresh on row {fault.row} with delay "
+                f"{fault.delay_cycles} cycles; a late refresh needs a "
+                "positive delay", path))
+        if fault.row in seen_rows:
+            diagnostics.append(_diag(
+                "M212", Severity.WARNING,
+                f"row {fault.row} carries more than one refresh fault",
+                path, hint="a dead driver cannot also be late"))
+        seen_rows.add(fault.row)
+    return diagnostics
+
+
+def check_repair_model(repair, plan=None) -> List[Diagnostic]:
+    """Range checks of a ``RepairModel`` (rule M212).
+
+    With a ``plan``, also flags repair capacity exceeding the spare
+    rows the plan's blocks can physically hold.
+    """
+    path = "faults:repair"
+    diagnostics = []
+    if repair.spare_rows_per_block < 0:
+        diagnostics.append(_diag(
+            "M212", Severity.ERROR,
+            f"spare_rows_per_block={repair.spare_rows_per_block} is "
+            "negative", path))
+    if repair.correctable_bits < 0:
+        diagnostics.append(_diag(
+            "M212", Severity.ERROR,
+            f"correctable_bits={repair.correctable_bits} is negative",
+            path))
+    if repair.retention_guard < 1.0:
+        diagnostics.append(_diag(
+            "M212", Severity.ERROR,
+            f"retention_guard={repair.retention_guard:.3g} < 1 refreshes "
+            "slower than the weakest cell retains", path,
+            hint="the guard must be >= 1 (refresh faster than decay)"))
+    if plan is not None and repair.spare_rows_per_block > plan.rows_per_block:
+        diagnostics.append(_diag(
+            "M212", Severity.ERROR,
+            f"spare_rows_per_block={repair.spare_rows_per_block} exceeds "
+            f"the block's {plan.rows_per_block} rows: the repair capacity "
+            "is larger than the rows it could replace", path))
+    return diagnostics
+
+
+def check_run_budget(budget) -> List[Diagnostic]:
+    """Range checks of a sweep ``RunBudget`` (rule M212)."""
+    path = "checkpoint:budget"
+    diagnostics = []
+    if budget.max_seconds is not None and budget.max_seconds <= 0:
+        diagnostics.append(_diag(
+            "M212", Severity.WARNING,
+            f"max_seconds={budget.max_seconds!r} stops the sweep before "
+            "the first item", path,
+            hint="use None for unlimited, a positive ceiling otherwise"))
+    if budget.max_failures is not None and budget.max_failures <= 0:
+        diagnostics.append(_diag(
+            "M212", Severity.WARNING,
+            f"max_failures={budget.max_failures!r} aborts on the first "
+            "failure it was meant to tolerate", path))
+    return diagnostics
+
+
 # ---------------------------------------------------------------------------
 # Target dispatch and discovery
 # ---------------------------------------------------------------------------
@@ -287,11 +437,20 @@ def check_object(obj, label: str = "") -> List[Diagnostic]:
     """Dispatch one model object to its checker; [] for unknown types."""
     from repro.array.macro import MacroDesign
     from repro.array.organization import ArrayOrganization
+    from repro.checkpoint import RunBudget
+    from repro.faults.plan import FaultPlan
+    from repro.faults.repair import RepairModel
     from repro.refresh.controller import RefreshPolicy
     from repro.spice.netlist import Circuit
     from repro.spice.subckt import Scope
     from repro.tech.node import TechnologyNode
 
+    if isinstance(obj, FaultPlan):
+        return check_fault_plan(obj)
+    if isinstance(obj, RepairModel):
+        return check_repair_model(obj)
+    if isinstance(obj, RunBudget):
+        return check_run_budget(obj)
     if isinstance(obj, Circuit):
         return check_circuit(obj)
     if isinstance(obj, Scope):

@@ -84,6 +84,38 @@ class MacroDesign:
         """Cell-array static power (leakage or refresh, by cell kind)."""
         return self.static_power_model.report()
 
+    # -- resilience ------------------------------------------------------------
+
+    def fault_assessment(self, plan, repair=None):
+        """Degraded-mode accounting of this macro under a fault plan.
+
+        Applies ECC + spare-row repair (``repair`` defaults to
+        :class:`~repro.faults.repair.RepairModel`'s standard
+        provisioning) and returns a
+        :class:`~repro.faults.repair.DegradedMacroReport`: corrected
+        errors, capacity loss and refresh-rate uplift instead of a
+        pass/fail margin check.
+        """
+        import math
+
+        from repro.errors import ConfigurationError
+        from repro.faults.repair import RepairModel, assess_plan
+
+        org = self.organization
+        org_rows = org.n_localblocks * org.cells_per_lbl
+        if plan.total_rows != org_rows:
+            raise ConfigurationError(
+                f"fault plan covers {plan.total_rows} rows but the macro "
+                f"has {org_rows} ({org.n_localblocks} blocks x "
+                f"{org.cells_per_lbl} rows)")
+        if repair is None:
+            repair = RepairModel()
+        if self.organization.cell.is_dynamic:
+            base_period = self.static_power_model.refresh_period()
+        else:
+            base_period = math.inf  # static cells never refresh
+        return assess_plan(plan, repair, base_refresh_period=base_period)
+
     # -- reporting ------------------------------------------------------------------
 
     def summary(self) -> Dict[str, float]:

@@ -64,6 +64,10 @@ class ReadMarginAnalysis:
     retention: RetentionModel
     samples: int = 4000
     seed: int = 0
+    #: Scales the SA's required differential; a fault plan's worst
+    #: sense-amp outlier (``FaultPlan.worst_sa_multiplier``) plugs in
+    #: here to evaluate the margin of the unluckiest block.
+    offset_multiplier: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.organization.cell.is_dynamic:
@@ -71,6 +75,9 @@ class ReadMarginAnalysis:
                 "read-margin analysis applies to dynamic cells")
         if self.samples < 100:
             raise ConfigurationError("need at least 100 sampled cells")
+        if self.offset_multiplier < 1.0:
+            raise ConfigurationError(
+                "offset multiplier must be >= 1 (1.0 = nominal SA)")
 
     # -- ingredients -----------------------------------------------------------
 
@@ -80,7 +87,7 @@ class ReadMarginAnalysis:
 
     def required_differential(self) -> float:
         """Differential the SA needs (offset at the design margin)."""
-        return self.local_sa.required_input_signal()
+        return self.local_sa.required_input_signal() * self.offset_multiplier
 
     def _decay_time_constants(self, rng: np.random.Generator) -> np.ndarray:
         """Per-cell exponential decay constants, seconds.

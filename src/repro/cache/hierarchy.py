@@ -27,23 +27,40 @@ _log = logging.getLogger(__name__)
 
 @dataclasses.dataclass(frozen=True)
 class HierarchyLevel:
-    """One cache level: behavioural cache + its silicon macro."""
+    """One cache level: behavioural cache + its silicon macro.
+
+    ``faults`` (a :class:`~repro.faults.injector.CacheFaultModel`)
+    optionally degrades the level: mapped-out rows shrink the bits the
+    cache may claim, and accesses landing on ECC-reliant rows are
+    counted as corrected errors in the run's stats.
+    """
 
     name: str
     cache: Cache
     macro: MacroDesign
+    faults: Optional[object] = None  # CacheFaultModel, kept duck-typed
 
     def word_capacity(self) -> int:
         return self.cache.capacity_words
 
+    def usable_bits(self) -> int:
+        """Macro bits available after fault-induced capacity loss."""
+        total = self.macro.organization.total_bits
+        if self.faults is None:
+            return total
+        return self.faults.usable_bits(total)
+
     def check_macro_fits(self) -> None:
-        """The behavioural capacity must fit in the macro's bits."""
+        """The behavioural capacity must fit in the macro's usable bits."""
         needed = self.cache.capacity_words * 32
-        available = self.macro.organization.total_bits
+        available = self.usable_bits()
         if needed > available:
+            total = self.macro.organization.total_bits
+            degraded = (f" ({total} before capacity loss)"
+                        if available != total else "")
             raise ConfigurationError(
                 f"level {self.name!r}: cache needs {needed} bits, macro "
-                f"provides {available}"
+                f"provides {available}{degraded}"
             )
 
 
@@ -56,6 +73,9 @@ class HierarchyStats:
     backing_accesses: int
     total_energy: float
     total_time: float
+    #: Expected ECC correction events across all levels (0.0 without
+    #: fault models attached — the healthy hierarchy is unchanged).
+    corrected_errors: float = 0.0
 
     @property
     def average_energy(self) -> float:
@@ -125,6 +145,9 @@ class CacheHierarchy:
         m = obs.metrics()
         m.counter("hierarchy.accesses").inc(stats.accesses)
         m.counter("hierarchy.backing_accesses").inc(stats.backing_accesses)
+        if stats.corrected_errors:
+            m.counter("hierarchy.corrected_errors").inc(
+                int(round(stats.corrected_errors)))
         for level in self.levels:
             level.cache.publish_metrics(prefix=f"cache.{level.name}")
         _log.debug("hierarchy run: %d accesses, hits per level %s, "
@@ -137,6 +160,13 @@ class CacheHierarchy:
         total_time = 0.0
         hits = [0] * len(self.levels)
         backing = 0
+        corrected = 0.0
+
+        def touch(index: int) -> None:
+            nonlocal corrected
+            faults = self.levels[index].faults
+            if faults is not None:
+                corrected += faults.correction_probability()
 
         for address, write in zip(trace.addresses, trace.writes):
             address = int(address)
@@ -147,6 +177,7 @@ class CacheHierarchy:
                 energy, time = self._access_cost(index, write)
                 total_energy += energy
                 total_time += time
+                touch(index)
                 result = level.cache.access(address, write=write)
                 if result.evicted_dirty_line is not None:
                     pending_writeback = result.evicted_dirty_line
@@ -171,6 +202,7 @@ class CacheHierarchy:
                                                  write=True)
                 total_energy += energy
                 total_time += time
+                touch(len(self.levels) - 1)
                 outer.cache.access(pending_writeback, write=True)
 
         return HierarchyStats(
@@ -179,4 +211,5 @@ class CacheHierarchy:
             backing_accesses=backing,
             total_energy=total_energy,
             total_time=total_time,
+            corrected_errors=corrected,
         )

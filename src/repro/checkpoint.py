@@ -1,0 +1,254 @@
+"""Atomic JSON checkpoints and run budgets for long sweeps.
+
+Production-scale sweeps (Monte-Carlo populations, design grids) die two
+ways: the process is killed mid-run, or a pathological point burns the
+whole time budget.  This module gives every long-running engine the
+same three defences:
+
+* :class:`Checkpoint` — periodic atomic JSON snapshots keyed by a
+  config fingerprint, so ``--resume`` continues exactly where a killed
+  run stopped (and refuses to resume a checkpoint written by a run with
+  a different configuration);
+* :class:`RunBudget` / :class:`BudgetClock` — wall-clock and
+  failure-count ceilings checked between work items;
+* :func:`run_sweep` — the generic harness: walks keyed work items,
+  skips completed ones, records failures instead of dying, and returns
+  a :class:`SweepOutcome` with explicit ``completed/attempted``
+  accounting rather than an exception.
+
+Checkpoints are written atomically (temp file + ``os.replace``), so a
+kill during a save never corrupts the previous snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import ConfigurationError, ReproError
+
+_log = logging.getLogger(__name__)
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunBudget:
+    """Ceilings a sweep must respect (``None`` = unlimited).
+
+    Deliberately *not* validated at construction: ``repro check`` rule
+    M212 flags inconsistent budgets (non-positive ceilings) instead, so
+    a config file can be linted without crashing the loader.
+    """
+
+    max_seconds: Optional[float] = None
+    max_failures: Optional[int] = None
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_seconds is None and self.max_failures is None
+
+
+class BudgetClock:
+    """Tracks one run against its :class:`RunBudget`."""
+
+    def __init__(self, budget: Optional[RunBudget] = None) -> None:
+        self.budget = budget or RunBudget()
+        self._started = time.monotonic()
+        self.failures = 0
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def fail(self) -> None:
+        self.failures += 1
+
+    def exhausted(self) -> Optional[str]:
+        """The ceiling that was hit, or ``None`` while within budget."""
+        budget = self.budget
+        if (budget.max_seconds is not None
+                and self.elapsed() >= budget.max_seconds):
+            return "max_seconds"
+        if (budget.max_failures is not None
+                and self.failures >= budget.max_failures):
+            return "max_failures"
+        return None
+
+
+class Checkpoint:
+    """One atomic JSON checkpoint file, keyed by a config fingerprint.
+
+    The fingerprint (use :func:`repro.obs.config_fingerprint` over the
+    sweep's effective configuration) guards against resuming a
+    checkpoint that belongs to a different run: a mismatch raises
+    :class:`~repro.errors.ConfigurationError` naming both fingerprints.
+    """
+
+    def __init__(self, path: "str | pathlib.Path",
+                 fingerprint: str) -> None:
+        self.path = pathlib.Path(path)
+        self.fingerprint = fingerprint
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The saved ``done`` mapping, or ``None`` if no file exists."""
+        if not self.path.exists():
+            return None
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"checkpoint {self.path} is unreadable: {exc}") from exc
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            raise ConfigurationError(
+                f"checkpoint {self.path} has schema "
+                f"{payload.get('schema')!r}, expected {CHECKPOINT_SCHEMA}")
+        saved = payload.get("fingerprint")
+        if saved != self.fingerprint:
+            raise ConfigurationError(
+                f"checkpoint {self.path} was written by a run with "
+                f"fingerprint {saved!r}, not {self.fingerprint!r}; "
+                "delete it or rerun with the original configuration")
+        obs.metrics().counter("checkpoint.resumes").inc()
+        done = payload.get("done", {})
+        _log.info("resumed checkpoint %s: %d item(s) already done",
+                  self.path, len(done))
+        return done
+
+    def save(self, done: Dict[str, Any]) -> None:
+        """Atomically snapshot ``done`` (temp file + rename)."""
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "done": done,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        obs.metrics().counter("checkpoint.saves").inc()
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (a completed run needs no resume)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepOutcome:
+    """Accounting of one (possibly partial) sweep.
+
+    ``results`` maps item key -> decoded result for every *completed*
+    item, in sweep order.  ``attempted`` counts items actually tried
+    this process plus those restored from a checkpoint; items skipped
+    because the budget ran out are neither attempted nor failed.
+    """
+
+    results: Dict[str, Any]
+    completed: int
+    attempted: int
+    failures: Tuple[str, ...]  # item keys whose evaluation raised
+    exhausted: Optional[str]  # "max_seconds" | "max_failures" | None
+
+    @property
+    def complete(self) -> bool:
+        """Every item finished and none failed."""
+        return self.exhausted is None and not self.failures
+
+    def describe(self) -> str:
+        parts = [f"{self.completed}/{self.attempted} completed"]
+        if self.failures:
+            parts.append(f"{len(self.failures)} failed")
+        if self.exhausted:
+            parts.append(f"stopped on {self.exhausted}")
+        return ", ".join(parts)
+
+
+def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
+              checkpoint: Optional[Checkpoint] = None,
+              budget: Optional[RunBudget] = None,
+              save_every: int = 1,
+              encode: Optional[Callable[[Any], Any]] = None,
+              decode: Optional[Callable[[Any], Any]] = None
+              ) -> SweepOutcome:
+    """Walk keyed work items with checkpointing and budget enforcement.
+
+    ``items`` is an ordered sequence of ``(key, thunk)`` pairs; keys
+    must be unique strings.  Completed items found in the checkpoint
+    are not re-evaluated (their stored value is decoded instead), which
+    is what makes a resumed run reproduce the uninterrupted result.
+    Evaluation failures (any :class:`~repro.errors.ReproError`) are
+    recorded, not raised — the sweep continues until done or out of
+    budget.  ``encode``/``decode`` convert results to/from
+    JSON-serialisable form for the checkpoint file.
+    """
+    keys = [key for key, _thunk in items]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("sweep item keys must be unique")
+    if save_every < 1:
+        raise ConfigurationError("save_every must be >= 1")
+    encode = encode or (lambda value: value)
+    decode = decode or (lambda value: value)
+
+    done: Dict[str, Any] = {}
+    if checkpoint is not None:
+        done = checkpoint.load() or {}
+
+    clock = BudgetClock(budget)
+    failures: List[str] = []
+    exhausted: Optional[str] = None
+    dirty = 0
+    with obs.span("sweep.run", items=len(items)):
+        for key, thunk in items:
+            if key in done:
+                continue
+            exhausted = clock.exhausted()
+            if exhausted is not None:
+                _log.info("sweep stopped on %s after %d item(s)",
+                          exhausted, len(done))
+                break
+            try:
+                result = thunk()
+            except ReproError as exc:
+                _log.warning("sweep item %r failed: %s", key, exc)
+                obs.metrics().counter("sweep.failures").inc()
+                failures.append(key)
+                clock.fail()
+                continue
+            done[key] = encode(result)
+            dirty += 1
+            if checkpoint is not None and dirty >= save_every:
+                checkpoint.save(done)
+                dirty = 0
+    if checkpoint is not None and dirty:
+        checkpoint.save(done)
+
+    results = {key: decode(done[key]) for key in keys if key in done}
+    return SweepOutcome(
+        results=results,
+        completed=len(results),
+        attempted=len(results) + len(failures),
+        failures=tuple(failures),
+        exhausted=exhausted,
+    )

@@ -13,6 +13,13 @@ shell.  Commands map one-to-one onto the library's top-level API:
     refresh-plan   retention-binned refresh planning
     banking        banked vs monolithic composition
     sensitivity    normalised parameter sensitivities
+    mc             checkpointed retention Monte-Carlo (``--resume``)
+    chaos          seeded fault-injection run (weak cells, dropped
+                   refreshes, a forced solver failure) ending in a
+                   degraded-but-functional report
+
+Every command that samples randomness honours the shared ``--seed``
+flag (the seed is echoed into the ``repro.obs`` run report).
 
 Two static-analysis commands gate CI (see ``repro.analysis``):
 
@@ -78,7 +85,7 @@ def cmd_fig5(args: argparse.Namespace) -> None:
     import numpy as np
     from repro.refresh import (LocalizedRefresh, MonoblockRefresh,
                                RefreshSimulator, uniform_random_trace)
-    rng = np.random.default_rng(2009)
+    rng = np.random.default_rng(args.seed)
     trace = uniform_random_trace(args.cycles, 128, 0.5, rng)
     rows = []
     with obs.span("simulate", cycles=args.cycles):
@@ -140,7 +147,7 @@ def cmd_methodology(args: argparse.Namespace) -> None:
 def cmd_pvt(args: argparse.Namespace) -> None:
     from repro.core.pvt import PvtAnalysis
     analysis = PvtAnalysis(technology=args.technology,
-                           total_bits=_capacity(args))
+                           total_bits=_capacity(args), seed=args.seed)
     rows = []
     for point in analysis.sweep(temperatures=(300.0, args.hot)):
         retention = ("-" if point.worst_retention is None
@@ -159,7 +166,7 @@ def cmd_refresh_plan(args: argparse.Namespace) -> None:
     retention = design.cell().retention_model()
     plan = plan_binned_refresh(retention, n_blocks=args.granules,
                                rows_per_block=4096 // args.granules,
-                               n_bins=args.bins)
+                               n_bins=args.bins, seed=args.seed)
     print(format_table(
         ["bin period", "granules"],
         [[si_format(b.period, "s"), b.block_count] for b in plan.bins]))
@@ -205,6 +212,132 @@ def cmd_voltage(args: argparse.Namespace) -> None:
         [[p.vdd, p.access_time / ns, p.read_energy / pJ,
           p.write_energy / pJ, f"{p.energy_delay_product:.3g}"]
          for p in points]))
+
+
+def cmd_mc(args: argparse.Namespace) -> int:
+    """Checkpointed retention Monte-Carlo with resume and budgets.
+
+    Periodically snapshots progress to ``--checkpoint``; a killed run
+    relaunched with ``--resume`` reproduces the uninterrupted result
+    bit-for-bit (sample i always draws from seed stream i).  With
+    ``--faults weak-cells`` the run also draws a seeded fault plan and
+    prints the macro's degraded-mode report.
+    """
+    from repro.checkpoint import Checkpoint, RunBudget
+    from repro.units import si_format as fmt
+    from repro.variability.montecarlo import (run_monte_carlo_resumable,
+                                              worst_case_lognormal)
+
+    design = FastDramDesign()
+    retention = design.cell().retention_model()
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = Checkpoint(args.checkpoint, obs.config_fingerprint({
+            "command": "mc", "samples": args.samples, "seed": args.seed,
+            "kb": args.kb}))
+        if checkpoint.exists() and not args.resume:
+            print(f"checkpoint {args.checkpoint} exists; pass --resume to "
+                  "continue it or delete it to start over",
+                  file=sys.stderr)
+            return 1
+    budget = RunBudget(
+        max_seconds=args.max_seconds if args.max_seconds > 0 else None,
+        max_failures=args.max_failures if args.max_failures > 0 else None)
+    outcome = run_monte_carlo_resumable(
+        retention.sample_retention, count=args.samples, seed=args.seed,
+        checkpoint=checkpoint, budget=budget)
+    print(f"retention Monte-Carlo: {outcome.describe()}")
+    if outcome.result is not None:
+        result = outcome.result
+        print(f"  median retention : {fmt(result.median, 's')}")
+        print(f"  mean / std       : {fmt(result.mean, 's')} / "
+              f"{fmt(result.std, 's')}")
+        print(f"  6-sigma worst    : "
+              f"{fmt(worst_case_lognormal(result, 6.0), 's')}")
+    if checkpoint is not None:
+        if outcome.complete:
+            checkpoint.clear()
+        else:
+            print(f"partial run checkpointed to {args.checkpoint}; "
+                  "relaunch with --resume to finish")
+    if args.faults == "weak-cells":
+        from repro.faults import plan_for_organization
+        macro = design.build(_capacity(args),
+                             retention_override=args.retention)
+        plan = plan_for_organization(
+            macro.organization, seed=args.seed,
+            weak_cell_fraction=0.005, retention_model=retention)
+        print()
+        print(plan.describe())
+        print(macro.fault_assessment(plan).describe())
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Seeded end-to-end chaos run: fault injection plus a forced solver
+    failure, ending in degraded-mode statistics.
+
+    Exercises the whole resilience layer: a fault plan drawn from the
+    retention tail degrades the macro (ECC + spare-row repair), dropped
+    and late refreshes perturb the interference simulator, and a stiff
+    diode circuit under a starved Newton budget forces the solver
+    recovery ladder to escalate.  The run must end with zero uncaught
+    exceptions — that is the point.
+    """
+    import numpy as np
+    from repro.faults import FaultyRefreshPolicy, plan_for_organization
+    from repro.refresh import (LocalizedRefresh, RefreshSimulator,
+                               uniform_random_trace)
+    from repro.spice import (Circuit, Diode, Resistor, VoltageSource, dc,
+                             solve_dc)
+    from repro.spice.recovery import RecoveryConfig
+
+    design = FastDramDesign()
+    macro = design.build(_capacity(args), retention_override=args.retention)
+    org = macro.organization
+
+    print("== fault plan ==")
+    plan = plan_for_organization(
+        org, seed=args.seed, weak_cell_fraction=0.005,
+        retention_model=design.cell().retention_model(),
+        stuck_bit_fraction=0.001, sa_outlier_fraction=0.02,
+        refresh_drop_fraction=0.002, refresh_late_fraction=0.004)
+    print(plan.describe())
+
+    print()
+    print("== degraded-mode assessment ==")
+    report = macro.fault_assessment(plan)
+    print(report.describe())
+
+    print()
+    print("== refresh interference under faults ==")
+    period = int(args.retention * 500 * MHz)
+    policy = LocalizedRefresh(n_blocks=org.n_localblocks,
+                              rows_per_block=org.cells_per_lbl,
+                              refresh_period_cycles=period)
+    trace = uniform_random_trace(args.cycles, org.n_localblocks, 0.5,
+                                 np.random.default_rng(args.seed))
+    with obs.span("chaos.refresh", cycles=args.cycles):
+        stats = RefreshSimulator(
+            FaultyRefreshPolicy(base=policy, plan=plan)).run(trace)
+    print(f"  busy fraction    : {100 * stats.busy_fraction:.3f} %")
+    print(f"  dropped refreshes: {stats.dropped_refreshes} "
+          f"({stats.data_loss_events} data-loss events)")
+    print(f"  late refreshes   : {stats.late_refreshes}")
+
+    print()
+    print("== forced solver failure ==")
+    circuit = Circuit("chaos-diode")
+    circuit.add(VoltageSource("v1", "in", "0", dc(5.0)))
+    circuit.add(Resistor("r1", "in", "d", 100.0))
+    circuit.add(Diode("d1", "d", "0"))
+    # A starved Newton budget makes the plain solve fail; the recovery
+    # ladder must escalate (source stepping wins) instead of raising.
+    solution = solve_dc(circuit, recovery=RecoveryConfig(max_newton=10))
+    print(f"  plain Newton starved at 10 iterations; ladder recovered "
+          f"(diode at {solution['d']:.3f} V)")
+    print()
+    print("chaos run completed with zero uncaught exceptions")
 
 
 def cmd_sensitivity(args: argparse.Namespace) -> None:
@@ -311,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "as JSON to FILE")
     common.add_argument("-v", "--verbose", action="count", default=0,
                         help="log INFO (-v) or DEBUG (-vv) to stderr")
+    common.add_argument("--seed", type=int, default=2009,
+                        help="RNG seed for every command that samples "
+                             "randomness; echoed into the run report "
+                             "(default 2009)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, extra in (
@@ -326,6 +463,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("voltage", cmd_voltage, None),
         ("optimize", cmd_optimize, "optimize"),
         ("sensitivity", cmd_sensitivity, None),
+        ("mc", cmd_mc, "mc"),
+        ("chaos", cmd_chaos, "chaos"),
     ):
         sub = subparsers.add_parser(name, help=handler.__doc__,
                                     parents=[common])
@@ -344,6 +483,28 @@ def build_parser() -> argparse.ArgumentParser:
         if extra == "plan":
             sub.add_argument("--granules", type=int, default=128)
             sub.add_argument("--bins", type=int, default=5)
+        if extra == "mc":
+            sub.add_argument("--samples", type=int, default=2000,
+                             help="Monte-Carlo population size")
+            sub.add_argument("--checkpoint", metavar="FILE", default=None,
+                             help="snapshot progress to FILE (atomic "
+                                  "JSON keyed by config fingerprint)")
+            sub.add_argument("--resume", action="store_true",
+                             help="continue from an existing checkpoint")
+            sub.add_argument("--max-seconds", type=float, default=0.0,
+                             help="stop after this wall-clock budget "
+                                  "(<= 0 disables)")
+            sub.add_argument("--max-failures", type=int, default=0,
+                             help="stop after this many failed samples "
+                                  "(<= 0 disables)")
+            sub.add_argument("--faults", choices=("none", "weak-cells"),
+                             default="none",
+                             help="also draw a fault plan and print the "
+                                  "macro's degraded-mode report")
+        if extra == "chaos":
+            sub.add_argument("--cycles", type=int, default=60_000,
+                             help="trace length for the faulty refresh "
+                                  "interference run")
         sub.set_defaults(handler=handler)
 
     lint = subparsers.add_parser("lint", help=cmd_lint.__doc__,

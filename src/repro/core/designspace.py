@@ -18,8 +18,9 @@ turning each one off:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.checkpoint import Checkpoint, RunBudget, SweepOutcome, run_sweep
 from repro.core.fastdram import FastDramDesign
 from repro.errors import ConfigurationError
 from repro.array.timing import GBL_SUPPLY, GBL_SWING
@@ -98,6 +99,40 @@ def sweep_retention(values: Sequence[float],
     return rows
 
 
+def sweep_retention_resumable(values: Sequence[float],
+                              total_bits: int = 128 * kb,
+                              checkpoint: Optional[Checkpoint] = None,
+                              budget: Optional[RunBudget] = None
+                              ) -> SweepOutcome:
+    """Checkpointed, budget-bounded :func:`sweep_retention`.
+
+    Returns a :class:`~repro.checkpoint.SweepOutcome` whose ``results``
+    map ``"retention=<seconds>"`` keys to :class:`RetentionSweepRow`
+    values; a killed run resumed from the same checkpoint completes
+    with exactly the rows an uninterrupted run would have produced.
+    """
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("retention times must be positive")
+    design = FastDramDesign()
+
+    def evaluate(retention: float) -> RetentionSweepRow:
+        macro = design.build(total_bits, retention_override=retention)
+        return RetentionSweepRow(
+            retention_time=retention,
+            static_power=macro.static_power().power,
+            refresh_rows_per_second=macro.organization.n_words / retention,
+        )
+
+    items = [(f"retention={retention:g}",
+              lambda retention=retention: evaluate(retention))
+             for retention in values]
+    return run_sweep(
+        items, checkpoint=checkpoint, budget=budget,
+        encode=dataclasses.asdict,
+        decode=lambda raw: RetentionSweepRow(**raw),
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class SizeSweepRow:
     """One memory-size point of the scaling sweep."""
@@ -127,6 +162,36 @@ def sweep_sizes(sizes: Sequence[int] = (128 * kb, 512 * kb, 2048 * kb),
             static_power=macro.static_power().power,
         ))
     return rows
+
+
+def sweep_sizes_resumable(sizes: Sequence[int] = (128 * kb, 512 * kb,
+                                                  2048 * kb),
+                          technology: str = "dram",
+                          retention_override: float = 1 * ms,
+                          checkpoint: Optional[Checkpoint] = None,
+                          budget: Optional[RunBudget] = None
+                          ) -> SweepOutcome:
+    """Checkpointed, budget-bounded :func:`sweep_sizes`."""
+    design = FastDramDesign(technology=technology)
+
+    def evaluate(bits: int) -> SizeSweepRow:
+        macro = design.build(bits, retention_override=retention_override)
+        return SizeSweepRow(
+            total_bits=bits,
+            access_time=macro.access_time(),
+            read_energy=macro.read_energy().total,
+            write_energy=macro.write_energy().total,
+            area=macro.area(),
+            static_power=macro.static_power().power,
+        )
+
+    items = [(f"bits={bits}", lambda bits=bits: evaluate(bits))
+             for bits in sizes]
+    return run_sweep(
+        items, checkpoint=checkpoint, budget=budget,
+        encode=dataclasses.asdict,
+        decode=lambda raw: SizeSweepRow(**raw),
+    )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -12,8 +12,9 @@ adopting the paper's macro.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.checkpoint import Checkpoint, RunBudget, run_sweep
 from repro.core.fastdram import FastDramDesign
 from repro.core.voltage import scaled_supply_design
 from repro.errors import ConfigurationError
@@ -53,15 +54,29 @@ class DesignCandidate:
 
 @dataclasses.dataclass(frozen=True)
 class OptimisationResult:
-    """Outcome of one grid search."""
+    """Outcome of one (possibly partial) grid search.
+
+    ``completed``/``attempted`` count grid points actually evaluated
+    (``attempted`` includes points whose evaluation failed);
+    ``exhausted`` names the budget ceiling that stopped a partial run
+    (``None`` for a full search).  A partial result still carries the
+    front and per-objective bests over the points it did evaluate.
+    """
 
     candidates: List[DesignCandidate]
     pareto_front: List[DesignCandidate]
     best: Dict[str, DesignCandidate]
+    completed: int = 0
+    attempted: int = 0
+    exhausted: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.candidates:
             raise ConfigurationError("no feasible design candidates")
+
+    @property
+    def complete(self) -> bool:
+        return self.exhausted is None and self.completed == self.attempted
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,18 +154,43 @@ class DesignOptimizer:
 
     # -- the search -----------------------------------------------------------
 
-    def run(self) -> OptimisationResult:
-        """Evaluate the full grid; returns candidates, front and bests."""
-        candidates = []
-        for cells in self.cells_per_lbl_grid:
-            for word_bits in self.word_bits_grid:
-                for vdd in self.vdd_grid:
-                    candidate = self._evaluate(cells, word_bits, vdd)
-                    if candidate is not None:
-                        candidates.append(candidate)
+    def grid_points(self) -> List[tuple]:
+        """The (cells, word_bits, vdd) grid in evaluation order."""
+        return [(cells, word_bits, vdd)
+                for cells in self.cells_per_lbl_grid
+                for word_bits in self.word_bits_grid
+                for vdd in self.vdd_grid]
+
+    def run(self, checkpoint: Optional[Checkpoint] = None,
+            budget: Optional[RunBudget] = None) -> OptimisationResult:
+        """Evaluate the grid; returns candidates, front and bests.
+
+        With a ``checkpoint`` the evaluated points are snapshotted and a
+        killed search resumes where it stopped; with a ``budget`` the
+        search stops at the ceiling and returns the partial result with
+        explicit ``completed/attempted`` accounting (still an error if
+        *no* evaluated point is feasible).
+        """
+        grid = self.grid_points()
+        items = [
+            (f"cells={cells},word={word_bits},vdd={vdd:g}",
+             lambda cells=cells, word_bits=word_bits, vdd=vdd:
+                 self._evaluate(cells, word_bits, vdd))
+            for cells, word_bits, vdd in grid
+        ]
+        outcome = run_sweep(
+            items, checkpoint=checkpoint, budget=budget,
+            encode=lambda c: None if c is None else dataclasses.asdict(c),
+            decode=lambda raw: (None if raw is None
+                                else DesignCandidate(**raw)),
+        )
+        candidates = [c for c in outcome.results.values() if c is not None]
         if not candidates:
             raise ConfigurationError(
-                "no design on the grid satisfies the constraints")
+                "no design on the grid satisfies the constraints"
+                + (f" (stopped on {outcome.exhausted} after "
+                   f"{outcome.completed} point(s))" if outcome.exhausted
+                   else ""))
         front = [c for c in candidates
                  if not any(other.dominates(c) for other in candidates)]
         # Tie-break single-objective winners on the remaining axes so a
@@ -164,4 +204,7 @@ class DesignOptimizer:
             for objective in OBJECTIVES
         }
         return OptimisationResult(candidates=candidates,
-                                  pareto_front=front, best=best)
+                                  pareto_front=front, best=best,
+                                  completed=outcome.completed,
+                                  attempted=outcome.attempted,
+                                  exhausted=outcome.exhausted)

@@ -51,11 +51,14 @@ class PvtAnalysis:
         cells); retention is *recomputed per corner* because junction
         leakage roughly doubles every 10 K — the dominant PVT effect on
         the DRAM's static power.
+    seed:
+        RNG seed for the per-corner retention Monte-Carlo.
     """
 
     technology: str = "dram"
     total_bits: int = 128 * kb
     retention_samples: int = 600
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.technology not in ("dram", "scratchpad", "sram"):
@@ -79,7 +82,7 @@ class PvtAnalysis:
             design = FastDramDesign(technology=self.technology,
                                     node_override=node)
             stats = design.cell().retention_model().statistics(
-                count=self.retention_samples)
+                count=self.retention_samples, seed=self.seed)
             retention = stats.worst_case
             macro = design.build(self.total_bits,
                                  retention_override=retention)

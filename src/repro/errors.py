@@ -22,13 +22,16 @@ class ConvergenceError(ReproError):
     Carries structured diagnostics when the raiser knows them:
     ``time`` (failing time point, seconds), ``iterations`` (Newton
     iterations spent), ``worst_node`` (name of the node with the
-    largest residual update).  They are folded into the message and
+    largest residual update), ``recovery`` (the
+    :class:`repro.spice.recovery.RecoveryReport` of every escalation
+    rung tried before giving up).  They are folded into the message and
     kept as attributes for programmatic triage.
     """
 
     def __init__(self, message: str, *, time: "float | None" = None,
                  iterations: "int | None" = None,
-                 worst_node: "str | None" = None) -> None:
+                 worst_node: "str | None" = None,
+                 recovery: "object | None" = None) -> None:
         details = []
         if time is not None:
             details.append(f"t={time:g}s")
@@ -36,12 +39,16 @@ class ConvergenceError(ReproError):
             details.append(f"after {iterations} Newton iterations")
         if worst_node is not None:
             details.append(f"worst residual at node {worst_node!r}")
+        if recovery is not None:
+            attempts = getattr(recovery, "attempts", ())
+            details.append(f"{len(attempts)} recovery attempts exhausted")
         if details:
             message = f"{message} ({', '.join(details)})"
         super().__init__(message)
         self.time = time
         self.iterations = iterations
         self.worst_node = worst_node
+        self.recovery = recovery
 
 
 class NetlistError(ReproError):

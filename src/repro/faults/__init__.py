@@ -1,0 +1,43 @@
+"""Fault injection and resilience: seeded chaos testing for the models.
+
+The subsystem splits cleanly in three:
+
+* :mod:`repro.faults.plan` — what is broken (seeded, replayable
+  :class:`FaultPlan` populations);
+* :mod:`repro.faults.repair` — what the hardware absorbs (ECC +
+  spare-row repair, yielding a degraded-but-functional
+  :class:`DegradedMacroReport`);
+* :mod:`repro.faults.injector` — how the survivors perturb the
+  behavioural engines (refresh interference, cache hierarchy).
+"""
+
+from repro.faults.injector import CacheFaultModel, FaultyRefreshPolicy
+from repro.faults.plan import (
+    FaultPlan,
+    RefreshFault,
+    SenseAmpOutlier,
+    StuckBit,
+    WeakCell,
+    generate_fault_plan,
+)
+from repro.faults.repair import (
+    DegradedMacroReport,
+    RepairModel,
+    assess_plan,
+    plan_for_organization,
+)
+
+__all__ = [
+    "CacheFaultModel",
+    "DegradedMacroReport",
+    "FaultPlan",
+    "FaultyRefreshPolicy",
+    "RefreshFault",
+    "RepairModel",
+    "SenseAmpOutlier",
+    "StuckBit",
+    "WeakCell",
+    "assess_plan",
+    "generate_fault_plan",
+    "plan_for_organization",
+]

@@ -1,0 +1,210 @@
+"""ECC + spare-row repair: fault plans become *degraded*, not *dead*.
+
+A production macro survives the faults of :mod:`repro.faults.plan`
+through two mechanisms, modelled here in the order hardware applies
+them:
+
+1. **Spare rows** (row redundancy) remap the worst rows at test time.
+   Allocation is greedy by severity: rows with more stuck bits than ECC
+   can correct first (they would corrupt data on every access), then
+   the weakest-retention rows (they force the fastest refresh).
+2. **ECC** corrects up to ``correctable_bits`` per word at access time;
+   stuck bits that remain after repair and fit within that budget cost
+   only corrected-error events, not data.
+
+What cannot be repaired is *degraded around*: rows that are
+uncorrectable and unrepaired are mapped out (capacity loss), and the
+weakest surviving weak cell drags the refresh period down
+(refresh-rate uplift).  :func:`assess_macro` reports all of this in a
+:class:`DegradedMacroReport` instead of a pass/fail verdict — the
+degraded-but-functional accounting the resilience layer is built
+around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Tuple
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.units import si_format
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairModel:
+    """Repair resources of one macro.
+
+    ``spare_rows_per_block`` rows of row redundancy per local block and
+    an ECC able to correct ``correctable_bits`` per word.  Construction
+    validates types only; ``repro check`` rule M212 flags physically
+    inconsistent combinations (e.g. repair capacity exceeding the spare
+    rows a block can hold) without crashing the loader.
+    """
+
+    spare_rows_per_block: int = 2
+    correctable_bits: int = 1
+    #: Refresh runs this much faster than the weakest surviving cell.
+    retention_guard: float = 2.0
+
+    @property
+    def has_spares(self) -> bool:
+        return self.spare_rows_per_block > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedMacroReport:
+    """How one macro functions under a fault plan after repair.
+
+    All counts are post-repair.  ``functional`` is False only when an
+    uncorrectable error pattern survives both ECC and row repair *and*
+    could not be mapped out (never the case with map-out capacity
+    accounting, unless the plan kills every row of a block).
+    """
+
+    plan_fingerprint: str
+    total_rows: int
+    spare_rows_used: int
+    spare_rows_available: int
+    repaired_rows: int  # remapped onto spares
+    mapped_out_rows: int  # uncorrectable + unrepaired: capacity lost
+    corrected_bits_per_access: int  # stuck bits ECC absorbs, worst word
+    correctable_rows: int  # rows relying on ECC every access
+    surviving_weak_cells: int
+    base_refresh_period: float  # seconds, fault-free design point
+    degraded_refresh_period: float  # seconds, after surviving weak cells
+    sa_margin_multiplier: float  # worst surviving SA offset uplift
+
+    @property
+    def functional(self) -> bool:
+        return self.mapped_out_rows < self.total_rows
+
+    @property
+    def capacity_loss_fraction(self) -> float:
+        return self.mapped_out_rows / self.total_rows
+
+    @property
+    def refresh_rate_uplift(self) -> float:
+        """How much faster refresh must run than the fault-free design
+        point (1.0 = no uplift)."""
+        # isclose(inf, inf) is True, so never-refreshed static cells
+        # (both periods infinite) report no uplift.
+        if math.isclose(self.degraded_refresh_period,
+                        self.base_refresh_period):
+            return 1.0
+        return self.base_refresh_period / self.degraded_refresh_period
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "spare_rows_used": float(self.spare_rows_used),
+            "repaired_rows": float(self.repaired_rows),
+            "mapped_out_rows": float(self.mapped_out_rows),
+            "capacity_loss_fraction": self.capacity_loss_fraction,
+            "correctable_rows": float(self.correctable_rows),
+            "surviving_weak_cells": float(self.surviving_weak_cells),
+            "refresh_rate_uplift": self.refresh_rate_uplift,
+            "sa_margin_multiplier": self.sa_margin_multiplier,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"degraded-mode report (plan {self.plan_fingerprint}):",
+            f"  spare rows       : {self.spare_rows_used}"
+            f"/{self.spare_rows_available} used"
+            f" ({self.repaired_rows} rows repaired)",
+            f"  mapped out       : {self.mapped_out_rows} rows"
+            f" ({100 * self.capacity_loss_fraction:.3g}% capacity loss)",
+            f"  ECC-reliant rows : {self.correctable_rows}"
+            f" (worst word corrects {self.corrected_bits_per_access}"
+            " bit(s) per access)",
+            f"  refresh period   : "
+            f"{si_format(self.degraded_refresh_period, 's')}"
+            f" (x{self.refresh_rate_uplift:.2f} rate uplift, "
+            f"{self.surviving_weak_cells} weak cells survive)",
+            f"  SA margin        : x{self.sa_margin_multiplier:.2f}"
+            " required-signal uplift",
+            f"  functional       : {'yes' if self.functional else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def assess_plan(plan: FaultPlan, repair: RepairModel,
+                base_refresh_period: float) -> DegradedMacroReport:
+    """Apply ``repair`` to ``plan`` and account for what survives.
+
+    ``base_refresh_period`` is the fault-free design point (seconds);
+    the degraded period can only be shorter.  Pure function of its
+    arguments — :meth:`repro.array.macro.MacroDesign.fault_assessment`
+    wires in the macro's own organization and refresh period.
+    """
+    if base_refresh_period <= 0:
+        raise ConfigurationError("base refresh period must be positive")
+
+    # Severity-ordered repair queue: uncorrectable stuck rows first
+    # (data corruption on every access), then weakest retention.
+    stuck_per_row: Dict[Tuple[int, int], int] = {}
+    for stuck in plan.stuck_bits:
+        key = (stuck.block, stuck.row)
+        stuck_per_row[key] = stuck_per_row.get(key, 0) + 1
+    uncorrectable = [key for key, count in sorted(stuck_per_row.items())
+                     if count > repair.correctable_bits]
+    weak_sorted = sorted(plan.weak_cells, key=lambda c: c.retention_time)
+    queue = ([("stuck", key) for key in uncorrectable]
+             + [("weak", (c.block, c.row)) for c in weak_sorted])
+
+    spares: Dict[int, int] = {b: repair.spare_rows_per_block
+                              for b in range(plan.n_blocks)}
+    repaired: set = set()
+    for _kind, (block, row) in queue:
+        if (block, row) in repaired:
+            continue
+        if spares.get(block, 0) > 0:
+            spares[block] -= 1
+            repaired.add((block, row))
+
+    mapped_out = [key for key in uncorrectable if key not in repaired]
+    correctable_rows = [key for key, count in stuck_per_row.items()
+                        if count <= repair.correctable_bits
+                        and key not in repaired]
+    survivors = [c for c in plan.weak_cells
+                 if (c.block, c.row) not in repaired]
+
+    degraded_period = base_refresh_period
+    if survivors:
+        worst = min(c.retention_time for c in survivors)
+        degraded_period = min(base_refresh_period,
+                              worst / repair.retention_guard)
+
+    spare_total = repair.spare_rows_per_block * plan.n_blocks
+    report = DegradedMacroReport(
+        plan_fingerprint=plan.fingerprint(),
+        total_rows=plan.total_rows,
+        spare_rows_used=spare_total - sum(spares.values()),
+        spare_rows_available=spare_total,
+        repaired_rows=len(repaired),
+        mapped_out_rows=len(mapped_out),
+        corrected_bits_per_access=max(
+            (stuck_per_row[key] for key in correctable_rows), default=0),
+        correctable_rows=len(correctable_rows),
+        surviving_weak_cells=len(survivors),
+        base_refresh_period=base_refresh_period,
+        degraded_refresh_period=degraded_period,
+        sa_margin_multiplier=plan.worst_sa_multiplier(),
+    )
+    m = obs.metrics()
+    m.counter("faults.rows_repaired").inc(report.repaired_rows)
+    m.counter("faults.rows_mapped_out").inc(report.mapped_out_rows)
+    m.gauge("faults.refresh_rate_uplift").set(report.refresh_rate_uplift)
+    return report
+
+
+def plan_for_organization(organization, **kwargs) -> FaultPlan:
+    """Draw a fault plan sized for one array organization."""
+    from repro.faults.plan import generate_fault_plan
+    return generate_fault_plan(
+        n_blocks=organization.n_localblocks,
+        rows_per_block=organization.cells_per_lbl,
+        word_bits=organization.word_bits,
+        **kwargs)

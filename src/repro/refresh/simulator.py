@@ -27,13 +27,24 @@ _log = logging.getLogger(__name__)
 
 @dataclasses.dataclass(frozen=True)
 class SimulationStats:
-    """Outcome of one refresh-interference simulation."""
+    """Outcome of one refresh-interference simulation.
+
+    The fault counters stay zero for a healthy policy; they fill in
+    when the policy is a
+    :class:`~repro.faults.injector.FaultyRefreshPolicy`.  A dropped
+    refresh never restores its row, so every one is also a data-loss
+    event (the row decays past the readable margin before its next
+    slot).
+    """
 
     total_cycles: int
     accesses: int
     completed: int
     stall_cycles: int
     refreshes_issued: int
+    dropped_refreshes: int = 0
+    late_refreshes: int = 0
+    data_loss_events: int = 0
 
     @property
     def busy_fraction(self) -> float:
@@ -100,6 +111,11 @@ class RefreshSimulator:
         m.counter("refresh.accesses").inc(stats.accesses)
         m.counter("refresh.completed").inc(stats.completed)
         m.gauge(f"refresh.busy_fraction.{scope}").set(stats.busy_fraction)
+        if stats.dropped_refreshes or stats.late_refreshes:
+            m.counter("refresh.dropped").inc(stats.dropped_refreshes)
+            m.counter("refresh.late").inc(stats.late_refreshes)
+            m.counter("refresh.data_loss_events").inc(
+                stats.data_loss_events)
         _log.debug("refresh run (%s): %d cycles, %d stalls, %d refreshes",
                    scope, stats.total_cycles, stats.stall_cycles,
                    stats.refreshes_issued)
@@ -113,10 +129,13 @@ class RefreshSimulator:
         if any(not 0 <= b < policy.n_blocks for b in pending):
             raise SimulationError("trace targets a block outside the matrix")
 
+        fault_kind = getattr(policy, "fault_kind", None)
         refresh_index = 0
         active: RefreshOperation | None = None
         stall_cycles = 0
         completed = 0
+        dropped = 0
+        late = 0
         queue_pos = 0
         cycle = 0
         # The simulation must drain the queue even past the trace end.
@@ -129,6 +148,12 @@ class RefreshSimulator:
                 active = None
             if active is None and cycle >= next_op.start_cycle:
                 active = next_op
+                if fault_kind is not None:
+                    kind = fault_kind(refresh_index)
+                    if kind == "drop":
+                        dropped += 1
+                    elif kind == "late":
+                        late += 1
                 refresh_index += 1
             # Serve the head access if it has arrived.
             if arrival[queue_pos] > cycle:
@@ -153,6 +178,12 @@ class RefreshSimulator:
             completed=completed,
             stall_cycles=stall_cycles,
             refreshes_issued=refresh_index,
+            dropped_refreshes=dropped,
+            late_refreshes=late,
+            # A dropped refresh never restores its row: the stored
+            # level decays past the readable margin before the next
+            # slot, so every drop is one data-loss event.
+            data_loss_events=dropped,
         )
 
 

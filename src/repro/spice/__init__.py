@@ -22,6 +22,7 @@ from repro.spice.elements import (
     Capacitor,
     VoltageSource,
     CurrentSource,
+    Diode,
     Switch,
     dc,
     pulse,
@@ -53,6 +54,7 @@ __all__ = [
     "Capacitor",
     "VoltageSource",
     "CurrentSource",
+    "Diode",
     "Switch",
     "MosfetElement",
     "Scope",

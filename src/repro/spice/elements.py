@@ -181,7 +181,8 @@ class VoltageSource(CircuitElement):
 
     def stamp(self, ctx: StampContext) -> None:
         ctx.system.stamp_voltage_source(
-            self.name, self.node_p, self.node_n, self.waveform(ctx.time)
+            self.name, self.node_p, self.node_n,
+            self.waveform(ctx.time) * ctx.source_scale
         )
 
 
@@ -201,7 +202,57 @@ class CurrentSource(CircuitElement):
         return [(self.node_from, "injection"), (self.node_to, "injection")]
 
     def stamp(self, ctx: StampContext) -> None:
-        ctx.system.stamp_current(self.node_from, self.node_to, self.waveform(ctx.time))
+        ctx.system.stamp_current(self.node_from, self.node_to,
+                                 self.waveform(ctx.time) * ctx.source_scale)
+
+
+class Diode(CircuitElement):
+    """Exponential junction diode (Shockley, companion-model stamped).
+
+    ``i = i_sat * (exp(v / v_t) - 1)`` from anode to cathode, linearised
+    each Newton iteration around the present voltage.  The exponential
+    is clamped above ``v_clip`` (linear continuation) so a bad Newton
+    step cannot overflow — the classic stiff element that motivates the
+    recovery ladder: plain Newton from a cold start overshoots, while
+    gmin or source stepping walks in gradually.
+    """
+
+    def __init__(self, name: str, anode: str, cathode: str,
+                 i_sat: float = 1e-14, v_t: float = 0.02585,  # noqa: L101 - thermal voltage, volts
+                 v_clip: float = 0.9) -> None:
+        super().__init__(name)
+        if i_sat <= 0 or v_t <= 0:
+            raise ConfigurationError("diode needs positive i_sat and v_t")
+        self.anode, self.cathode = anode, cathode
+        self.i_sat, self.v_t = i_sat, v_t
+        self.v_clip = v_clip
+
+    def terminals(self) -> List[str]:
+        return [self.anode, self.cathode]
+
+    def terminal_roles(self) -> List[Tuple[str, str]]:
+        return [(self.anode, "conductive"), (self.cathode, "conductive")]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def current_and_conductance(self, v: float) -> Tuple[float, float]:
+        """(i, di/dv) at forward voltage ``v``, with the overflow clamp."""
+        if v <= self.v_clip:
+            e = math.exp(v / self.v_t)
+            return self.i_sat * (e - 1.0), self.i_sat * e / self.v_t
+        # Linear continuation beyond the clip keeps Newton finite.
+        e = math.exp(self.v_clip / self.v_t)
+        g = self.i_sat * e / self.v_t
+        i = self.i_sat * (e - 1.0) + g * (v - self.v_clip)
+        return i, g
+
+    def stamp(self, ctx: StampContext) -> None:
+        v = ctx.voltage(self.anode) - ctx.voltage(self.cathode)
+        i, g = self.current_and_conductance(v)
+        ctx.system.stamp_conductance(self.anode, self.cathode, g)
+        # Companion current source carries the linearisation residue.
+        ctx.system.stamp_current(self.anode, self.cathode, i - g * v)
 
 
 class Switch(CircuitElement):

@@ -155,6 +155,10 @@ class StampContext:
     gmin:
         Extra conductance to ground stamped by nonlinear elements for
         convergence (gmin stepping during DC).
+    source_scale:
+        Multiplier applied by independent sources to their stamped
+        value.  1.0 except while the recovery ladder's source-stepping
+        rung ramps the sources up from a solvable fraction.
     """
 
     system: MnaSystem
@@ -165,6 +169,7 @@ class StampContext:
     integrator: str = "be"
     cap_state: Optional[Dict[str, float]] = None
     gmin: float = 1e-12
+    source_scale: float = 1.0
 
     def voltage(self, node: str, previous: bool = False) -> float:
         """Voltage of ``node`` in the current iterate (or previous step)."""

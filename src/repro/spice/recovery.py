@@ -1,0 +1,157 @@
+"""Solver recovery ladder: structured escalation on Newton failure.
+
+A non-convergent Newton solve used to kill whatever sweep contained it.
+This module defines the deterministic escalation every solver engine
+walks instead:
+
+1. **damping** — retry with a much stronger initial damping factor and a
+   tighter per-iteration voltage step;
+2. **substep** — halve the (local) time step with bounded retries
+   (transient only; stiff regeneration regions recover here);
+3. **gmin** — gmin stepping: solve with a large leak conductance on
+   every node, then relax it decade by decade, warm-starting each stage;
+4. **source** — source stepping: ramp all independent sources from a
+   fraction of their value up to 100 %, warm-starting each stage.
+
+Every attempt is recorded in a :class:`RecoveryReport`.  When a rung
+succeeds the report is folded into ``repro.obs`` counters
+(``spice.recovery.<rung>``); when all rungs fail the report rides on the
+raised :class:`~repro.errors.ConvergenceError` as ``.recovery`` so a
+harness can log *how* the solve died, not just that it died.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+#: Ladder rungs in escalation order (fixed; tests pin this).
+RUNGS = ("newton", "damping", "substep", "gmin", "source")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the escalation ladder.
+
+    ``max_newton`` overrides the engine's Newton iteration budget
+    (``None`` keeps the engine default) — mostly a test hook to make
+    plain Newton fail fast on purpose.  Each ``enable_*`` flag removes
+    one rung from the ladder without disturbing the order of the rest.
+    """
+
+    max_newton: Optional[int] = None
+    enable_damping: bool = True
+    enable_substep: bool = True
+    enable_gmin: bool = True
+    enable_source: bool = True
+    max_halvings: int = 7
+    damping_factors: Tuple[float, ...] = (0.25, 0.0625)
+    gmin_ladder: Tuple[float, ...] = (1e-3, 1e-6, 1e-9, 1e-12)
+    source_ladder: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigurationError
+
+        if self.max_newton is not None and self.max_newton < 1:
+            raise ConfigurationError(
+                f"max_newton={self.max_newton} must be >= 1")
+        if self.max_halvings < 0:
+            raise ConfigurationError("max_halvings must be >= 0")
+        if any(not 0.0 < f <= 1.0 for f in self.damping_factors):
+            raise ConfigurationError("damping factors must lie in (0, 1]")
+        if any(g <= 0 for g in self.gmin_ladder):
+            raise ConfigurationError("gmin ladder values must be positive")
+        if any(not 0.0 < a <= 1.0 for a in self.source_ladder):
+            raise ConfigurationError("source ladder values must lie in (0, 1]")
+        if self.source_ladder and not math.isclose(self.source_ladder[-1],
+                                                   1.0):
+            raise ConfigurationError(
+                "source ladder must end at 1.0 (full sources)")
+
+
+#: The default ladder shared by the transient and DC engines.
+DEFAULT_RECOVERY = RecoveryConfig()
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryAttempt:
+    """One solve attempt of the ladder (including the plain first try)."""
+
+    rung: str  # one of RUNGS
+    detail: str  # e.g. "damping=0.25", "substeps=4", "gmin=1e-06"
+    converged: bool
+
+    def __post_init__(self) -> None:
+        from repro.errors import ConfigurationError
+
+        if self.rung not in RUNGS:
+            raise ConfigurationError(
+                f"unknown recovery rung {self.rung!r}; use one of {RUNGS}")
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """Ordered log of every attempt one failing solve point went through."""
+
+    circuit: str
+    time: Optional[float] = None
+    attempts: List[RecoveryAttempt] = dataclasses.field(default_factory=list)
+
+    def record(self, rung: str, detail: str, converged: bool) -> None:
+        self.attempts.append(RecoveryAttempt(rung=rung, detail=detail,
+                                             converged=converged))
+
+    @property
+    def succeeded(self) -> bool:
+        return any(a.converged for a in self.attempts)
+
+    @property
+    def successful_rung(self) -> Optional[str]:
+        for attempt in self.attempts:
+            if attempt.converged:
+                return attempt.rung
+        return None
+
+    def rungs_tried(self) -> Tuple[str, ...]:
+        """Distinct rungs in first-tried order."""
+        seen: List[str] = []
+        for attempt in self.attempts:
+            if attempt.rung not in seen:
+                seen.append(attempt.rung)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "time": self.time,
+            "succeeded": self.succeeded,
+            "successful_rung": self.successful_rung,
+            "attempts": [dataclasses.asdict(a) for a in self.attempts],
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable escalation log."""
+        where = "" if self.time is None else f" at t={self.time:g}s"
+        lines = [f"recovery ladder for circuit {self.circuit!r}{where}:"]
+        for attempt in self.attempts:
+            status = "converged" if attempt.converged else "failed"
+            lines.append(f"  [{attempt.rung}] {attempt.detail}: {status}")
+        if not self.attempts:
+            lines.append("  (no attempts recorded)")
+        return "\n".join(lines)
+
+
+def note_recovery_success(report: RecoveryReport) -> None:
+    """Fold a successful ladder walk into the ``repro.obs`` counters."""
+    from repro import obs
+
+    rung = report.successful_rung
+    if rung is None:
+        return
+    m = obs.metrics()
+    m.counter(f"spice.recovery.{rung}").inc()
+    # The plain first try is not a recovery; only escalations count.
+    if rung != "newton":
+        m.counter("spice.recovery.escalations").inc()
+        m.counter("spice.recovery.attempts").inc(len(report.attempts))

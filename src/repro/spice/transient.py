@@ -12,15 +12,18 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import math
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro import obs
-from repro.errors import ConvergenceError, SimulationError
+from repro.errors import ConfigurationError, ConvergenceError, SimulationError
 from repro.spice.elements import Capacitor
 from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
+from repro.spice.recovery import (DEFAULT_RECOVERY, RecoveryConfig,
+                                  RecoveryReport, note_recovery_success)
 
 _log = logging.getLogger(__name__)
 
@@ -74,7 +77,9 @@ class TransientResult:
 
 def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
                        initial_voltages: Optional[Dict[str, float]] = None,
-                       integrator: str = "be") -> TransientResult:
+                       integrator: str = "be",
+                       recovery: Optional[RecoveryConfig] = None
+                       ) -> TransientResult:
     """Simulate ``circuit`` from 0 to ``t_stop`` with fixed step ``dt``.
 
     ``initial_voltages`` pins the t=0 node voltages (unlisted nodes start
@@ -83,13 +88,17 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     history simply starts from the node values, so set the *node*
     voltages to express initial charge.
 
+    ``recovery`` tunes the escalation ladder walked when a time point
+    fails to converge (see :mod:`repro.spice.recovery`).
+
     Returns a :class:`TransientResult` with one row per accepted time
     point, including t=0.
     """
-    if t_stop <= 0 or dt <= 0:
-        raise SimulationError("t_stop and dt must be positive")
+    _validate_time_grid(t_stop, dt)
     if integrator not in ("be", "trap"):
         raise SimulationError(f"unknown integrator {integrator!r}")
+    if recovery is None:
+        recovery = DEFAULT_RECOVERY
     steps = int(round(t_stop / dt))
     if steps < 1:
         raise SimulationError("t_stop shorter than one time step")
@@ -133,9 +142,9 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
             # inconsistency.
             step_integrator = "be" if (integrator == "trap" and step == 1) \
                 else integrator
-            x = _solve_step_with_refinement(
+            x = _solve_step_with_recovery(
                 system, circuit, x_prev, t - dt, dt, step_integrator,
-                cap_state, capacitors)
+                cap_state, capacitors, recovery)
             if integrator == "trap" and step == 1:
                 ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
                                    time=t, integrator="be",
@@ -154,73 +163,229 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     )
 
 
-def _solve_step_with_refinement(system: MnaSystem, circuit: Circuit,
-                                x_start: np.ndarray, t_start: float,
-                                dt: float, integrator: str,
-                                cap_state: Dict[str, float],
-                                capacitors: list,
-                                max_halvings: int = 7) -> np.ndarray:
-    """Advance one output step, locally halving dt if Newton fails.
+def _validate_time_grid(t_stop: float, dt: float) -> None:
+    """Reject meaningless time grids before the solve loop sees them.
 
-    Regenerative circuits (latch sense amplifiers firing) make single
-    steps stiff; sub-stepping through the regeneration region recovers
-    convergence without shrinking the global time step.  The trapezoidal
-    capacitor history is committed per successful substep (and restored
-    before a retry), so refinement stays consistent for both methods.
+    Non-finite or non-positive values used to fail deep in the Newton
+    loop (or silently produce a one-point run); the error now names the
+    offending value at the API boundary.
     """
-    for halving in range(max_halvings + 1):
-        substeps = 2 ** halving
-        sub_dt = dt / substeps
+    for name, value in (("t_stop", t_stop), ("dt", dt)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"{name} must be a real number, got {value!r}")
+        if not math.isfinite(value):
+            raise ConfigurationError(f"{name}={value!r} is not finite")
+        if value <= 0:
+            raise ConfigurationError(f"{name}={value:g} must be positive")
+    if dt > t_stop:
+        raise ConfigurationError(
+            f"dt={dt:g}s exceeds t_stop={t_stop:g}s: the run would not "
+            "contain a single time step")
+
+
+def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
+                              x_start: np.ndarray, t_start: float,
+                              dt: float, integrator: str,
+                              cap_state: Dict[str, float],
+                              capacitors: list,
+                              config: RecoveryConfig = DEFAULT_RECOVERY
+                              ) -> np.ndarray:
+    """Advance one output step, escalating through the recovery ladder.
+
+    Rung order is fixed (see :mod:`repro.spice.recovery`): plain Newton,
+    stronger damping, local time-step halving, gmin stepping, source
+    stepping.  The trapezoidal capacitor history is committed per
+    successful substep (and restored before a retry), so every rung
+    stays consistent for both integration methods.
+    """
+    report = RecoveryReport(circuit=circuit.name, time=t_start + dt)
+    saved_state = dict(cap_state)
+
+    def restore_state() -> None:
+        cap_state.clear()
+        cap_state.update(saved_state)
+
+    def run_substeps(substeps: int, **solve_kwargs) -> np.ndarray:
         x = x_start
-        saved_state = dict(cap_state)
+        sub_dt = dt / substeps
+        for sub in range(1, substeps + 1):
+            t_sub = t_start + sub * sub_dt
+            x_new = _solve_point(system, circuit, x, t_sub, sub_dt,
+                                 integrator, cap_state,
+                                 max_newton=config.max_newton,
+                                 **solve_kwargs)
+            if integrator == "trap":
+                ctx = StampContext(
+                    system=system, x=x_new, x_prev=x, dt=sub_dt,
+                    time=t_sub, integrator=integrator,
+                    cap_state=cap_state)
+                for cap in capacitors:
+                    cap_state[cap.name] = cap.branch_current(ctx, x_new)
+            x = x_new
+        return x
+
+    last_error: ConvergenceError | None = None
+
+    def attempt(rung: str, detail: str, substeps: int = 1,
+                **solve_kwargs) -> "np.ndarray | None":
+        nonlocal last_error
+        restore_state()
         try:
-            for sub in range(1, substeps + 1):
-                t_sub = t_start + sub * sub_dt
-                x_new = _solve_point(system, circuit, x, t_sub, sub_dt,
-                                     integrator, cap_state)
-                if integrator == "trap":
-                    ctx = StampContext(
-                        system=system, x=x_new, x_prev=x, dt=sub_dt,
-                        time=t_sub, integrator=integrator,
-                        cap_state=cap_state)
-                    for cap in capacitors:
-                        cap_state[cap.name] = cap.branch_current(ctx, x_new)
-                x = x_new
-            return x
+            x = run_substeps(substeps, **solve_kwargs)
         except ConvergenceError as exc:
-            cap_state.clear()
-            cap_state.update(saved_state)
+            last_error = exc
+            report.record(rung, detail, converged=False)
+            return None
+        report.record(rung, detail, converged=True)
+        return x
+
+    # Rung 0: plain Newton over the full step.
+    x = attempt("newton", "plain")
+    if x is not None:
+        return x
+
+    # Rung 1: much stronger damping from the first iteration.
+    if config.enable_damping:
+        for factor in config.damping_factors:
+            x = attempt("damping", f"damping={factor:g}",
+                        initial_damping=factor)
+            if x is not None:
+                note_recovery_success(report)
+                return x
+
+    # Rung 2: local time-step halving with bounded retries.  Stiff
+    # regeneration regions (latch sense amplifiers firing) recover here
+    # without shrinking the global time step.
+    if config.enable_substep:
+        for halving in range(1, config.max_halvings + 1):
             obs.metrics().counter("spice.substep_halvings").inc()
-            if halving == max_halvings:
-                obs.metrics().counter("spice.refinement_exhausted").inc()
-                raise
-            _log.debug("Newton failed (%s); retrying with %d substeps",
-                       exc, 2 ** (halving + 1))
-    raise ConvergenceError("unreachable")  # pragma: no cover
+            x = attempt("substep", f"substeps={2 ** halving}",
+                        substeps=2 ** halving)
+            if x is not None:
+                note_recovery_success(report)
+                return x
+        obs.metrics().counter("spice.refinement_exhausted").inc()
+
+    # Rung 3: gmin stepping — a strong leak to ground everywhere makes
+    # the system benign; relax it decade by decade with warm starts.
+    if config.enable_gmin:
+        x = _gmin_stepping(system, circuit, x_start, t_start, dt,
+                           integrator, cap_state, config, report)
+        if x is not None:
+            note_recovery_success(report)
+            return x
+
+    # Rung 4: source stepping — ramp all independent sources from a
+    # solvable fraction up to 100 %, warm-starting each stage.
+    if config.enable_source:
+        x = _source_stepping(system, circuit, x_start, t_start, dt,
+                             integrator, cap_state, config, report)
+        if x is not None:
+            note_recovery_success(report)
+            return x
+
+    restore_state()
+    obs.metrics().counter("spice.recovery.exhausted").inc()
+    _log.warning("recovery ladder exhausted for circuit %r at t=%gs "
+                 "(%d attempts)", circuit.name, t_start + dt,
+                 len(report.attempts))
+    base = last_error or ConvergenceError(
+        f"transient Newton failed for circuit {circuit.name!r}")
+    raise ConvergenceError(
+        f"transient Newton failed for circuit {circuit.name!r} and every "
+        f"recovery rung was exhausted",
+        time=base.time if base.time is not None else t_start + dt,
+        iterations=base.iterations,
+        worst_node=base.worst_node,
+        recovery=report,
+    )
+
+
+def _gmin_stepping(system: MnaSystem, circuit: Circuit, x_start: np.ndarray,
+                   t_start: float, dt: float, integrator: str,
+                   cap_state: Dict[str, float], config: RecoveryConfig,
+                   report: RecoveryReport) -> "np.ndarray | None":
+    """Walk the gmin ladder for one full step; None if any stage fails."""
+    x = x_start
+    for gmin in config.gmin_ladder:
+        try:
+            x = _solve_point(system, circuit, x, t_start + dt, dt,
+                             integrator, cap_state,
+                             max_newton=config.max_newton,
+                             extra_gmin=gmin, x_history=x_start)
+        except ConvergenceError:
+            report.record("gmin", f"gmin={gmin:g}", converged=False)
+            return None
+        report.record("gmin", f"gmin={gmin:g}", converged=True)
+    return x
+
+
+def _source_stepping(system: MnaSystem, circuit: Circuit,
+                     x_start: np.ndarray, t_start: float, dt: float,
+                     integrator: str, cap_state: Dict[str, float],
+                     config: RecoveryConfig,
+                     report: RecoveryReport) -> "np.ndarray | None":
+    """Walk the source ladder for one full step; None if a stage fails."""
+    x = x_start
+    for alpha in config.source_ladder:
+        try:
+            x = _solve_point(system, circuit, x, t_start + dt, dt,
+                             integrator, cap_state,
+                             max_newton=config.max_newton,
+                             source_scale=alpha, x_history=x_start)
+        except ConvergenceError:
+            report.record("source", f"sources={100 * alpha:g}%",
+                          converged=False)
+            return None
+        report.record("source", f"sources={100 * alpha:g}%", converged=True)
+    return x
 
 
 def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
                  t: float, dt: float, integrator: str,
-                 cap_state: Dict[str, float]) -> np.ndarray:
+                 cap_state: Dict[str, float], *,
+                 max_newton: "int | None" = None,
+                 initial_damping: float = 1.0,
+                 extra_gmin: float = 0.0,
+                 source_scale: float = 1.0,
+                 x_history: "np.ndarray | None" = None) -> np.ndarray:
+    """Damped Newton solve of one time point.
+
+    ``x_prev`` seeds the iteration; ``x_history`` is the solution at the
+    previous *accepted* time point used by the capacitor companion
+    models (defaults to ``x_prev`` — they differ only while a recovery
+    rung warm-starts from an intermediate ladder stage).  ``extra_gmin``
+    and ``source_scale`` implement the gmin- and source-stepping rungs;
+    ``initial_damping`` starts the oscillation guard already damped.
+    """
     x = x_prev.copy()
+    if x_history is None:
+        x_history = x_prev
     n_nodes = len(system.node_index)
     previous_delta: np.ndarray | None = None
-    damping = 1.0
+    damping = initial_damping
+    damp_limit = _DAMP_LIMIT * initial_damping
     damping_events = 0
     v_delta = None
-    for iteration in range(1, _MAX_NEWTON + 1):
+    budget = _MAX_NEWTON if max_newton is None else max_newton
+    for iteration in range(1, budget + 1):
         system.reset()
-        ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt, time=t,
-                           integrator=integrator, cap_state=cap_state,
-                           gmin=1e-12)
+        ctx = StampContext(system=system, x=x, x_prev=x_history, dt=dt,
+                           time=t, integrator=integrator,
+                           cap_state=cap_state, gmin=1e-12,
+                           source_scale=source_scale)
         for element in circuit.elements:
             element.stamp(ctx)
+        if extra_gmin > 0.0:
+            for idx in range(n_nodes):
+                system.matrix[idx, idx] += extra_gmin
         x_new = system.solve()
         delta = x_new - x
         v_delta = delta[:n_nodes]
         max_step = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
-        if max_step > _DAMP_LIMIT:
-            delta = delta * (_DAMP_LIMIT / max_step)
+        if max_step > damp_limit:
+            delta = delta * (damp_limit / max_step)
         # Oscillation guard: when successive updates point in opposite
         # directions (a limit cycle around a curvature change), shrink
         # the step until the cycle collapses into the fixed point.
@@ -229,7 +394,7 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
                 damping = max(damping * 0.5, 1.0 / 256.0)
                 damping_events += 1
             else:
-                damping = min(1.0, damping * 1.5)
+                damping = min(initial_damping, damping * 1.5)
         previous_delta = delta
         x = x + delta * damping
         if max_step < _V_TOL:
@@ -241,11 +406,11 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
             return x
     obs.metrics().counter("spice.convergence_failures").inc()
     worst_node = _worst_residual_node(system, v_delta)
-    _log.warning("transient Newton failed at t=%gs for circuit %r "
-                 "(worst residual at node %r)", t, circuit.name, worst_node)
+    _log.debug("transient Newton failed at t=%gs for circuit %r "
+               "(worst residual at node %r)", t, circuit.name, worst_node)
     raise ConvergenceError(
         f"transient Newton failed for circuit {circuit.name!r}",
-        time=t, iterations=_MAX_NEWTON, worst_node=worst_node,
+        time=t, iterations=budget, worst_node=worst_node,
     )
 
 

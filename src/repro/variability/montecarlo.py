@@ -15,7 +15,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.checkpoint import BudgetClock, Checkpoint, RunBudget
+from repro.errors import ConfigurationError, ReproError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +65,103 @@ def run_monte_carlo(model: Callable[[np.random.Generator], float],
         model(np.random.default_rng(child)) for child in children
     ], dtype=float)
     return MonteCarloResult(samples=samples)
+
+
+@dataclasses.dataclass(frozen=True)
+class MonteCarloOutcome:
+    """A (possibly partial) resumable MC run with explicit accounting.
+
+    ``result`` is ``None`` when fewer than 2 samples completed (nothing
+    statistical can be said); otherwise it summarises the completed
+    samples.  ``completed + failed <= attempted <= requested``; samples
+    never attempted (budget ran out first) make up the difference.
+    """
+
+    result: Optional[MonteCarloResult]
+    requested: int
+    completed: int
+    attempted: int
+    failed: int
+    exhausted: Optional[str]  # "max_seconds" | "max_failures" | None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed == self.requested
+
+    def describe(self) -> str:
+        parts = [f"{self.completed}/{self.requested} samples"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.exhausted:
+            parts.append(f"stopped on {self.exhausted}")
+        return ", ".join(parts)
+
+
+def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
+                              count: int,
+                              seed: Optional[int] = 0,
+                              checkpoint: Optional[Checkpoint] = None,
+                              budget: Optional[RunBudget] = None,
+                              save_every: int = 64) -> MonteCarloOutcome:
+    """Checkpointed, budget-bounded variant of :func:`run_monte_carlo`.
+
+    Sample ``i`` always draws from child stream ``i`` of the seed
+    sequence, so a run killed mid-sweep and resumed from its checkpoint
+    produces *bit-identical* statistics to an uninterrupted run with the
+    same seed.  A sample whose model raises a
+    :class:`~repro.errors.ReproError` is recorded as failed and skipped
+    (deterministically — the same seed fails the same sample), counting
+    against ``budget.max_failures``.
+    """
+    if count < 2:
+        raise ConfigurationError("count must be >= 2")
+    if save_every < 1:
+        raise ConfigurationError("save_every must be >= 1")
+    children = np.random.SeedSequence(seed).spawn(count)
+
+    state: dict = {"next": 0, "samples": [], "failed": []}
+    if checkpoint is not None:
+        loaded = checkpoint.load()
+        if loaded:
+            state = {"next": int(loaded.get("next", 0)),
+                     "samples": list(loaded.get("samples", [])),
+                     "failed": list(loaded.get("failed", []))}
+
+    clock = BudgetClock(budget)
+    clock.failures = len(state["failed"])
+    exhausted: Optional[str] = None
+    dirty = 0
+    index = state["next"]
+    while index < count:
+        exhausted = clock.exhausted()
+        if exhausted is not None:
+            break
+        try:
+            value = float(model(np.random.default_rng(children[index])))
+        except ReproError:
+            state["failed"].append(index)
+            clock.fail()
+        else:
+            state["samples"].append(value)
+        index += 1
+        state["next"] = index
+        dirty += 1
+        if checkpoint is not None and dirty >= save_every:
+            checkpoint.save(state)
+            dirty = 0
+    if checkpoint is not None and dirty:
+        checkpoint.save(state)
+
+    samples = np.asarray(state["samples"], dtype=float)
+    result = MonteCarloResult(samples=samples) if len(samples) >= 2 else None
+    return MonteCarloOutcome(
+        result=result,
+        requested=count,
+        completed=len(samples),
+        attempted=state["next"],
+        failed=len(state["failed"]),
+        exhausted=exhausted,
+    )
 
 
 def worst_case_gaussian(result: MonteCarloResult, n_sigma: float,

@@ -1,0 +1,113 @@
+"""Rule M212: physical consistency of fault/resilience configs."""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.model import (MODEL_RULES, check_fault_plan,
+                                  check_object, check_repair_model,
+                                  check_run_budget)
+from repro.checkpoint import RunBudget
+from repro.faults import (FaultPlan, RefreshFault, RepairModel,
+                          SenseAmpOutlier, StuckBit, WeakCell,
+                          generate_fault_plan)
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def errors(diagnostics):
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+class TestFaultPlanRule:
+    def test_rule_registered(self):
+        assert "M212" in MODEL_RULES
+
+    def test_generated_plan_is_clean(self):
+        plan = generate_fault_plan(seed=1, n_blocks=16, rows_per_block=8,
+                                   weak_cell_fraction=0.05,
+                                   refresh_drop_fraction=0.05,
+                                   refresh_late_fraction=0.05)
+        assert check_fault_plan(plan) == []
+
+    def test_weak_cells_beyond_matrix_flagged(self):
+        plan = FaultPlan(
+            seed=0, n_blocks=1, rows_per_block=2,
+            weak_cells=tuple(WeakCell(0, r % 2, 1e-4) for r in range(3)))
+        found = check_fault_plan(plan)
+        assert any("exceed" in d.message for d in errors(found))
+
+    def test_out_of_range_coordinates_flagged(self):
+        plan = FaultPlan(
+            seed=0, n_blocks=2, rows_per_block=4,
+            weak_cells=(WeakCell(5, 0, 1e-4),),
+            stuck_bits=(StuckBit(0, 0, 99),),
+            sa_outliers=(SenseAmpOutlier(9, 1.2),),
+            refresh_faults=(RefreshFault(100, "drop"),))
+        found = errors(check_fault_plan(plan))
+        assert len(found) == 4
+        assert rules(found) == {"M212"}
+
+    def test_unphysical_values_flagged(self):
+        plan = FaultPlan(
+            seed=0, n_blocks=2, rows_per_block=4,
+            weak_cells=(WeakCell(0, 0, -1e-4),),
+            sa_outliers=(SenseAmpOutlier(0, 0.5),),
+            refresh_faults=(RefreshFault(1, "late", delay_cycles=0),))
+        messages = [d.message for d in errors(check_fault_plan(plan))]
+        assert any("non-positive retention" in m for m in messages)
+        assert any("cannot" in m and "shrink" in m for m in messages)
+        assert any("positive delay" in m for m in messages)
+
+    def test_duplicates_are_warnings(self):
+        plan = FaultPlan(
+            seed=0, n_blocks=2, rows_per_block=4,
+            weak_cells=(WeakCell(0, 1, 1e-4), WeakCell(0, 1, 2e-4)),
+            refresh_faults=(RefreshFault(3, "drop"),
+                            RefreshFault(3, "late", delay_cycles=2)))
+        found = check_fault_plan(plan)
+        warnings = [d for d in found if d.severity is Severity.WARNING]
+        assert len(warnings) == 2
+        assert not errors(found)
+
+
+class TestRepairAndBudgetRules:
+    def test_sane_repair_is_clean(self):
+        assert check_repair_model(RepairModel()) == []
+
+    def test_guard_below_one_flagged(self):
+        found = check_repair_model(RepairModel(retention_guard=0.5))
+        assert any("retention_guard" in d.message for d in errors(found))
+
+    def test_repair_capacity_exceeding_block_rows_flagged(self):
+        plan = FaultPlan(seed=0, n_blocks=2, rows_per_block=4)
+        found = check_repair_model(RepairModel(spare_rows_per_block=8),
+                                   plan=plan)
+        assert any("repair capacity" in d.message for d in errors(found))
+
+    def test_unlimited_budget_is_clean(self):
+        assert check_run_budget(RunBudget()) == []
+
+    def test_nonpositive_ceilings_flagged(self):
+        found = check_run_budget(RunBudget(max_seconds=0.0,
+                                           max_failures=-1))
+        assert len(found) == 2
+        assert rules(found) == {"M212"}
+
+
+class TestDispatch:
+    def test_check_object_routes_fault_types(self):
+        plan = FaultPlan(seed=0, n_blocks=1, rows_per_block=2,
+                         refresh_faults=(RefreshFault(50, "drop"),))
+        assert rules(check_object(plan)) == {"M212"}
+        assert rules(check_object(RepairModel(correctable_bits=-1))) == \
+            {"M212"}
+        assert rules(check_object(RunBudget(max_seconds=-5))) == {"M212"}
+
+    def test_check_hook_discovers_example_targets(self):
+        from repro.analysis.model import check_python_file
+        found = check_python_file("examples/chaos_run.py")
+        # The example ships one deliberately suspicious budget.
+        assert rules(found) == {"M212"}
+        assert all(d.severity is Severity.WARNING for d in found)

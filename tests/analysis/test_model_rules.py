@@ -225,4 +225,4 @@ class TestDispatchAndDiscovery:
 
 class TestRuleCatalogue:
     def test_every_rule_has_a_description(self):
-        assert set(MODEL_RULES) == {f"M2{i:02d}" for i in range(1, 12)}
+        assert set(MODEL_RULES) == {f"M2{i:02d}" for i in range(1, 13)}

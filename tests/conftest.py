@@ -7,6 +7,9 @@ them across tests is safe and keeps the suite fast.
 
 from __future__ import annotations
 
+import importlib.util
+import signal
+
 import numpy as np
 import pytest
 
@@ -16,6 +19,31 @@ from repro.tech import TechnologyNode
 from repro.units import kb
 
 RETENTION_FOR_TESTS = 1e-3  # pin retention: no Monte-Carlo in model tests
+
+# Per-test wall-clock ceiling.  CI installs pytest-timeout and passes
+# --timeout on the command line; containers without the plugin get this
+# SIGALRM fallback so a hung solver (the exact failure mode the recovery
+# ladder exists for) can never wedge the suite.
+TEST_TIMEOUT_SECONDS = 120
+_HAVE_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {TEST_TIMEOUT_SECONDS}s ceiling "
+                "(SIGALRM fallback; install pytest-timeout for the "
+                "full plugin)")
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(TEST_TIMEOUT_SECONDS)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

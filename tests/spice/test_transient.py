@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.spice import (
     Capacitor,
     Circuit,
@@ -118,8 +118,19 @@ class TestResultAccess:
 
 class TestArgumentValidation:
     def test_rejects_zero_tstop(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigurationError, match="t_stop"):
             simulate_transient(rc_circuit(), 0.0, 1 * ps)
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ConfigurationError, match="dt"):
+            simulate_transient(rc_circuit(), 1 * ns, -1 * ps)
+
+    def test_rejects_non_finite_grid(self):
+        import math
+        with pytest.raises(ConfigurationError, match="not finite"):
+            simulate_transient(rc_circuit(), math.nan, 1 * ps)
+        with pytest.raises(ConfigurationError, match="not finite"):
+            simulate_transient(rc_circuit(), 1 * ns, math.inf)
 
     def test_rejects_bad_integrator(self):
         with pytest.raises(SimulationError):
@@ -127,7 +138,7 @@ class TestArgumentValidation:
                                integrator="euler")
 
     def test_rejects_dt_longer_than_tstop(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigurationError, match="exceeds t_stop"):
             simulate_transient(rc_circuit(), 1 * ps, 1 * ns)
 
     def test_singular_circuit_raises(self):
