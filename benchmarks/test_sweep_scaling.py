@@ -1,0 +1,85 @@
+"""Parallel sweep executor scaling on a Monte-Carlo population.
+
+A 64-sample Monte-Carlo run whose model does real solver work is
+evaluated at ``jobs`` = 1, 2 and 4.  Two properties are checked:
+
+* **determinism** — the sample vector is bit-identical at every job
+  count (always asserted; this is the executor's core contract);
+* **scaling** — ``jobs=4`` must beat serial by >= 1.8x wall-clock,
+  asserted only when the machine actually has >= 4 CPUs (the CI
+  perf-smoke runners do; a 1-CPU container records the numbers without
+  failing on physics it cannot express).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.spice import (Capacitor, Circuit, Diode, Resistor, VoltageSource,
+                         dc, simulate_transient)
+from repro.variability.montecarlo import run_monte_carlo_resumable
+from benchmarks._util import check_regression, record_json, record_result
+
+SAMPLES = 64
+SEED = 2009
+MIN_SPEEDUP_J4 = 1.8
+JOB_COUNTS = (1, 2, 4)
+
+
+def mc_model(rng):
+    """One sample: transient settling of a diode divider with sampled
+    resistance (module-level so worker processes can unpickle it)."""
+    resistance = float(rng.lognormal(mean=np.log(10e3), sigma=0.2))
+    circuit = Circuit("mc-divider")
+    circuit.add(VoltageSource("v1", "in", "0", dc(2.0)))
+    circuit.add(Resistor("r1", "in", "mid", resistance))
+    circuit.add(Diode("d1", "mid", "0", v_t=0.026, v_clip=0.8))
+    circuit.add(Capacitor("c1", "mid", "0", 1e-12))
+    result = simulate_transient(circuit, t_stop=2e-9, dt=1e-11)
+    return float(result.final_voltage("mid"))
+
+
+def test_parallel_sweep_scaling_and_determinism():
+    cpu_count = os.cpu_count() or 1
+    wall, samples = {}, {}
+    for jobs in JOB_COUNTS:
+        start = time.perf_counter()
+        outcome = run_monte_carlo_resumable(mc_model, SAMPLES, seed=SEED,
+                                            jobs=jobs)
+        wall[jobs] = time.perf_counter() - start
+        assert outcome.complete and outcome.failed == 0
+        samples[jobs] = outcome.result.samples
+
+    # Determinism is unconditional: every job count, bit for bit.
+    for jobs in JOB_COUNTS[1:]:
+        assert np.array_equal(samples[jobs], samples[1]), (
+            f"jobs={jobs} drifted from the serial sample vector")
+
+    speedups = {jobs: wall[1] / wall[jobs] for jobs in JOB_COUNTS}
+    metrics = {
+        "samples": SAMPLES,
+        "cpu_count": cpu_count,
+        "wall_seconds_jobs1": round(wall[1], 3),
+        "wall_seconds_jobs2": round(wall[2], 3),
+        "wall_seconds_jobs4": round(wall[4], 3),
+        "speedup_jobs2": round(speedups[2], 3),
+        "speedup_jobs4": round(speedups[4], 3),
+    }
+    record_json("BENCH_sweep", metrics)
+    record_result("sweep_scaling", "\n".join([
+        f"{SAMPLES}-sample Monte-Carlo, {cpu_count} CPU(s):",
+        *(f"  jobs={j}: {wall[j] * 1e3:8.1f} ms  "
+          f"({speedups[j]:5.2f}x vs serial)" for j in JOB_COUNTS),
+        f"  jobs=4 floor: {MIN_SPEEDUP_J4}x "
+        + ("(asserted)" if cpu_count >= 4
+           else f"(not asserted: only {cpu_count} CPU(s))"),
+    ]))
+
+    if cpu_count >= 4:
+        assert speedups[4] >= MIN_SPEEDUP_J4, (
+            f"jobs=4 speedup {speedups[4]:.2f}x fell below the "
+            f"{MIN_SPEEDUP_J4}x floor on a {cpu_count}-CPU machine")
+        check_regression("BENCH_sweep", metrics)

@@ -13,6 +13,9 @@ Rules
           ``lower_snake.case`` convention
 ``L106``  one metric name used with conflicting instrument kinds
           (e.g. both ``counter`` and ``gauge``)
+``L107``  per-element Python-loop stamping (``for el in ...:
+          el.stamp(...)``) — the hot solver paths should go through a
+          compiled :class:`repro.spice.stampplan.StampPlan` instead
 
 Suppression: a trailing ``# noqa`` comment suppresses every rule on
 that line; ``# noqa: L101,L102`` suppresses only those rules.  Findings
@@ -37,6 +40,7 @@ LINT_RULES: Dict[str, str] = {
     "L104": "mutable default argument",
     "L105": "obs metric/span name violates the naming convention",
     "L106": "metric name used with conflicting instrument kinds",
+    "L107": "per-element Python-loop stamping; compile a StampPlan instead",
 }
 
 # Keyword arguments whose values are solver/algorithm knobs, not
@@ -205,7 +209,31 @@ class _LintVisitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._exempt_tolerance_targets([node.target], node.iter)
+        self._check_stamp_loop(node)
         self.generic_visit(node)
+
+    # -- L107: per-element stamping loops ---------------------------------------
+
+    def _check_stamp_loop(self, node: ast.For) -> None:
+        """Flag ``for el in ...: el.stamp(...)`` — the pattern the
+        compiled stamp plan replaces on the solver hot paths."""
+        if not isinstance(node.target, ast.Name):
+            return
+        target = node.target.id
+        for child in ast.walk(node):
+            if (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "stamp"
+                    and isinstance(child.func.value, ast.Name)
+                    and child.func.value.id == target):
+                self._emit(
+                    "L107", Severity.WARNING,
+                    f"per-element stamping loop over {target!r}; each "
+                    "Newton iterate pays a Python call per element",
+                    node,
+                    hint="compile the circuit into a "
+                         "repro.spice.stampplan.StampPlan and replay it")
+                return
 
     def visit_Constant(self, node: ast.Constant) -> None:
         if (not self.is_units_module

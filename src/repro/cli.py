@@ -190,7 +190,7 @@ def cmd_optimize(args: argparse.Namespace) -> None:
     constraint = args.max_ns * ns if args.max_ns > 0 else None
     result = DesignOptimizer(total_bits=_capacity(args),
                              max_access_time=constraint,
-                             activity=args.activity).run()
+                             activity=args.activity).run(jobs=args.jobs)
     print(f"{len(result.candidates)} feasible candidates, "
           f"{len(result.pareto_front)} on the Pareto front")
     print()
@@ -245,7 +245,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
         max_failures=args.max_failures if args.max_failures > 0 else None)
     outcome = run_monte_carlo_resumable(
         retention.sample_retention, count=args.samples, seed=args.seed,
-        checkpoint=checkpoint, budget=budget)
+        checkpoint=checkpoint, budget=budget, jobs=args.jobs)
     print(f"retention Monte-Carlo: {outcome.describe()}")
     if outcome.result is not None:
         result = outcome.result
@@ -476,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="access-time constraint in ns "
                                   "(<= 0 disables)")
             sub.add_argument("--activity", type=float, default=0.1)
+            sub.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the grid search "
+                                  "(default 1 = serial; results are "
+                                  "identical at any setting)")
         if extra == "pvt":
             sub.add_argument("--technology", default="dram",
                              choices=("dram", "scratchpad", "sram"))
@@ -497,6 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--max-failures", type=int, default=0,
                              help="stop after this many failed samples "
                                   "(<= 0 disables)")
+            sub.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the sample sweep "
+                                  "(default 1 = serial; statistics are "
+                                  "bit-identical at any setting)")
             sub.add_argument("--faults", choices=("none", "weak-cells"),
                              default="none",
                              help="also draw a fault plan and print the "

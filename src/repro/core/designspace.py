@@ -20,8 +20,9 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
-from repro.checkpoint import Checkpoint, RunBudget, SweepOutcome, run_sweep
+from repro.checkpoint import Checkpoint, RunBudget, SweepOutcome
 from repro.core.fastdram import FastDramDesign
+from repro.exec import run_parallel_sweep
 from repro.errors import ConfigurationError
 from repro.array.timing import GBL_SUPPLY, GBL_SWING
 from repro.units import kb, ms
@@ -99,35 +100,39 @@ def sweep_retention(values: Sequence[float],
     return rows
 
 
+def _evaluate_retention_row(retention: float,
+                            total_bits: int) -> RetentionSweepRow:
+    """One retention point (module-level so worker processes can
+    unpickle it); ``retention`` in seconds."""
+    macro = FastDramDesign().build(total_bits, retention_override=retention)
+    return RetentionSweepRow(
+        retention_time=retention,
+        static_power=macro.static_power().power,
+        refresh_rows_per_second=macro.organization.n_words / retention,
+    )
+
+
 def sweep_retention_resumable(values: Sequence[float],
                               total_bits: int = 128 * kb,
                               checkpoint: Optional[Checkpoint] = None,
-                              budget: Optional[RunBudget] = None
-                              ) -> SweepOutcome:
+                              budget: Optional[RunBudget] = None,
+                              jobs: int = 1) -> SweepOutcome:
     """Checkpointed, budget-bounded :func:`sweep_retention`.
 
     Returns a :class:`~repro.checkpoint.SweepOutcome` whose ``results``
     map ``"retention=<seconds>"`` keys to :class:`RetentionSweepRow`
     values; a killed run resumed from the same checkpoint completes
     with exactly the rows an uninterrupted run would have produced.
+    ``jobs > 1`` fans the points out over worker processes with
+    identical results and checkpoint contents.
     """
     if any(v <= 0 for v in values):
         raise ConfigurationError("retention times must be positive")
-    design = FastDramDesign()
-
-    def evaluate(retention: float) -> RetentionSweepRow:
-        macro = design.build(total_bits, retention_override=retention)
-        return RetentionSweepRow(
-            retention_time=retention,
-            static_power=macro.static_power().power,
-            refresh_rows_per_second=macro.organization.n_words / retention,
-        )
-
-    items = [(f"retention={retention:g}",
-              lambda retention=retention: evaluate(retention))
+    items = [(f"retention={retention:g}", _evaluate_retention_row,
+              (retention, total_bits))
              for retention in values]
-    return run_sweep(
-        items, checkpoint=checkpoint, budget=budget,
+    return run_parallel_sweep(
+        items, jobs=jobs, checkpoint=checkpoint, budget=budget,
         encode=dataclasses.asdict,
         decode=lambda raw: RetentionSweepRow(**raw),
     )
@@ -164,31 +169,39 @@ def sweep_sizes(sizes: Sequence[int] = (128 * kb, 512 * kb, 2048 * kb),
     return rows
 
 
+def _evaluate_size_row(bits: int, technology: str,
+                       retention_override: float) -> SizeSweepRow:
+    """One size point (module-level so worker processes can unpickle
+    it); ``retention_override`` in seconds."""
+    design = FastDramDesign(technology=technology)
+    macro = design.build(bits, retention_override=retention_override)
+    return SizeSweepRow(
+        total_bits=bits,
+        access_time=macro.access_time(),
+        read_energy=macro.read_energy().total,
+        write_energy=macro.write_energy().total,
+        area=macro.area(),
+        static_power=macro.static_power().power,
+    )
+
+
 def sweep_sizes_resumable(sizes: Sequence[int] = (128 * kb, 512 * kb,
                                                   2048 * kb),
                           technology: str = "dram",
                           retention_override: float = 1 * ms,
                           checkpoint: Optional[Checkpoint] = None,
-                          budget: Optional[RunBudget] = None
-                          ) -> SweepOutcome:
-    """Checkpointed, budget-bounded :func:`sweep_sizes`."""
-    design = FastDramDesign(technology=technology)
+                          budget: Optional[RunBudget] = None,
+                          jobs: int = 1) -> SweepOutcome:
+    """Checkpointed, budget-bounded :func:`sweep_sizes`.
 
-    def evaluate(bits: int) -> SizeSweepRow:
-        macro = design.build(bits, retention_override=retention_override)
-        return SizeSweepRow(
-            total_bits=bits,
-            access_time=macro.access_time(),
-            read_energy=macro.read_energy().total,
-            write_energy=macro.write_energy().total,
-            area=macro.area(),
-            static_power=macro.static_power().power,
-        )
-
-    items = [(f"bits={bits}", lambda bits=bits: evaluate(bits))
+    ``retention_override`` is in seconds; ``jobs > 1`` evaluates the
+    sizes in worker processes with identical results.
+    """
+    items = [(f"bits={bits}", _evaluate_size_row,
+              (bits, technology, retention_override))
              for bits in sizes]
-    return run_sweep(
-        items, checkpoint=checkpoint, budget=budget,
+    return run_parallel_sweep(
+        items, jobs=jobs, checkpoint=checkpoint, budget=budget,
         encode=dataclasses.asdict,
         decode=lambda raw: SizeSweepRow(**raw),
     )

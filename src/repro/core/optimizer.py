@@ -14,8 +14,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from repro.checkpoint import Checkpoint, RunBudget, run_sweep
+from repro.checkpoint import Checkpoint, RunBudget
 from repro.core.fastdram import FastDramDesign
+from repro.exec import run_parallel_sweep
 from repro.core.voltage import scaled_supply_design
 from repro.errors import ConfigurationError
 from repro.units import MHz, kb, ms
@@ -162,24 +163,26 @@ class DesignOptimizer:
                 for vdd in self.vdd_grid]
 
     def run(self, checkpoint: Optional[Checkpoint] = None,
-            budget: Optional[RunBudget] = None) -> OptimisationResult:
+            budget: Optional[RunBudget] = None,
+            jobs: int = 1) -> OptimisationResult:
         """Evaluate the grid; returns candidates, front and bests.
 
         With a ``checkpoint`` the evaluated points are snapshotted and a
         killed search resumes where it stopped; with a ``budget`` the
         search stops at the ceiling and returns the partial result with
         explicit ``completed/attempted`` accounting (still an error if
-        *no* evaluated point is feasible).
+        *no* evaluated point is feasible).  ``jobs > 1`` prices grid
+        points in worker processes (this frozen dataclass pickles, so
+        the bound evaluator ships directly) with identical results.
         """
         grid = self.grid_points()
         items = [
             (f"cells={cells},word={word_bits},vdd={vdd:g}",
-             lambda cells=cells, word_bits=word_bits, vdd=vdd:
-                 self._evaluate(cells, word_bits, vdd))
+             self._evaluate, (cells, word_bits, vdd))
             for cells, word_bits, vdd in grid
         ]
-        outcome = run_sweep(
-            items, checkpoint=checkpoint, budget=budget,
+        outcome = run_parallel_sweep(
+            items, jobs=jobs, checkpoint=checkpoint, budget=budget,
             encode=lambda c: None if c is None else dataclasses.asdict(c),
             decode=lambda raw: (None if raw is None
                                 else DesignCandidate(**raw)),

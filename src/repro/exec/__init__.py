@@ -1,0 +1,13 @@
+"""repro.exec — process-parallel execution of keyed work items.
+
+:func:`run_parallel_sweep` is the multi-process twin of
+:func:`repro.checkpoint.run_sweep`: same keys, same
+:class:`~repro.checkpoint.SweepOutcome` accounting, same checkpoint
+file format — plus a ``jobs`` knob that fans evaluation out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+merged results deterministic (submission order, not completion order).
+"""
+
+from repro.exec.parallel import run_parallel_sweep
+
+__all__ = ["run_parallel_sweep"]

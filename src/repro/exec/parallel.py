@@ -1,0 +1,231 @@
+"""Process-parallel sweep executor with deterministic merging.
+
+``run_parallel_sweep`` evaluates keyed work items across a pool of
+worker processes and merges the results back **in submission order**,
+so the outcome — results dict, failure list, checkpoint contents — is
+bit-identical to a serial run of the same items.  The determinism
+contract rests on three rules:
+
+* **Ordered merge.**  Chunks are submitted in item order and their
+  results are consumed in that same order, regardless of which worker
+  finishes first.  A result computed "early" by a fast worker waits in
+  its future until every earlier item has been merged.
+* **Parent-only checkpoints.**  Workers never touch the checkpoint
+  file; the parent saves the ``done`` mapping between merges with the
+  exact same granularity (``save_every`` completed items) as
+  :func:`repro.checkpoint.run_sweep`, so a parallel run killed mid-way
+  resumes — serially or in parallel — to the identical final state.
+* **Per-sample crash isolation.**  A worker process dying (segfault,
+  ``os._exit``) breaks the pool; the executor rebuilds it, retries the
+  affected chunk one item at a time to isolate the culprit, records
+  that single item as a failure, and carries on — a crash costs one
+  sample, never the sweep.
+
+Evaluation failures (:class:`~repro.errors.ReproError`) are recorded
+against the budget like the serial harness; any other exception is a
+programming error and is re-raised in the parent.  Each worker runs its
+items under a fresh :class:`~repro.obs.MetricsRegistry` (when the
+parent has instrumentation enabled) and ships the snapshot back with
+its results; the parent folds the snapshots into its own registry via
+:meth:`~repro.obs.MetricsRegistry.merge_snapshot`.
+
+Work items are ``(key, fn, args)`` triples rather than the serial
+harness's ``(key, thunk)`` pairs because the callable and its
+arguments must cross a process boundary: ``fn`` must be picklable
+(module-level function or bound method of a picklable object), as must
+``args`` and the returned value.  With ``jobs=1`` the call degrades to
+:func:`repro.checkpoint.run_sweep` — no pool, no pickling, the exact
+serial code path.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import math
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.checkpoint import (BudgetClock, Checkpoint, RunBudget,
+                              SweepOutcome, run_sweep)
+from repro.errors import ConfigurationError, ReproError
+
+_log = logging.getLogger(__name__)
+
+#: One parallel work item: (unique key, picklable callable, arguments).
+WorkItem = Tuple[str, Callable[..., Any], Tuple[Any, ...]]
+
+
+def _portable_exception(exc: Exception) -> Exception:
+    """``exc`` if it survives pickling, else a string-carrying stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+    return exc
+
+
+def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
+    """Worker-side evaluation of one chunk (module-level for pickling).
+
+    Returns ``(results, snapshot)`` where ``results`` is a list of
+    ``(key, status, payload)`` triples — status ``"ok"`` carries the
+    value, ``"fail"`` the stringified :class:`ReproError`, ``"raise"``
+    the original exception to re-raise in the parent — and ``snapshot``
+    is the worker's metrics snapshot (``None`` while instrumentation is
+    disabled).  The registry is fresh per chunk so forked workers never
+    re-ship metrics inherited from the parent.
+    """
+    registry = None
+    if instrument:
+        registry = obs.MetricsRegistry()
+        obs.enable(registry=registry, tracer=obs.Tracer())
+    results = []
+    for key, fn, args in chunk:
+        try:
+            value = fn(*args)
+        except ReproError as exc:
+            results.append((key, "fail", f"{type(exc).__name__}: {exc}"))
+        except Exception as exc:
+            results.append((key, "raise", _portable_exception(exc)))
+        else:
+            results.append((key, "ok", value))
+    snapshot = registry.snapshot() if registry is not None else None
+    return results, snapshot
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - non-POSIX
+
+
+def run_parallel_sweep(items: Sequence[WorkItem],
+                       jobs: int = 1,
+                       checkpoint: Optional[Checkpoint] = None,
+                       budget: Optional[RunBudget] = None,
+                       save_every: int = 1,
+                       encode: Optional[Callable[[Any], Any]] = None,
+                       decode: Optional[Callable[[Any], Any]] = None,
+                       chunk_size: Optional[int] = None) -> SweepOutcome:
+    """Evaluate keyed work items over ``jobs`` worker processes.
+
+    Mirrors :func:`repro.checkpoint.run_sweep` exactly — checkpoint
+    format, budget enforcement, :class:`SweepOutcome` accounting — and
+    with ``jobs=1`` *is* that function (items are wrapped into thunks
+    and delegated, so the serial CLI default pays no executor cost).
+    ``chunk_size`` controls how many items ride in one inter-process
+    dispatch (default: enough for ~4 chunks per worker); chunking
+    never affects results, only dispatch overhead.
+    """
+    keys = [key for key, _fn, _args in items]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("sweep item keys must be unique")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    if save_every < 1:
+        raise ConfigurationError("save_every must be >= 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    if jobs == 1:
+        thunks = [(key, functools.partial(fn, *args))
+                  for key, fn, args in items]
+        return run_sweep(thunks, checkpoint=checkpoint, budget=budget,
+                         save_every=save_every, encode=encode, decode=decode)
+
+    encode = encode or (lambda value: value)
+    decode = decode or (lambda value: value)
+
+    done: Dict[str, Any] = {}
+    if checkpoint is not None:
+        done = checkpoint.load() or {}
+    pending = [item for item in items if item[0] not in done]
+    size = chunk_size or max(1, math.ceil(len(pending) / (4 * jobs)))
+    chunks: List[List[WorkItem]] = [
+        list(pending[start:start + size])
+        for start in range(0, len(pending), size)]
+
+    clock = BudgetClock(budget)
+    failures: List[str] = []
+    exhausted: Optional[str] = None
+    dirty = 0
+    instrument = obs.is_enabled()
+    parent_registry = obs.metrics() if instrument else None
+    context = _pool_context()
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    try:
+        with obs.span("sweep.parallel", items=len(items), jobs=jobs):
+            futures = [executor.submit(_run_chunk, chunk, instrument)
+                       for chunk in chunks]
+            index = 0
+            while index < len(chunks) and exhausted is None:
+                try:
+                    chunk_results, snapshot = futures[index].result()
+                except BrokenProcessPool:
+                    # A worker died mid-chunk.  Rebuild the pool, split
+                    # the offending chunk into single-item chunks to
+                    # isolate the crash, and resubmit everything not yet
+                    # merged (later futures broke with the pool too).
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=jobs,
+                                                   mp_context=context)
+                    chunk = chunks[index]
+                    if len(chunk) > 1:
+                        singles = [[item] for item in chunk]
+                        chunks[index:index + 1] = singles
+                        futures[index:index + 1] = [None] * len(singles)
+                    else:
+                        key = chunk[0][0]
+                        _log.warning(
+                            "sweep worker crashed evaluating item %r", key)
+                        obs.metrics().counter("sweep.worker_crashes").inc()
+                        failures.append(key)
+                        clock.fail()
+                        index += 1
+                    for later in range(index, len(chunks)):
+                        futures[later] = executor.submit(
+                            _run_chunk, chunks[later], instrument)
+                    continue
+                if parent_registry is not None and snapshot is not None:
+                    parent_registry.merge_snapshot(snapshot)
+                for key, status, payload in chunk_results:
+                    exhausted = clock.exhausted()
+                    if exhausted is not None:
+                        _log.info("parallel sweep stopped on %s after "
+                                  "%d item(s)", exhausted, len(done))
+                        break
+                    if status == "ok":
+                        done[key] = encode(payload)
+                        dirty += 1
+                        if checkpoint is not None and dirty >= save_every:
+                            checkpoint.save(done)
+                            dirty = 0
+                    elif status == "fail":
+                        _log.warning("sweep item %r failed: %s", key, payload)
+                        obs.metrics().counter("sweep.failures").inc()
+                        failures.append(key)
+                        clock.fail()
+                    else:  # a non-ReproError bug: save progress, re-raise
+                        if checkpoint is not None and dirty:
+                            checkpoint.save(done)
+                            dirty = 0
+                        raise payload
+                index += 1
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    if checkpoint is not None and dirty:
+        checkpoint.save(done)
+
+    results = {key: decode(done[key]) for key in keys if key in done}
+    return SweepOutcome(
+        results=results,
+        completed=len(results),
+        attempted=len(results) + len(failures),
+        failures=tuple(failures),
+        exhausted=exhausted,
+    )

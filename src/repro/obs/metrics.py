@@ -118,6 +118,22 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def merge(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Fold another histogram's state (same buckets) into this one.
+
+        Used when merging worker-process snapshots into the parent
+        registry; a bucket-count mismatch means the two processes
+        registered the instrument differently and is a hard error.
+        """
+        if len(counts) != len(self.counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r} merge needs {len(self.counts)} "
+                f"bucket counts, got {len(counts)}")
+        for i, c in enumerate(counts):
+            self.counts[i] += c
+        self._sum += total
+        self._count += count
+
 
 class _NullCounter:
     """No-op counter handed out while instrumentation is disabled."""
@@ -235,6 +251,23 @@ class MetricsRegistry:
                 for n, h in sorted(self._histograms.items())
             },
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The parallel sweep executor ships each worker's registry back
+        as a snapshot and merges them here in completion order:
+        counters accumulate, histograms merge bucket-wise (mismatched
+        buckets raise), and gauges take the snapshot's value
+        (last-write-wins, like sequential execution would).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, state in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, state["buckets"])
+            histogram.merge(state["counts"], state["sum"], state["count"])
 
     def reset(self) -> None:
         """Drop every instrument (tests call this between cases)."""

@@ -37,6 +37,7 @@ from repro.spice.stdcells import (
     build_ring_oscillator,
 )
 from repro.spice.op import solve_dc
+from repro.spice.stampplan import StampPlan, stamping_order
 from repro.spice.export import save_waveforms, waveforms_to_csv
 from repro.spice.transient import TransientResult, simulate_transient
 from repro.spice.measure import (
@@ -68,6 +69,8 @@ __all__ = [
     "pulse",
     "pwl",
     "solve_dc",
+    "StampPlan",
+    "stamping_order",
     "TransientResult",
     "simulate_transient",
     "crossing_time",

@@ -1,0 +1,102 @@
+"""Shared dense LU factorisation for the MNA solvers.
+
+Every solve in :mod:`repro.spice` — the legacy per-iterate path, the
+compiled :class:`~repro.spice.stampplan.StampPlan` fast path, DC and
+transient alike — routes through this module.  That single-kernel rule
+is what makes the fast path *bit-identical* to the legacy path: an
+identical matrix factorised by the same routine yields the identical
+solution, so caching a factorisation can never change a waveform.
+
+The kernel is :func:`scipy.linalg.lu_factor` when SciPy is available
+and a pure-numpy partial-pivoting fallback otherwise.  Exact zero
+pivots raise :class:`numpy.linalg.LinAlgError` (matching the historic
+``np.linalg.solve`` behaviour on singular systems); near-singular
+warnings are suppressed — the structural diagnosis belongs to the
+caller (:meth:`repro.spice.mna.MnaSystem.solve`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+try:
+    # The raw LAPACK bindings skip scipy.linalg.lu_factor's per-call
+    # validation wrappers (~half the solve cost at MNA sizes) while
+    # running the exact same dgetrf/dgetrs kernels underneath.
+    from scipy.linalg.lapack import dgetrf as _dgetrf, dgetrs as _dgetrs
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - the CI image ships scipy
+    _dgetrf = _dgetrs = None
+    _HAVE_SCIPY = False
+
+#: Opaque factorisation handle: ("lapack"|"numpy", lu, piv).
+LuFactors = Tuple[str, np.ndarray, np.ndarray]
+
+
+def lu_factorize(matrix: np.ndarray) -> LuFactors:
+    """LU-factorise ``matrix`` with partial pivoting.
+
+    Raises :class:`numpy.linalg.LinAlgError` on an exactly singular
+    matrix (zero pivot), like ``np.linalg.solve`` used to.
+    """
+    if _HAVE_SCIPY:
+        lu, piv, info = _dgetrf(matrix)
+        if info != 0:
+            raise np.linalg.LinAlgError(
+                "singular matrix (zero pivot)" if info > 0
+                else f"illegal dgetrf argument {-info}")
+        return ("lapack", lu, piv)
+    lu, piv = _numpy_lu(matrix)
+    return ("numpy", lu, piv)
+
+
+def lu_backsolve(factors: LuFactors, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = rhs`` given :func:`lu_factorize` output."""
+    kind, lu, piv = factors
+    if kind == "lapack":
+        x, info = _dgetrs(lu, piv, rhs)
+        if info != 0:  # pragma: no cover - factors are always consistent
+            raise np.linalg.LinAlgError(f"illegal dgetrs argument {-info}")
+        return x
+    return _numpy_backsolve(lu, piv, rhs)
+
+
+def lu_solve_dense(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """One-shot factorise + solve (the uncached legacy entry point)."""
+    return lu_backsolve(lu_factorize(matrix), rhs)
+
+
+def _numpy_lu(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Doolittle LU with partial pivoting, LAPACK-style pivot vector."""
+    a = np.array(matrix, dtype=float, copy=True)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise np.linalg.LinAlgError("matrix must be square")
+    piv = np.arange(n)
+    for k in range(n):
+        p = k + int(np.argmax(np.abs(a[k:, k])))
+        if a[p, k] == 0.0:  # noqa: L102 - exact zero pivot is the singular case
+            raise np.linalg.LinAlgError("singular matrix (zero pivot)")
+        piv[k] = p
+        if p != k:
+            a[[k, p], :] = a[[p, k], :]
+        a[k + 1:, k] /= a[k, k]
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return a, piv
+
+
+def _numpy_backsolve(lu: np.ndarray, piv: np.ndarray,
+                     rhs: np.ndarray) -> np.ndarray:
+    n = lu.shape[0]
+    x = np.array(rhs, dtype=float, copy=True)
+    for k in range(n):  # apply the recorded row swaps
+        p = int(piv[k])
+        if p != k:
+            x[k], x[p] = x[p], x[k]
+    for k in range(1, n):  # forward substitution (unit lower)
+        x[k] -= lu[k, :k] @ x[:k]
+    for k in range(n - 1, -1, -1):  # back substitution
+        x[k] = (x[k] - lu[k, k + 1:] @ x[k + 1:]) / lu[k, k]
+    return x

@@ -108,20 +108,29 @@ class MnaSystem:
     def solve(self) -> np.ndarray:
         """Solve the assembled system; raises on singular matrices.
 
-        On a singular matrix the model checker
-        (:mod:`repro.analysis.model`) is consulted so the error names
-        the structural suspects (floating nodes, source loops) instead
-        of leaving the user to bisect the netlist.
+        Routes through the shared LU kernel of
+        :mod:`repro.spice.linalg` — the same kernel the compiled
+        :class:`~repro.spice.stampplan.StampPlan` fast path uses, which
+        is what keeps both paths bit-identical.  On a singular matrix
+        the model checker (:mod:`repro.analysis.model`) is consulted so
+        the error names the structural suspects (floating nodes, source
+        loops) instead of leaving the user to bisect the netlist.
         """
+        from repro.spice import linalg
+
         try:
-            return np.linalg.solve(self.matrix, self.rhs)
+            return linalg.lu_solve_dense(self.matrix, self.rhs)
         except np.linalg.LinAlgError as exc:
-            message = (f"singular MNA matrix for circuit "
-                       f"{self.circuit.name!r}; check for floating nodes")
-            suspects = self._structural_suspects()
-            if suspects:
-                message += "\nstructural suspects:\n" + suspects
-            raise SimulationError(message) from exc
+            raise self.singular_error() from exc
+
+    def singular_error(self) -> SimulationError:
+        """The enriched error every singular solve of this system raises."""
+        message = (f"singular MNA matrix for circuit "
+                   f"{self.circuit.name!r}; check for floating nodes")
+        suspects = self._structural_suspects()
+        if suspects:
+            message += "\nstructural suspects:\n" + suspects
+        return SimulationError(message)
 
     def _structural_suspects(self) -> str:
         """Model-checker findings worth naming in a singular-solve error."""

@@ -24,6 +24,7 @@ from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
 from repro.spice.recovery import (DEFAULT_RECOVERY, RecoveryConfig,
                                   RecoveryReport, note_recovery_success)
+from repro.spice.stampplan import StampPlan, stamping_order
 
 _MAX_NEWTON = 200
 _V_TOL = 1e-9
@@ -34,24 +35,40 @@ def _newton_solve(system: MnaSystem, circuit: Circuit, x0: np.ndarray,
                   gmin: float, time: float,
                   max_newton: Optional[int] = None,
                   damp_limit: float = _DAMP_LIMIT,
-                  source_scale: float = 1.0) -> np.ndarray:
+                  source_scale: float = 1.0,
+                  plan: Optional[StampPlan] = None) -> np.ndarray:
     x = x0.copy()
     n_nodes = len(system.node_index)
     budget = _MAX_NEWTON if max_newton is None else max_newton
+    if plan is not None:
+        # gmin doubles as the per-node leak: the base matrix carries the
+        # capacitor-gmin stamps (part of the cache key) and extra_gmin
+        # replays the diagonal leak the legacy loop adds per iterate.
+        point = plan.begin_point(t=time, dt=None, gmin=gmin,
+                                 extra_gmin=gmin,
+                                 source_scale=source_scale)
+        order = None
+    else:
+        point = None
+        order = stamping_order(circuit)
     for _iteration in range(budget):
-        system.reset()
-        ctx = StampContext(system=system, x=x, dt=None, time=time,
-                           gmin=gmin, source_scale=source_scale)
-        for element in circuit.elements:
-            element.stamp(ctx)
-        # gmin stepping leak on every node keeps the matrix non-singular.
-        for idx in range(n_nodes):
-            system.matrix[idx, idx] += gmin
-        x_new = system.solve()
+        if plan is not None:
+            x_new = plan.solve_iterate(point, x)
+        else:
+            system.reset()
+            ctx = StampContext(system=system, x=x, dt=None, time=time,
+                               gmin=gmin, source_scale=source_scale)
+            for element in order:  # noqa: L107 - the legacy reference path
+                element.stamp(ctx)
+            # gmin stepping leak on every node keeps the matrix
+            # non-singular.
+            for idx in range(n_nodes):
+                system.matrix[idx, idx] += gmin
+            x_new = system.solve()
         delta = x_new - x
         # Damp node-voltage updates only (branch currents move freely).
         v_delta = delta[:n_nodes]
-        max_step = np.max(np.abs(v_delta)) if n_nodes else 0.0
+        max_step = np.abs(v_delta).max() if n_nodes else 0.0
         if max_step > damp_limit:
             delta = delta * (damp_limit / max_step)
         x = x + delta
@@ -67,21 +84,23 @@ def _newton_solve(system: MnaSystem, circuit: Circuit, x0: np.ndarray,
 def _gmin_walk(system: MnaSystem, circuit: Circuit, x0: np.ndarray,
                time: float, config: RecoveryConfig,
                damp_limit: float = _DAMP_LIMIT,
-               source_scale: float = 1.0) -> np.ndarray:
+               source_scale: float = 1.0,
+               plan: Optional[StampPlan] = None) -> np.ndarray:
     """The decade-by-decade gmin relaxation, warm-started throughout."""
     x = x0
     for gmin in config.gmin_ladder:
         x = _newton_solve(system, circuit, x, gmin, time,
                           max_newton=config.max_newton,
                           damp_limit=damp_limit,
-                          source_scale=source_scale)
+                          source_scale=source_scale,
+                          plan=plan)
     return x
 
 
 def solve_dc(circuit: Circuit, time: float = 0.0,
              initial_guess: Optional[Dict[str, float]] = None,
-             recovery: Optional[RecoveryConfig] = None
-             ) -> Dict[str, float]:
+             recovery: Optional[RecoveryConfig] = None,
+             stamp_plan: bool = True) -> Dict[str, float]:
     """Solve the DC operating point; returns node-name -> voltage.
 
     ``time`` selects the value of time-dependent sources (useful to find
@@ -94,6 +113,7 @@ def solve_dc(circuit: Circuit, time: float = 0.0,
     if recovery is None:
         recovery = DEFAULT_RECOVERY
     system = MnaSystem(circuit)
+    plan = StampPlan(system) if stamp_plan else None
     x0 = np.zeros(system.size)
     if initial_guess:
         for node, voltage in initial_guess.items():
@@ -111,7 +131,7 @@ def solve_dc(circuit: Circuit, time: float = 0.0,
 
     # Rung 0: the standard gmin walk (the solver's normal operation).
     try:
-        x = _gmin_walk(system, circuit, x0, time, recovery)
+        x = _gmin_walk(system, circuit, x0, time, recovery, plan=plan)
     except ConvergenceError as exc:
         last_error = exc
         report.record("newton", "standard gmin walk", converged=False)
@@ -125,7 +145,7 @@ def solve_dc(circuit: Circuit, time: float = 0.0,
             limit = _DAMP_LIMIT * factor
             try:
                 x = _gmin_walk(system, circuit, x0, time, recovery,
-                               damp_limit=limit)
+                               damp_limit=limit, plan=plan)
             except ConvergenceError as exc:
                 last_error = exc
                 report.record("damping", f"damp_limit={limit:g}V",
@@ -142,7 +162,7 @@ def solve_dc(circuit: Circuit, time: float = 0.0,
         try:
             for alpha in recovery.source_ladder:
                 x = _gmin_walk(system, circuit, x, time, recovery,
-                               source_scale=alpha)
+                               source_scale=alpha, plan=plan)
                 report.record("source", f"sources={100 * alpha:g}%",
                               converged=True)
             return finish(x)

@@ -24,6 +24,7 @@ from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
 from repro.spice.recovery import (DEFAULT_RECOVERY, RecoveryConfig,
                                   RecoveryReport, note_recovery_success)
+from repro.spice.stampplan import StampPlan, stamping_order
 
 _log = logging.getLogger(__name__)
 
@@ -31,8 +32,27 @@ _MAX_NEWTON = 250
 _V_TOL = 1e-7
 _DAMP_LIMIT = 0.4
 
-#: Histogram buckets for Newton iterations spent per time point.
+#: Histogram buckets for Newton iterations spent per accepted timestep
+#: (recovery rungs can burn hundreds on one stiff step).
 _NEWTON_BUCKETS = (1, 2, 3, 5, 10, 20, 50, 100, 250)
+
+
+class _NewtonMeter:
+    """Accumulates Newton iterations across one output timestep.
+
+    One histogram observation per *accepted timestep* (not per solve
+    point): recovery attempts, substeps and ladder stages all fold into
+    the step that needed them, so the fast path's iterate savings show
+    up directly in run reports.
+    """
+
+    __slots__ = ("iterations",)
+
+    def __init__(self) -> None:
+        self.iterations = 0
+
+    def add(self, iterations: int) -> None:
+        self.iterations += iterations
 
 
 @dataclasses.dataclass
@@ -78,8 +98,8 @@ class TransientResult:
 def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
                        initial_voltages: Optional[Dict[str, float]] = None,
                        integrator: str = "be",
-                       recovery: Optional[RecoveryConfig] = None
-                       ) -> TransientResult:
+                       recovery: Optional[RecoveryConfig] = None,
+                       stamp_plan: bool = True) -> TransientResult:
     """Simulate ``circuit`` from 0 to ``t_stop`` with fixed step ``dt``.
 
     ``initial_voltages`` pins the t=0 node voltages (unlisted nodes start
@@ -90,6 +110,11 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
 
     ``recovery`` tunes the escalation ladder walked when a time point
     fails to converge (see :mod:`repro.spice.recovery`).
+
+    ``stamp_plan`` selects the compiled fast path
+    (:class:`~repro.spice.stampplan.StampPlan`, the default) or the
+    legacy per-element stamping loop; both produce bit-identical
+    results — the flag exists for benchmarking and verification.
 
     Returns a :class:`TransientResult` with one row per accepted time
     point, including t=0.
@@ -104,6 +129,7 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
         raise SimulationError("t_stop shorter than one time step")
 
     system = MnaSystem(circuit)
+    plan = StampPlan(system) if stamp_plan else None
     n_unknowns = system.size
     n_nodes = len(system.node_index)
 
@@ -142,9 +168,12 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
             # inconsistency.
             step_integrator = "be" if (integrator == "trap" and step == 1) \
                 else integrator
+            meter = _NewtonMeter()
             x = _solve_step_with_recovery(
                 system, circuit, x_prev, t - dt, dt, step_integrator,
-                cap_state, capacitors, recovery)
+                cap_state, capacitors, recovery, plan=plan, meter=meter)
+            obs.metrics().histogram("spice.newton.iterations",
+                                    _NEWTON_BUCKETS).observe(meter.iterations)
             if integrator == "trap" and step == 1:
                 ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
                                    time=t, integrator="be",
@@ -189,7 +218,9 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
                               dt: float, integrator: str,
                               cap_state: Dict[str, float],
                               capacitors: list,
-                              config: RecoveryConfig = DEFAULT_RECOVERY
+                              config: RecoveryConfig = DEFAULT_RECOVERY,
+                              plan: "StampPlan | None" = None,
+                              meter: "_NewtonMeter | None" = None
                               ) -> np.ndarray:
     """Advance one output step, escalating through the recovery ladder.
 
@@ -214,6 +245,7 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
             x_new = _solve_point(system, circuit, x, t_sub, sub_dt,
                                  integrator, cap_state,
                                  max_newton=config.max_newton,
+                                 plan=plan, meter=meter,
                                  **solve_kwargs)
             if integrator == "trap":
                 ctx = StampContext(
@@ -271,7 +303,8 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
     # the system benign; relax it decade by decade with warm starts.
     if config.enable_gmin:
         x = _gmin_stepping(system, circuit, x_start, t_start, dt,
-                           integrator, cap_state, config, report)
+                           integrator, cap_state, config, report,
+                           plan=plan, meter=meter)
         if x is not None:
             note_recovery_success(report)
             return x
@@ -280,7 +313,8 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
     # solvable fraction up to 100 %, warm-starting each stage.
     if config.enable_source:
         x = _source_stepping(system, circuit, x_start, t_start, dt,
-                             integrator, cap_state, config, report)
+                             integrator, cap_state, config, report,
+                             plan=plan, meter=meter)
         if x is not None:
             note_recovery_success(report)
             return x
@@ -305,7 +339,10 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
 def _gmin_stepping(system: MnaSystem, circuit: Circuit, x_start: np.ndarray,
                    t_start: float, dt: float, integrator: str,
                    cap_state: Dict[str, float], config: RecoveryConfig,
-                   report: RecoveryReport) -> "np.ndarray | None":
+                   report: RecoveryReport,
+                   plan: "StampPlan | None" = None,
+                   meter: "_NewtonMeter | None" = None
+                   ) -> "np.ndarray | None":
     """Walk the gmin ladder for one full step; None if any stage fails."""
     x = x_start
     for gmin in config.gmin_ladder:
@@ -313,7 +350,8 @@ def _gmin_stepping(system: MnaSystem, circuit: Circuit, x_start: np.ndarray,
             x = _solve_point(system, circuit, x, t_start + dt, dt,
                              integrator, cap_state,
                              max_newton=config.max_newton,
-                             extra_gmin=gmin, x_history=x_start)
+                             extra_gmin=gmin, x_history=x_start,
+                             plan=plan, meter=meter)
         except ConvergenceError:
             report.record("gmin", f"gmin={gmin:g}", converged=False)
             return None
@@ -325,7 +363,10 @@ def _source_stepping(system: MnaSystem, circuit: Circuit,
                      x_start: np.ndarray, t_start: float, dt: float,
                      integrator: str, cap_state: Dict[str, float],
                      config: RecoveryConfig,
-                     report: RecoveryReport) -> "np.ndarray | None":
+                     report: RecoveryReport,
+                     plan: "StampPlan | None" = None,
+                     meter: "_NewtonMeter | None" = None
+                     ) -> "np.ndarray | None":
     """Walk the source ladder for one full step; None if a stage fails."""
     x = x_start
     for alpha in config.source_ladder:
@@ -333,7 +374,8 @@ def _source_stepping(system: MnaSystem, circuit: Circuit,
             x = _solve_point(system, circuit, x, t_start + dt, dt,
                              integrator, cap_state,
                              max_newton=config.max_newton,
-                             source_scale=alpha, x_history=x_start)
+                             source_scale=alpha, x_history=x_start,
+                             plan=plan, meter=meter)
         except ConvergenceError:
             report.record("source", f"sources={100 * alpha:g}%",
                           converged=False)
@@ -349,7 +391,9 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
                  initial_damping: float = 1.0,
                  extra_gmin: float = 0.0,
                  source_scale: float = 1.0,
-                 x_history: "np.ndarray | None" = None) -> np.ndarray:
+                 x_history: "np.ndarray | None" = None,
+                 plan: "StampPlan | None" = None,
+                 meter: "_NewtonMeter | None" = None) -> np.ndarray:
     """Damped Newton solve of one time point.
 
     ``x_prev`` seeds the iteration; ``x_history`` is the solution at the
@@ -358,6 +402,9 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
     rung warm-starts from an intermediate ladder stage).  ``extra_gmin``
     and ``source_scale`` implement the gmin- and source-stepping rungs;
     ``initial_damping`` starts the oscillation guard already damped.
+    With a ``plan`` the iterates run on the compiled fast path; without
+    one each iterate re-stamps every element (the bit-identical legacy
+    reference).
     """
     x = x_prev.copy()
     if x_history is None:
@@ -369,21 +416,33 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
     damping_events = 0
     v_delta = None
     budget = _MAX_NEWTON if max_newton is None else max_newton
+    if plan is not None:
+        point = plan.begin_point(
+            t=t, dt=dt, integrator=integrator, cap_state=cap_state,
+            x_history=x_history, gmin=1e-12, extra_gmin=extra_gmin,
+            source_scale=source_scale)
+        order = None
+    else:
+        point = None
+        order = stamping_order(circuit)
     for iteration in range(1, budget + 1):
-        system.reset()
-        ctx = StampContext(system=system, x=x, x_prev=x_history, dt=dt,
-                           time=t, integrator=integrator,
-                           cap_state=cap_state, gmin=1e-12,
-                           source_scale=source_scale)
-        for element in circuit.elements:
-            element.stamp(ctx)
-        if extra_gmin > 0.0:
-            for idx in range(n_nodes):
-                system.matrix[idx, idx] += extra_gmin
-        x_new = system.solve()
+        if plan is not None:
+            x_new = plan.solve_iterate(point, x)
+        else:
+            system.reset()
+            ctx = StampContext(system=system, x=x, x_prev=x_history, dt=dt,
+                               time=t, integrator=integrator,
+                               cap_state=cap_state, gmin=1e-12,
+                               source_scale=source_scale)
+            for element in order:  # noqa: L107 - the legacy reference path
+                element.stamp(ctx)
+            if extra_gmin > 0.0:
+                for idx in range(n_nodes):
+                    system.matrix[idx, idx] += extra_gmin
+            x_new = system.solve()
         delta = x_new - x
         v_delta = delta[:n_nodes]
-        max_step = float(np.max(np.abs(v_delta))) if n_nodes else 0.0
+        max_step = float(np.abs(v_delta).max()) if n_nodes else 0.0
         if max_step > damp_limit:
             delta = delta * (damp_limit / max_step)
         # Oscillation guard: when successive updates point in opposite
@@ -398,12 +457,14 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
         previous_delta = delta
         x = x + delta * damping
         if max_step < _V_TOL:
-            m = obs.metrics()
-            m.histogram("spice.newton_iterations",
-                        _NEWTON_BUCKETS).observe(iteration)
+            if meter is not None:
+                meter.add(iteration)
             if damping_events:
-                m.counter("spice.damping_events").inc(damping_events)
+                obs.metrics().counter(
+                    "spice.damping_events").inc(damping_events)
             return x
+    if meter is not None:
+        meter.add(budget)
     obs.metrics().counter("spice.convergence_failures").inc()
     worst_node = _worst_residual_node(system, v_delta)
     _log.debug("transient Newton failed at t=%gs for circuit %r "

@@ -16,7 +16,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.checkpoint import BudgetClock, Checkpoint, RunBudget
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.exec import run_parallel_sweep
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,18 +50,41 @@ class MonteCarloResult:
         return float(np.mean(logs)), float(np.std(logs, ddof=1))
 
 
+def _mc_eval(model: Callable[[np.random.Generator], float],
+             child: np.random.SeedSequence) -> float:
+    """One sample from its seed stream (module-level so workers can
+    unpickle it); bit-identical to the serial evaluation."""
+    return float(model(np.random.default_rng(child)))
+
+
 def run_monte_carlo(model: Callable[[np.random.Generator], float],
                     count: int,
-                    seed: Optional[int] = 0) -> MonteCarloResult:
+                    seed: Optional[int] = 0,
+                    jobs: int = 1) -> MonteCarloResult:
     """Evaluate ``model`` ``count`` times with independent RNG streams.
 
     Each call receives a generator spawned from a common seed sequence,
-    so results are reproducible yet streams are independent.
+    so results are reproducible yet streams are independent.  With
+    ``jobs > 1`` the samples are evaluated by a process pool — sample
+    ``i`` still draws from child stream ``i``, so the returned samples
+    are bit-identical to a serial run (``model`` must be picklable).
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
     root = np.random.SeedSequence(seed)
     children = root.spawn(count)
+    if jobs > 1:
+        outcome = run_parallel_sweep(
+            [(str(index), _mc_eval, (model, child))
+             for index, child in enumerate(children)],
+            jobs=jobs)
+        if outcome.failures:
+            raise SimulationError(
+                f"{len(outcome.failures)} Monte-Carlo sample(s) failed "
+                f"in parallel evaluation: {', '.join(outcome.failures)}")
+        samples = np.array([outcome.results[str(index)]
+                            for index in range(count)], dtype=float)
+        return MonteCarloResult(samples=samples)
     samples = np.array([
         model(np.random.default_rng(child)) for child in children
     ], dtype=float)
@@ -97,12 +121,83 @@ class MonteCarloOutcome:
         return ", ".join(parts)
 
 
+class _SequentialStateCheckpoint:
+    """Adapts the executor's ``done``-dict saves to MC's state format.
+
+    :func:`run_parallel_sweep` snapshots a ``{key: value}`` mapping;
+    the MC checkpoint schema is ``{"next", "samples", "failed"}``.
+    Because the executor merges in submission order, the ``done`` keys
+    are always a contiguous run of sample indexes, which translates
+    exactly.  A *failed* sample leaves a hole, so mid-run saves advance
+    ``next`` only up to the first new failure — resuming from such a
+    snapshot deterministically recomputes (and re-fails) the same
+    samples, keeping the final statistics bit-identical; the caller
+    writes the exact reconciled state once the sweep returns.
+    """
+
+    def __init__(self, checkpoint: Checkpoint, state: dict) -> None:
+        self._checkpoint = checkpoint
+        self._next0 = int(state["next"])
+        self._samples0 = list(state["samples"])
+        self._failed0 = list(state["failed"])
+
+    def load(self) -> None:
+        return None  # the caller already consumed the base state
+
+    def save(self, done: dict) -> None:
+        samples = list(self._samples0)
+        index = self._next0
+        while str(index) in done:
+            samples.append(done[str(index)])
+            index += 1
+        self._checkpoint.save({"next": index, "samples": samples,
+                               "failed": list(self._failed0)})
+
+
+def _run_mc_parallel(model, count: int, children, state: dict,
+                     checkpoint: Optional[Checkpoint],
+                     budget: Optional[RunBudget],
+                     save_every: int, jobs: int) -> Optional[str]:
+    """Parallel sample evaluation; folds results into ``state`` in
+    index order and returns the exhausted-budget reason (if any)."""
+    if (budget is not None and budget.max_failures is not None
+            and len(state["failed"]) >= budget.max_failures):
+        return "max_failures"
+    sub_budget = budget
+    if budget is not None and budget.max_failures is not None:
+        sub_budget = RunBudget(
+            max_seconds=budget.max_seconds,
+            max_failures=budget.max_failures - len(state["failed"]))
+    adapter = (_SequentialStateCheckpoint(checkpoint, state)
+               if checkpoint is not None else None)
+    start = state["next"]
+    outcome = run_parallel_sweep(
+        [(str(index), _mc_eval, (model, children[index]))
+         for index in range(start, count)],
+        jobs=jobs, checkpoint=adapter, budget=sub_budget,
+        save_every=save_every)
+    failed_keys = set(outcome.failures)
+    for index in range(start, count):
+        key = str(index)
+        if key in outcome.results:
+            state["samples"].append(outcome.results[key])
+        elif key in failed_keys:
+            state["failed"].append(index)
+        else:
+            break  # the budget stopped the merge before this sample
+        state["next"] = index + 1
+    if checkpoint is not None:
+        checkpoint.save(state)
+    return outcome.exhausted
+
+
 def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                               count: int,
                               seed: Optional[int] = 0,
                               checkpoint: Optional[Checkpoint] = None,
                               budget: Optional[RunBudget] = None,
-                              save_every: int = 64) -> MonteCarloOutcome:
+                              save_every: int = 64,
+                              jobs: int = 1) -> MonteCarloOutcome:
     """Checkpointed, budget-bounded variant of :func:`run_monte_carlo`.
 
     Sample ``i`` always draws from child stream ``i`` of the seed
@@ -112,11 +207,20 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
     :class:`~repro.errors.ReproError` is recorded as failed and skipped
     (deterministically — the same seed fails the same sample), counting
     against ``budget.max_failures``.
+
+    With ``jobs > 1`` the samples are evaluated by a process pool (the
+    model must be picklable); results are merged in index order, the
+    checkpoint keeps the sequential schema and is written only by this
+    parent process, so serial and parallel runs — and any mix of the
+    two across resumes — produce bit-identical statistics.  A worker
+    crash is recorded as that one sample failing, not the whole sweep.
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
     if save_every < 1:
         raise ConfigurationError("save_every must be >= 1")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
     children = np.random.SeedSequence(seed).spawn(count)
 
     state: dict = {"next": 0, "samples": [], "failed": []}
@@ -127,30 +231,34 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                      "samples": list(loaded.get("samples", [])),
                      "failed": list(loaded.get("failed", []))}
 
-    clock = BudgetClock(budget)
-    clock.failures = len(state["failed"])
     exhausted: Optional[str] = None
-    dirty = 0
-    index = state["next"]
-    while index < count:
-        exhausted = clock.exhausted()
-        if exhausted is not None:
-            break
-        try:
-            value = float(model(np.random.default_rng(children[index])))
-        except ReproError:
-            state["failed"].append(index)
-            clock.fail()
-        else:
-            state["samples"].append(value)
-        index += 1
-        state["next"] = index
-        dirty += 1
-        if checkpoint is not None and dirty >= save_every:
+    if jobs > 1 and state["next"] < count:
+        exhausted = _run_mc_parallel(model, count, children, state,
+                                     checkpoint, budget, save_every, jobs)
+    elif jobs == 1:
+        clock = BudgetClock(budget)
+        clock.failures = len(state["failed"])
+        dirty = 0
+        index = state["next"]
+        while index < count:
+            exhausted = clock.exhausted()
+            if exhausted is not None:
+                break
+            try:
+                value = float(model(np.random.default_rng(children[index])))
+            except ReproError:
+                state["failed"].append(index)
+                clock.fail()
+            else:
+                state["samples"].append(value)
+            index += 1
+            state["next"] = index
+            dirty += 1
+            if checkpoint is not None and dirty >= save_every:
+                checkpoint.save(state)
+                dirty = 0
+        if checkpoint is not None and dirty:
             checkpoint.save(state)
-            dirty = 0
-    if checkpoint is not None and dirty:
-        checkpoint.save(state)
 
     samples = np.asarray(state["samples"], dtype=float)
     result = MonteCarloResult(samples=samples) if len(samples) >= 2 else None

@@ -152,6 +152,39 @@ class TestL106KindCollisions:
         assert "counter" in registry.uses["a.b"]
 
 
+class TestL107StampLoop:
+    def test_per_element_stamp_loop_fires(self):
+        assert rules_of(
+            "for element in order:\n"
+            "    element.stamp(ctx)\n") == ["L107"]
+
+    def test_nested_stamp_call_still_fires(self):
+        assert rules_of(
+            "for el in elements:\n"
+            "    if el.active:\n"
+            "        el.stamp(ctx)\n") == ["L107"]
+
+    def test_severity_is_warning(self):
+        (finding,) = lint_source(
+            "for el in elements:\n    el.stamp(ctx)\n", "src/example.py")
+        assert finding.severity.value == "warning"
+        assert "StampPlan" in (finding.hint or "")
+
+    def test_stamping_other_object_passes(self):
+        # The loop target is not what is being stamped.
+        assert rules_of(
+            "for el in elements:\n"
+            "    plan.stamp(el)\n") == []
+
+    def test_stamp_outside_loop_passes(self):
+        assert rules_of("element.stamp(ctx)\n") == []
+
+    def test_noqa_on_the_for_line_suppresses(self):
+        assert rules_of(
+            "for element in order:  # noqa: L107\n"
+            "    element.stamp(ctx)\n") == []
+
+
 class TestRuleCatalogue:
     def test_every_rule_has_a_description(self):
-        assert set(LINT_RULES) == {f"L10{i}" for i in range(7)}
+        assert set(LINT_RULES) == {f"L10{i}" for i in range(8)}

@@ -60,8 +60,11 @@ class TestSpiceWiring:
         assert root.attrs["circuit"] == "rc"
         snap = registry.snapshot()
         assert snap["counters"]["spice.timesteps"] == 100
-        hist = snap["histograms"]["spice.newton_iterations"]
-        assert hist["count"] >= 100  # one observation per solved point
+        hist = snap["histograms"]["spice.newton.iterations"]
+        assert hist["count"] == 100  # one observation per output timestep
+        # The LU cache counters split every fast-path solve.
+        assert (snap["counters"].get("spice.lu.reuse", 0)
+                + snap["counters"].get("spice.lu.refactor", 0)) > 0
 
     def test_convergence_error_carries_diagnostics(self):
         exc = ConvergenceError("Newton failed", time=1.5e-9,
