@@ -4,12 +4,13 @@ The instrumentation layer promises that leaving its hooks compiled into
 the hot paths costs < 2 % of the Fig. 5 refresh-interference loop while
 disabled.  The bound is asserted deterministically: measure the cost of
 one disabled hook (no-op span enter/exit + null-registry instrument
-fetch/update), count how many hooks one simulator run actually
-executes (via a counting registry with instrumentation enabled), and
-compare the product against the measured loop time.  A direct
-enabled-vs-disabled wall-clock comparison is also recorded for the
-timing summary, but not asserted — it is the noisy version of the same
-quantity.
+fetch/update + null event emit + null series sample), count how many
+hooks one simulator run actually executes (via counting telemetry
+instances with instrumentation enabled — metric fetches, spans, event
+emits and series samples all count), and compare the product against
+the measured loop time.  A direct enabled-vs-disabled wall-clock
+comparison is also recorded for the timing summary, but not asserted —
+it is the noisy version of the same quantity.
 """
 
 from __future__ import annotations
@@ -19,7 +20,9 @@ import time
 import numpy as np
 
 from repro import obs
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.tracing import Tracer
 from repro.refresh import (LocalizedRefresh, MonoblockRefresh,
                            RefreshSimulator, uniform_random_trace)
@@ -69,13 +72,16 @@ def _time(fn, *args, repeats: int = 5) -> float:
 
 
 def _disabled_hook_cost(iterations: int = 50_000) -> float:
-    """Mean cost of one disabled hook: span + metric fetch + update."""
+    """Mean cost of one disabled hook bundle: span + metric fetch +
+    update + event emit + series sample."""
     assert not obs.is_enabled()
     start = time.perf_counter()
     for _ in range(iterations):
         with obs.span("bench", key=1):
             pass
         obs.metrics().counter("bench.counter").inc()
+        obs.event("bench.tick", key=1)
+        obs.timeseries().series("bench.series").sample(1.0, 1.0)
     return (time.perf_counter() - start) / iterations
 
 
@@ -87,12 +93,19 @@ def test_disabled_overhead_below_bound():
     assert not obs.is_enabled()
     t_disabled = _time(_fig5_iteration, trace)
 
-    # 2. Hooks executed per iteration, counted with instrumentation on.
+    # 2. Hooks executed per iteration, counted with instrumentation on
+    #    (metric fetches + spans + event emits + series samples).
     registry = _CountingRegistry()
     tracer = Tracer()
-    with obs.instrumented(registry=registry, tracer=tracer):
+    events = EventLog()
+    timeseries = TimeSeriesRecorder()
+    with obs.instrumented(registry=registry, tracer=tracer,
+                          events=events, timeseries=timeseries):
         _fig5_iteration(trace)
-    hooks = registry.fetches + tracer.total_spans()
+    samples = sum(timeseries.series(name).count
+                  for name in timeseries.names())
+    hooks = (registry.fetches + tracer.total_spans()
+             + events.emitted + samples)
 
     # 3. Per-hook disabled cost, measured in isolation.
     per_hook = _disabled_hook_cost()
@@ -125,3 +138,5 @@ def test_disabled_hooks_record_nothing():
     assert obs.tracer().finished_roots() == []
     assert obs.metrics().snapshot() == {
         "counters": {}, "gauges": {}, "histograms": {}}
+    assert obs.events().to_dicts() == []
+    assert obs.timeseries().snapshot() == {}

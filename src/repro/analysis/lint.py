@@ -16,6 +16,10 @@ Rules
 ``L107``  per-element Python-loop stamping (``for el in ...:
           el.stamp(...)``) — the hot solver paths should go through a
           compiled :class:`repro.spice.stampplan.StampPlan` instead
+``L108``  structured-event kind (``obs.event(...)`` / ``.emit(...)``)
+          breaking the dotted ``lower_snake.case`` convention, or one
+          kind emitted with conflicting payload-key signatures across
+          the codebase
 
 Suppression: a trailing ``# noqa`` comment suppresses every rule on
 that line; ``# noqa: L101,L102`` suppresses only those rules.  Findings
@@ -41,6 +45,7 @@ LINT_RULES: Dict[str, str] = {
     "L105": "obs metric/span name violates the naming convention",
     "L106": "metric name used with conflicting instrument kinds",
     "L107": "per-element Python-loop stamping; compile a StampPlan instead",
+    "L108": "event kind violates naming or payload-schema discipline",
 }
 
 # Keyword arguments whose values are solver/algorithm knobs, not
@@ -106,6 +111,46 @@ class MetricNames:
         return found
 
 
+class EventKinds:
+    """Cross-file registry of statically-known structured-event kinds.
+
+    An event kind is a contract: every emit site must ship the same
+    payload keys, or downstream consumers (the Chrome-trace exporter,
+    JSONL readers) see a schema that changes per line.  Only emits with
+    statically-known keyword payloads are recorded; ``**payload``
+    forwarding sites are skipped, not guessed.
+    """
+
+    def __init__(self) -> None:
+        # kind -> payload-key signature -> first (path, line) seen
+        self.uses: Dict[str, Dict[Tuple[str, ...], Tuple[str, int]]] = {}
+
+    def record(self, kind: str, keys: Tuple[str, ...], path: str,
+               line: int) -> None:
+        signatures = self.uses.setdefault(kind, {})
+        signatures.setdefault(keys, (path, line))
+
+    def conflicts(self) -> List[Diagnostic]:
+        found = []
+        for kind, signatures in sorted(self.uses.items()):
+            if len(signatures) < 2:
+                continue
+            ordered = sorted(signatures.items(), key=lambda kv: kv[1])
+            first_keys, (first_path, first_line) = ordered[0]
+            for keys, (path, line) in ordered[1:]:
+                found.append(Diagnostic(
+                    rule="L108", severity=Severity.ERROR,
+                    message=(f"event kind {kind!r} emitted with payload "
+                             f"keys ({', '.join(keys) or 'none'}) but "
+                             f"first emitted with "
+                             f"({', '.join(first_keys) or 'none'}) at "
+                             f"{first_path}:{first_line}"),
+                    path=path, line=line,
+                    hint="one event kind must carry one payload schema",
+                ))
+        return found
+
+
 def _noqa_rules(line: str) -> Optional[Set[str]]:
     """Rules suppressed on ``line``: empty set = all, None = none."""
     match = _NOQA_RE.search(line)
@@ -155,10 +200,12 @@ class _LintVisitor(ast.NodeVisitor):
     """Single-pass visitor collecting findings for one source file."""
 
     def __init__(self, path: str, lines: Sequence[str],
-                 registry: Optional[MetricNames]) -> None:
+                 registry: Optional[MetricNames],
+                 event_registry: Optional[EventKinds] = None) -> None:
         self.path = path
         self.lines = lines
         self.registry = registry
+        self.event_registry = event_registry
         self.diagnostics: List[Diagnostic] = []
         self.is_units_module = pathlib.Path(path).name == "units.py"
         # Scope stacks for type-aware float-equality checking.
@@ -193,6 +240,7 @@ class _LintVisitor(ast.NodeVisitor):
                 for child in ast.walk(keyword.value):
                     self._tolerance_values.add(id(child))
         self._check_obs_call(node)
+        self._check_event_call(node)
         self.generic_visit(node)
 
     def _exempt_tolerance_targets(self, targets, value) -> None:
@@ -411,8 +459,40 @@ class _LintVisitor(ast.NodeVisitor):
                     first, hint="keep literal parts dotted lower_snake")
 
 
+    # -- L108: structured-event kind discipline ---------------------------------
+
+    def _check_event_call(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute) or not node.args:
+            return
+        attr = node.func.attr
+        is_event = (attr == "event"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "obs")
+        if not is_event and attr != "emit":
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            return
+        kind = first.value
+        if not _OBS_NAME_RE.match(kind) or "." not in kind:
+            self._emit(
+                "L108", Severity.ERROR,
+                f"event kind {kind!r} is not dotted lower_snake",
+                first, hint="use kinds like 'refresh.dropped'")
+            return
+        if self.event_registry is not None:
+            keywords = [kw.arg for kw in node.keywords]
+            if None in keywords:  # **payload forwarding: unknown schema
+                return
+            self.event_registry.record(kind, tuple(sorted(keywords)),
+                                       self.path, first.lineno)
+
+
 def lint_source(source: str, path: str = "<string>",
-                registry: Optional[MetricNames] = None) -> List[Diagnostic]:
+                registry: Optional[MetricNames] = None,
+                event_registry: Optional[EventKinds] = None
+                ) -> List[Diagnostic]:
     """Lint one source text; returns findings after ``# noqa`` filtering."""
     lines = source.splitlines()
     try:
@@ -422,7 +502,7 @@ def lint_source(source: str, path: str = "<string>",
             rule="L100", severity=Severity.ERROR,
             message=f"syntax error: {exc.msg}", path=path,
             line=exc.lineno, column=exc.offset)]
-    visitor = _LintVisitor(path, lines, registry)
+    visitor = _LintVisitor(path, lines, registry, event_registry)
     visitor.visit(tree)
     return _apply_noqa(visitor.diagnostics, lines)
 
@@ -446,6 +526,7 @@ def iter_python_files(paths: Iterable["str | pathlib.Path"]
 def lint_paths(paths: Iterable["str | pathlib.Path"]) -> List[Diagnostic]:
     """Lint files and directories; includes cross-file collision checks."""
     registry = MetricNames()
+    event_registry = EventKinds()
     diagnostics: List[Diagnostic] = []
     for path in iter_python_files(paths):
         try:
@@ -455,6 +536,8 @@ def lint_paths(paths: Iterable["str | pathlib.Path"]) -> List[Diagnostic]:
                 rule="L100", severity=Severity.ERROR,
                 message=f"cannot read file: {exc}", path=str(path)))
             continue
-        diagnostics.extend(lint_source(source, str(path), registry))
+        diagnostics.extend(lint_source(source, str(path), registry,
+                                       event_registry))
     diagnostics.extend(registry.collisions())
+    diagnostics.extend(event_registry.conflicts())
     return diagnostics

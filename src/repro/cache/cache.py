@@ -148,6 +148,8 @@ class Cache:
             victim_tag = min(ways, key=lambda t: ways[t].stamp)
             victim = ways.pop(victim_tag)
             self.stats.evictions += 1
+            obs.event("cache.eviction", set=set_index, tag=victim_tag,
+                      dirty=victim.dirty)
             if victim.dirty:
                 self.stats.dirty_evictions += 1
                 evicted_dirty = self._line_base(set_index, victim_tag)

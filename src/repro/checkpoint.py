@@ -121,6 +121,7 @@ class Checkpoint:
                 "delete it or rerun with the original configuration")
         obs.metrics().counter("checkpoint.resumes").inc()
         done = payload.get("done", {})
+        obs.event("checkpoint.resumed", path=str(self.path), items=len(done))
         _log.info("resumed checkpoint %s: %d item(s) already done",
                   self.path, len(done))
         return done
@@ -146,6 +147,7 @@ class Checkpoint:
                 pass
             raise
         obs.metrics().counter("checkpoint.saves").inc()
+        obs.event("checkpoint.saved", path=str(self.path), items=len(done))
 
     def clear(self) -> None:
         """Delete the checkpoint file (a completed run needs no resume)."""
@@ -190,7 +192,8 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
               budget: Optional[RunBudget] = None,
               save_every: int = 1,
               encode: Optional[Callable[[Any], Any]] = None,
-              decode: Optional[Callable[[Any], Any]] = None
+              decode: Optional[Callable[[Any], Any]] = None,
+              progress: Optional[Any] = None
               ) -> SweepOutcome:
     """Walk keyed work items with checkpointing and budget enforcement.
 
@@ -201,7 +204,10 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
     Evaluation failures (any :class:`~repro.errors.ReproError`) are
     recorded, not raised — the sweep continues until done or out of
     budget.  ``encode``/``decode`` convert results to/from
-    JSON-serialisable form for the checkpoint file.
+    JSON-serialisable form for the checkpoint file.  ``progress`` (a
+    :class:`~repro.obs.progress.SweepProgress`) receives one
+    ``advance`` per evaluated item and ``note_restored`` for items
+    skipped via the checkpoint.
     """
     keys = [key for key, _thunk in items]
     if len(set(keys)) != len(keys):
@@ -214,6 +220,8 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
     done: Dict[str, Any] = {}
     if checkpoint is not None:
         done = checkpoint.load() or {}
+    if progress is not None and done:
+        progress.note_restored(len(done))
 
     clock = BudgetClock(budget)
     failures: List[str] = []
@@ -235,9 +243,13 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
                 obs.metrics().counter("sweep.failures").inc()
                 failures.append(key)
                 clock.fail()
+                if progress is not None:
+                    progress.advance(failed=1)
                 continue
             done[key] = encode(result)
             dirty += 1
+            if progress is not None:
+                progress.advance(completed=1)
             if checkpoint is not None and dirty >= save_every:
                 checkpoint.save(done)
                 dirty = 0

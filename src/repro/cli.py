@@ -25,6 +25,14 @@ Two static-analysis commands gate CI (see ``repro.analysis``):
 
     lint           AST unit-discipline linter over Python sources
     check          pre-solve model checker (circuits + macro configs)
+
+The telemetry utilities post-process what ``--metrics-out`` /
+``--events-out`` captured (see ``repro.obs``):
+
+    obs export     render a run report as a Chrome trace (Perfetto /
+                   chrome://tracing), CSV rows or Prometheus textfile
+    obs diff       threshold-gated metric comparison of two reports;
+                   exits non-zero when a metric regressed
 """
 
 from __future__ import annotations
@@ -187,10 +195,15 @@ def cmd_banking(args: argparse.Namespace) -> None:
 
 def cmd_optimize(args: argparse.Namespace) -> None:
     from repro.core import DesignOptimizer
+    from repro.obs.progress import progress_for_args
     constraint = args.max_ns * ns if args.max_ns > 0 else None
-    result = DesignOptimizer(total_bits=_capacity(args),
-                             max_access_time=constraint,
-                             activity=args.activity).run(jobs=args.jobs)
+    optimizer = DesignOptimizer(total_bits=_capacity(args),
+                                max_access_time=constraint,
+                                activity=args.activity)
+    progress = progress_for_args(args, total=len(optimizer.grid_points()),
+                                 label="optimize")
+    result = optimizer.run(jobs=args.jobs, progress=progress)
+    progress.finish()
     print(f"{len(result.candidates)} feasible candidates, "
           f"{len(result.pareto_front)} on the Pareto front")
     print()
@@ -243,9 +256,13 @@ def cmd_mc(args: argparse.Namespace) -> int:
     budget = RunBudget(
         max_seconds=args.max_seconds if args.max_seconds > 0 else None,
         max_failures=args.max_failures if args.max_failures > 0 else None)
+    from repro.obs.progress import progress_for_args
+    progress = progress_for_args(args, total=args.samples, label="mc")
     outcome = run_monte_carlo_resumable(
         retention.sample_retention, count=args.samples, seed=args.seed,
-        checkpoint=checkpoint, budget=budget, jobs=args.jobs)
+        checkpoint=checkpoint, budget=budget, jobs=args.jobs,
+        progress=progress)
+    progress.finish()
     print(f"retention Monte-Carlo: {outcome.describe()}")
     if outcome.result is not None:
         result = outcome.result
@@ -338,6 +355,67 @@ def cmd_chaos(args: argparse.Namespace) -> None:
           f"(diode at {solution['d']:.3f} V)")
     print()
     print("chaos run completed with zero uncaught exceptions")
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Render a run report as a Chrome trace, CSV or Prometheus text.
+
+    ``chrome`` output (the default) loads directly into Perfetto /
+    ``chrome://tracing``; the exporter validates span nesting and
+    per-track timestamp monotonicity before anything is written.
+    """
+    import pathlib
+
+    from repro.errors import ConfigurationError
+    from repro.obs.diff import load_report
+    from repro.obs.export import render_report
+
+    try:
+        report = load_report(args.report)
+        text = render_report(report, args.format)
+    except ConfigurationError as exc:
+        print(f"repro obs export: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        target = pathlib.Path(args.out)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+        except OSError as exc:
+            print(f"repro obs export: cannot write {target}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.format} export written to {target}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Compare two run/benchmark reports; exit non-zero on regression.
+
+    A metric that moved against its good direction (throughput down,
+    duration up, ...) by more than ``--threshold`` is a regression —
+    the non-zero exit is what lets CI gate on
+    ``repro obs diff BENCH_solver.json new/BENCH_solver.json``.
+    Identical reports always diff clean (exit 0, zero deltas).
+    """
+    from repro.errors import ConfigurationError
+    from repro.obs import diff as obsdiff
+
+    try:
+        before = obsdiff.load_report(args.before)
+        after = obsdiff.load_report(args.after)
+        deltas = obsdiff.diff_reports(before, after,
+                                      threshold=args.threshold)
+    except ConfigurationError as exc:
+        print(f"repro obs diff: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        sys.stdout.write(obsdiff.diff_to_json(deltas))
+    else:
+        print(obsdiff.format_diff(deltas, threshold=args.threshold))
+    return 1 if any(d.regressed for d in deltas) else 0
 
 
 def cmd_sensitivity(args: argparse.Namespace) -> None:
@@ -440,8 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "tree + metrics after the command")
     common.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write the instrumented run report "
-                             "(spans + metrics + config fingerprint) "
-                             "as JSON to FILE")
+                             "(spans + metrics + events + series + config "
+                             "fingerprint) as JSON to FILE")
+    common.add_argument("--events-out", metavar="FILE", default=None,
+                        help="stream structured events as JSON lines to "
+                             "FILE while the command runs (implies "
+                             "instrumentation)")
     common.add_argument("-v", "--verbose", action="count", default=0,
                         help="log INFO (-v) or DEBUG (-vv) to stderr")
     common.add_argument("--seed", type=int, default=2009,
@@ -480,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the grid search "
                                   "(default 1 = serial; results are "
                                   "identical at any setting)")
+            sub.add_argument("--progress", action="store_true",
+                             help="force the live progress line even "
+                                  "when stderr is not a TTY")
         if extra == "pvt":
             sub.add_argument("--technology", default="dram",
                              choices=("dram", "scratchpad", "sram"))
@@ -509,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
                              default="none",
                              help="also draw a fault plan and print the "
                                   "macro's degraded-mode report")
+            sub.add_argument("--progress", action="store_true",
+                             help="force the live progress line even "
+                                  "when stderr is not a TTY")
         if extra == "chaos":
             sub.add_argument("--cycles", type=int, default=60_000,
                              help="trace length for the faulty refresh "
@@ -532,6 +620,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "only the given paths")
     _add_analysis_arguments(check)
     check.set_defaults(handler=cmd_check)
+
+    from repro.obs.diff import DEFAULT_THRESHOLD
+    from repro.obs.export import EXPORT_FORMATS
+    obs_parser = subparsers.add_parser(
+        "obs", help="telemetry utilities: export traces, diff runs")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    export = obs_sub.add_parser("export", help=cmd_obs_export.__doc__,
+                                parents=[common])
+    export.add_argument("report", metavar="REPORT.json",
+                        help="run report produced by --metrics-out")
+    export.add_argument("--format", choices=EXPORT_FORMATS,
+                        default="chrome",
+                        help="output format (default chrome: a "
+                             "Perfetto-loadable trace-event file)")
+    export.add_argument("--out", metavar="FILE", default=None,
+                        help="write the export to FILE instead of stdout")
+    export.set_defaults(handler=cmd_obs_export)
+    diff = obs_sub.add_parser("diff", help=cmd_obs_diff.__doc__,
+                              parents=[common])
+    diff.add_argument("before", metavar="BEFORE.json",
+                      help="baseline run or benchmark report")
+    diff.add_argument("after", metavar="AFTER.json",
+                      help="candidate run or benchmark report")
+    diff.add_argument("--threshold", type=float,
+                      default=DEFAULT_THRESHOLD,
+                      help="relative-change gate (default "
+                           f"{DEFAULT_THRESHOLD:g} = "
+                           f"{100 * DEFAULT_THRESHOLD:g}%%)")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="diff output format (default text)")
+    diff.set_defaults(handler=cmd_obs_diff)
     return parser
 
 
@@ -548,29 +668,54 @@ def _configure_logging(verbosity: int) -> None:
 
 
 def _report_config(args: argparse.Namespace) -> dict:
-    """The run's effective configuration, for the report fingerprint."""
+    """The run's effective configuration, for the report fingerprint.
+
+    Observability plumbing (output paths, the progress flag) is not
+    configuration — two runs differing only in where telemetry lands
+    must share a fingerprint.
+    """
     return {key: value for key, value in vars(args).items()
-            if key not in ("handler", "profile", "metrics_out", "verbose")}
+            if key not in ("handler", "profile", "metrics_out",
+                           "events_out", "progress", "verbose")}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(getattr(args, "verbose", 0))
     profiling = bool(getattr(args, "profile", False)
-                     or getattr(args, "metrics_out", None))
+                     or getattr(args, "metrics_out", None)
+                     or getattr(args, "events_out", None))
     _log.info("running command %r", args.command)
     if not profiling:
         return int(args.handler(args) or 0)
 
+    from repro.errors import ConfigurationError
+
     registry, tracer = obs.MetricsRegistry(), obs.Tracer()
-    with obs.instrumented(registry=registry, tracer=tracer):
-        with obs.span(args.command):
-            rc = int(args.handler(args) or 0)
+    try:
+        events = obs.EventLog(jsonl_path=getattr(args, "events_out", None))
+    except ConfigurationError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    timeseries = obs.TimeSeriesRecorder()
+    try:
+        with obs.instrumented(registry=registry, tracer=tracer,
+                              events=events, timeseries=timeseries):
+            with obs.span(args.command):
+                rc = int(args.handler(args) or 0)
+    finally:
+        events.close()
     report = obs.build_run_report(args.command, _report_config(args),
-                                  registry, tracer)
+                                  registry, tracer, events=events,
+                                  timeseries=timeseries)
     if args.metrics_out:
-        obs.write_run_report(args.metrics_out, args.command,
-                             _report_config(args), report=report)
+        try:
+            obs.write_run_report(args.metrics_out, args.command,
+                                 _report_config(args), report=report)
+        except OSError as exc:
+            print(f"repro: cannot write run report "
+                  f"{args.metrics_out}: {exc}", file=sys.stderr)
+            return 1
         _log.info("run report written to %s", args.metrics_out)
     if args.profile:
         _print_profile(report, tracer)

@@ -164,7 +164,8 @@ class DesignOptimizer:
 
     def run(self, checkpoint: Optional[Checkpoint] = None,
             budget: Optional[RunBudget] = None,
-            jobs: int = 1) -> OptimisationResult:
+            jobs: int = 1,
+            progress=None) -> OptimisationResult:
         """Evaluate the grid; returns candidates, front and bests.
 
         With a ``checkpoint`` the evaluated points are snapshotted and a
@@ -186,6 +187,7 @@ class DesignOptimizer:
             encode=lambda c: None if c is None else dataclasses.asdict(c),
             decode=lambda raw: (None if raw is None
                                 else DesignCandidate(**raw)),
+            progress=progress,
         )
         candidates = [c for c in outcome.results.values() if c is not None]
         if not candidates:

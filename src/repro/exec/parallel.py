@@ -17,17 +17,27 @@ contract rests on three rules:
   resumes — serially or in parallel — to the identical final state.
 * **Per-sample crash isolation.**  A worker process dying (segfault,
   ``os._exit``) breaks the pool; the executor rebuilds it, retries the
-  affected chunk one item at a time to isolate the culprit, records
-  that single item as a failure, and carries on — a crash costs one
-  sample, never the sweep.
+  affected chunk one item at a time to isolate the culprit (each lone
+  item gets one acquitting retry, since a broken pool also takes down
+  innocent in-flight futures), records the crashing item as a failure,
+  and carries on — a crash costs one sample, never the sweep.
 
 Evaluation failures (:class:`~repro.errors.ReproError`) are recorded
 against the budget like the serial harness; any other exception is a
 programming error and is re-raised in the parent.  Each worker runs its
-items under a fresh :class:`~repro.obs.MetricsRegistry` (when the
-parent has instrumentation enabled) and ships the snapshot back with
-its results; the parent folds the snapshots into its own registry via
-:meth:`~repro.obs.MetricsRegistry.merge_snapshot`.
+items under fresh telemetry instances (a
+:class:`~repro.obs.MetricsRegistry`, an :class:`~repro.obs.EventLog`
+and a :class:`~repro.obs.TimeSeriesRecorder`, when the parent has
+instrumentation enabled) and ships the snapshots back with its
+results; the parent folds them into its own instances **in submission
+order** — metrics via
+:meth:`~repro.obs.MetricsRegistry.merge_snapshot`, events appended via
+:meth:`~repro.obs.EventLog.extend`, series via
+:meth:`~repro.obs.TimeSeriesRecorder.merge_snapshot` — so parent-side
+telemetry is deterministic regardless of worker scheduling.  A
+``progress`` reporter, when given, observes the same ordered merge
+(one ``advance`` per item), which is what drives the CLI's live
+rate/ETA/failure line.
 
 Work items are ``(key, fn, args)`` triples rather than the serial
 harness's ``(key, thunk)`` pairs because the callable and its
@@ -72,18 +82,22 @@ def _portable_exception(exc: Exception) -> Exception:
 def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
     """Worker-side evaluation of one chunk (module-level for pickling).
 
-    Returns ``(results, snapshot)`` where ``results`` is a list of
+    Returns ``(results, telemetry)`` where ``results`` is a list of
     ``(key, status, payload)`` triples — status ``"ok"`` carries the
     value, ``"fail"`` the stringified :class:`ReproError`, ``"raise"``
-    the original exception to re-raise in the parent — and ``snapshot``
-    is the worker's metrics snapshot (``None`` while instrumentation is
-    disabled).  The registry is fresh per chunk so forked workers never
-    re-ship metrics inherited from the parent.
+    the original exception to re-raise in the parent — and ``telemetry``
+    bundles the worker's metrics snapshot, structured events and
+    time-series snapshot (``None`` while instrumentation is disabled).
+    Every telemetry instance is fresh per chunk so forked workers never
+    re-ship data inherited from the parent.
     """
-    registry = None
+    telemetry = None
     if instrument:
         registry = obs.MetricsRegistry()
-        obs.enable(registry=registry, tracer=obs.Tracer())
+        event_log = obs.EventLog()
+        recorder = obs.TimeSeriesRecorder()
+        obs.enable(registry=registry, tracer=obs.Tracer(),
+                   events=event_log, timeseries=recorder)
     results = []
     for key, fn, args in chunk:
         try:
@@ -94,8 +108,27 @@ def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
             results.append((key, "raise", _portable_exception(exc)))
         else:
             results.append((key, "ok", value))
-    snapshot = registry.snapshot() if registry is not None else None
-    return results, snapshot
+    if instrument:
+        telemetry = {
+            "metrics": registry.snapshot(),
+            "events": event_log.to_dicts(),
+            "timeseries": recorder.snapshot(),
+        }
+    return results, telemetry
+
+
+def _merge_telemetry(telemetry) -> None:
+    """Fold one worker's telemetry into the parent's instances.
+
+    Called in chunk submission order — the deterministic ordered merge
+    the determinism contract promises — so parent-side event order and
+    series contents are independent of worker scheduling.
+    """
+    if telemetry is None or not obs.is_enabled():
+        return
+    obs.metrics().merge_snapshot(telemetry.get("metrics", {}))
+    obs.events().extend(telemetry.get("events", []))
+    obs.timeseries().merge_snapshot(telemetry.get("timeseries", {}))
 
 
 def _pool_context():
@@ -112,7 +145,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                        save_every: int = 1,
                        encode: Optional[Callable[[Any], Any]] = None,
                        decode: Optional[Callable[[Any], Any]] = None,
-                       chunk_size: Optional[int] = None) -> SweepOutcome:
+                       chunk_size: Optional[int] = None,
+                       progress: Optional[Any] = None) -> SweepOutcome:
     """Evaluate keyed work items over ``jobs`` worker processes.
 
     Mirrors :func:`repro.checkpoint.run_sweep` exactly — checkpoint
@@ -121,7 +155,9 @@ def run_parallel_sweep(items: Sequence[WorkItem],
     and delegated, so the serial CLI default pays no executor cost).
     ``chunk_size`` controls how many items ride in one inter-process
     dispatch (default: enough for ~4 chunks per worker); chunking
-    never affects results, only dispatch overhead.
+    never affects results, only dispatch overhead.  ``progress`` (a
+    :class:`~repro.obs.progress.SweepProgress`) receives one
+    ``advance`` call per merged item, in submission order.
     """
     keys = [key for key, _fn, _args in items]
     if len(set(keys)) != len(keys):
@@ -136,7 +172,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
         thunks = [(key, functools.partial(fn, *args))
                   for key, fn, args in items]
         return run_sweep(thunks, checkpoint=checkpoint, budget=budget,
-                         save_every=save_every, encode=encode, decode=decode)
+                         save_every=save_every, encode=encode, decode=decode,
+                         progress=progress)
 
     encode = encode or (lambda value: value)
     decode = decode or (lambda value: value)
@@ -144,6 +181,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
     done: Dict[str, Any] = {}
     if checkpoint is not None:
         done = checkpoint.load() or {}
+    if progress is not None and done:
+        progress.note_restored(len(done))
     pending = [item for item in items if item[0] not in done]
     size = chunk_size or max(1, math.ceil(len(pending) / (4 * jobs)))
     chunks: List[List[WorkItem]] = [
@@ -154,8 +193,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
     failures: List[str] = []
     exhausted: Optional[str] = None
     dirty = 0
+    crash_retried: set = set()
     instrument = obs.is_enabled()
-    parent_registry = obs.metrics() if instrument else None
     context = _pool_context()
     executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
     try:
@@ -165,7 +204,7 @@ def run_parallel_sweep(items: Sequence[WorkItem],
             index = 0
             while index < len(chunks) and exhausted is None:
                 try:
-                    chunk_results, snapshot = futures[index].result()
+                    chunk_results, telemetry = futures[index].result()
                 except BrokenProcessPool:
                     # A worker died mid-chunk.  Rebuild the pool, split
                     # the offending chunk into single-item chunks to
@@ -179,20 +218,28 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                         singles = [[item] for item in chunk]
                         chunks[index:index + 1] = singles
                         futures[index:index + 1] = [None] * len(singles)
+                    elif chunk[0][0] not in crash_retried:
+                        # A lone item's future can break when a *later*
+                        # chunk's crash kills the pool before this result
+                        # is fetched; one clean retry acquits the innocent
+                        # (a genuine crasher crashes again immediately).
+                        crash_retried.add(chunk[0][0])
                     else:
                         key = chunk[0][0]
                         _log.warning(
                             "sweep worker crashed evaluating item %r", key)
                         obs.metrics().counter("sweep.worker_crashes").inc()
+                        obs.event("sweep.worker_crash", key=key)
                         failures.append(key)
                         clock.fail()
+                        if progress is not None:
+                            progress.advance(failed=1)
                         index += 1
                     for later in range(index, len(chunks)):
                         futures[later] = executor.submit(
                             _run_chunk, chunks[later], instrument)
                     continue
-                if parent_registry is not None and snapshot is not None:
-                    parent_registry.merge_snapshot(snapshot)
+                _merge_telemetry(telemetry)
                 for key, status, payload in chunk_results:
                     exhausted = clock.exhausted()
                     if exhausted is not None:
@@ -202,6 +249,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                     if status == "ok":
                         done[key] = encode(payload)
                         dirty += 1
+                        if progress is not None:
+                            progress.advance(completed=1)
                         if checkpoint is not None and dirty >= save_every:
                             checkpoint.save(done)
                             dirty = 0
@@ -210,6 +259,8 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                         obs.metrics().counter("sweep.failures").inc()
                         failures.append(key)
                         clock.fail()
+                        if progress is not None:
+                            progress.advance(failed=1)
                     else:  # a non-ReproError bug: save progress, re-raise
                         if checkpoint is not None and dirty:
                             checkpoint.save(done)

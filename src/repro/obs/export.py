@@ -1,0 +1,352 @@
+"""Render run reports for external tooling.
+
+Three renderers over one input — the run-report dict produced by
+:func:`repro.obs.build_run_report` (``--metrics-out`` files):
+
+* :func:`chrome_trace` — Chrome trace-event JSON.  Load the output in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` to see the
+  span tree as nested slices and every structured event as an instant
+  marker on its own track.
+* :func:`render_csv` — flat ``section,name,key,value`` rows covering
+  metrics, time-series points and events; trivially greppable and
+  spreadsheet-ready.
+* :func:`render_prometheus` — Prometheus *textfile-collector* format
+  (``node_exporter --collector.textfile``), so a fleet of runs can push
+  end-of-run metrics into standard scrape infrastructure.
+
+:func:`validate_chrome_trace` is the schema gate the test suite (and
+``repro obs export --check``) runs over every produced trace: required
+keys per phase, non-negative durations, correct nesting of complete
+events, and monotonic instant-event timestamps per track.
+
+Schema-1 reports (before spans carried ``start_s``) still export: the
+renderer synthesises a sequential layout — each child starts where its
+previous sibling ended — which preserves nesting exactly even though
+the absolute offsets are reconstructed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Trace track (tid) assignments: spans on 1, instant events on 2.
+SPAN_TID = 1
+EVENT_TID = 2
+_PID = 1
+
+_PROM_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def chrome_trace(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Render a run report as a Chrome trace-event document.
+
+    Spans become complete (``"ph": "X"``) events on track ``SPAN_TID``;
+    structured events become instant (``"ph": "i"``) events on track
+    ``EVENT_TID``, sorted by timestamp.  All timestamps are microseconds
+    relative to the earliest span/event in the report.
+    """
+    spans = report.get("spans", [])
+    events = report.get("events", [])
+    laid_out = [_layout_span(node, None) for node in spans]
+    t0_candidates = [start for node in laid_out
+                     for start in _all_starts(node)]
+    t0_candidates.extend(float(e["t"]) for e in events if "t" in e)
+    t0 = min(t0_candidates) if t0_candidates else 0.0
+
+    trace_events: List[Dict[str, Any]] = [
+        _thread_meta(SPAN_TID, "spans"),
+        _thread_meta(EVENT_TID, "events"),
+    ]
+    for node in laid_out:
+        _emit_span(node, t0, trace_events)
+    instants = []
+    for node in events:
+        instant = {
+            "name": str(node.get("kind", "event")),
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(float(node.get("t", t0)) - t0),
+            "pid": _PID,
+            "tid": EVENT_TID,
+        }
+        payload = node.get("payload")
+        if payload:
+            instant["args"] = dict(payload)
+        instants.append(instant)
+    instants.sort(key=lambda e: e["ts"])
+    trace_events.extend(instants)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "command": report.get("command"),
+            "fingerprint": report.get("fingerprint"),
+            "schema": report.get("schema"),
+        },
+    }
+
+
+def _thread_meta(tid: int, name: str) -> Dict[str, Any]:
+    return {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": name}}
+
+
+def _us(seconds: float) -> float:
+    from repro.units import us
+    return round(seconds / us, 3)
+
+
+def _layout_span(node: Dict[str, Any],
+                 cursor: Optional[float]) -> Dict[str, Any]:
+    """Resolve a span node's absolute start, synthesising if absent.
+
+    ``cursor`` is where a schema-1 span (no ``start_s``) should begin:
+    its parent's start for a first child, the end of the previous
+    sibling otherwise.  Children are laid out recursively; a copy of
+    the node annotated with ``_start`` is returned.
+    """
+    start = node.get("start_s")
+    if start is None:
+        start = cursor if cursor is not None else 0.0
+    start = float(start)
+    resolved = dict(node)
+    resolved["_start"] = start
+    child_cursor = start
+    children = []
+    for child in node.get("children", []):
+        laid = _layout_span(child, child_cursor)
+        child_cursor = laid["_start"] + float(laid.get("duration_s", 0.0))
+        children.append(laid)
+    resolved["children"] = children
+    return resolved
+
+
+def _all_starts(node: Dict[str, Any]) -> List[float]:
+    starts = [node["_start"]]
+    for child in node.get("children", []):
+        starts.extend(_all_starts(child))
+    return starts
+
+
+def _emit_span(node: Dict[str, Any], t0: float,
+               out: List[Dict[str, Any]]) -> None:
+    duration = float(node.get("duration_s", 0.0))
+    entry: Dict[str, Any] = {
+        "name": str(node.get("name", "span")),
+        "cat": "span",
+        "ph": "X",
+        "ts": _us(node["_start"] - t0),
+        "dur": _us(duration),
+        "pid": _PID,
+        "tid": SPAN_TID,
+    }
+    args = dict(node.get("attrs", {}))
+    if node.get("error") is not None:
+        args["error"] = node["error"]
+    if args:
+        entry["args"] = args
+    out.append(entry)
+    for child in node.get("children", []):
+        _emit_span(child, t0, out)
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Check a trace document against the trace-event schema.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * the document must carry a ``traceEvents`` list;
+    * every event needs ``ph``/``pid``/``tid``/``name``, plus ``ts``
+      (and non-negative ``dur`` for complete events);
+    * complete events on one track must nest — a span may not
+      partially overlap another;
+    * instant events on one track must appear in non-decreasing
+      timestamp order (monotonic per track).
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    tracks: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    for index, entry in enumerate(events):
+        ph = entry.get("ph")
+        if ph is None:
+            problems.append(f"event #{index} has no phase ('ph')")
+            continue
+        if "name" not in entry:
+            problems.append(f"event #{index} ({ph}) has no name")
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in entry:
+                problems.append(
+                    f"event #{index} ({entry.get('name')!r}) lacks {key!r}")
+        if ph == "X":
+            dur = entry.get("dur")
+            if dur is None:
+                problems.append(
+                    f"complete event {entry.get('name')!r} has no dur")
+            elif dur < 0:
+                problems.append(
+                    f"complete event {entry.get('name')!r} has negative "
+                    f"dur {dur}")
+        if "ts" in entry:
+            tracks.setdefault(
+                (entry.get("pid"), entry.get("tid")), []).append(entry)
+    for (pid, tid), entries in sorted(tracks.items(),
+                                      key=lambda kv: str(kv[0])):
+        problems.extend(_validate_track(pid, tid, entries))
+    return problems
+
+
+def _validate_track(pid: Any, tid: Any,
+                    entries: List[Dict[str, Any]]) -> List[str]:
+    problems: List[str] = []
+    # Complete events must nest.  Sorted by (ts, -dur) an enclosing
+    # span always precedes its children; a stack of span end-times then
+    # catches any partial overlap.
+    complete = sorted((e for e in entries if e.get("ph") == "X"),
+                      key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    stack: List[Tuple[float, str]] = []  # (end_ts, name)
+    epsilon = 1e-3  # one nanosecond in microsecond units
+    for entry in complete:
+        ts, dur = entry["ts"], entry.get("dur", 0.0)
+        while stack and ts >= stack[-1][0] - epsilon:
+            stack.pop()
+        if stack and ts + dur > stack[-1][0] + epsilon:
+            problems.append(
+                f"track {pid}/{tid}: span {entry['name']!r} "
+                f"[{ts}, {ts + dur}] overlaps the end of enclosing span "
+                f"{stack[-1][1]!r} at {stack[-1][0]}")
+        stack.append((ts + dur, entry["name"]))
+    # Instant events must be monotonic in document order.
+    last_ts: Optional[float] = None
+    for entry in entries:
+        if entry.get("ph") != "i":
+            continue
+        ts = entry["ts"]
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"track {pid}/{tid}: instant event {entry['name']!r} at "
+                f"ts={ts} breaks monotonic order (previous {last_ts})")
+        last_ts = ts
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+
+def render_csv(report: Dict[str, Any]) -> str:
+    """Flatten a run report into ``section,name,key,value`` CSV rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["section", "name", "key", "value"])
+    metrics = report.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        writer.writerow(["counter", name, "value", value])
+    for name, value in metrics.get("gauges", {}).items():
+        writer.writerow(["gauge", name, "value", value])
+    for name, state in metrics.get("histograms", {}).items():
+        writer.writerow(["histogram", name, "count", state.get("count", 0)])
+        writer.writerow(["histogram", name, "sum", state.get("sum", 0.0)])
+    for name, state in report.get("timeseries", {}).items():
+        for t, value in state.get("points", []):
+            writer.writerow(["timeseries", name, t, value])
+    for node in report.get("events", []):
+        writer.writerow([
+            "event", node.get("kind", ""), node.get("t", ""),
+            json.dumps(node.get("payload", {}), sort_keys=True,
+                       default=repr)])
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus textfile
+# ---------------------------------------------------------------------------
+
+def render_prometheus(report: Dict[str, Any],
+                      prefix: str = "repro") -> str:
+    """Render the metrics section in Prometheus textfile format.
+
+    Dotted metric names become underscore-joined and ``prefix``-ed
+    (``refresh.stall_cycles`` -> ``repro_refresh_stall_cycles``);
+    histograms expand into ``_bucket``/``_sum``/``_count`` families
+    with cumulative ``le`` labels, per the exposition format.
+    """
+    metrics = report.get("metrics", {})
+    lines: List[str] = []
+    for name, value in metrics.get("counters", {}).items():
+        prom = _prom_name(prefix, name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in metrics.get("gauges", {}).items():
+        prom = _prom_name(prefix, name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, state in metrics.get("histograms", {}).items():
+        prom = _prom_name(prefix, name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        counts = state.get("counts", [])
+        buckets = state.get("buckets", [])
+        for bound, count in zip(buckets, counts):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+        cumulative += counts[-1] if len(counts) > len(buckets) else 0
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {_prom_value(state.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {state.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    sanitized = _PROM_SANITIZE_RE.sub("_", name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    # The bound keeps int rendering within float's exact-integer range
+    # (a digit-precision limit, not a physical quantity).
+    if number.is_integer() and abs(number) < 1e15:  # noqa: L101
+        return str(int(number))
+    return repr(number)
+
+
+# ---------------------------------------------------------------------------
+# Entry point shared by the CLI
+# ---------------------------------------------------------------------------
+
+#: Export formats understood by ``repro obs export``.
+EXPORT_FORMATS = ("chrome", "csv", "prom")
+
+
+def render_report(report: Dict[str, Any], fmt: str) -> str:
+    """Render ``report`` in export format ``fmt`` (see EXPORT_FORMATS)."""
+    if fmt == "chrome":
+        trace = chrome_trace(report)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            raise ConfigurationError(
+                "exported trace failed schema validation: "
+                + "; ".join(problems[:3]))
+        return json.dumps(trace, indent=2, default=repr) + "\n"
+    if fmt == "csv":
+        return render_csv(report)
+    if fmt == "prom":
+        return render_prometheus(report)
+    raise ConfigurationError(
+        f"unknown export format {fmt!r}; use one of {EXPORT_FORMATS}")

@@ -1,10 +1,17 @@
 """Run reports: one JSON document per instrumented run.
 
 A run report bundles everything the instrumentation layer captured —
-the span tree, the metrics snapshot, and a fingerprint of the run's
-configuration — into a single serialisable dict, so a benchmark result
-or a CLI invocation can be archived and diffed against later runs
-(``python -m repro fig5 --profile --metrics-out run.json``).
+the span tree, the metrics snapshot, the structured event ring, the
+decimated time series, and a fingerprint of the run's configuration —
+into a single serialisable dict, so a benchmark result or a CLI
+invocation can be archived, exported as a Chrome trace
+(``repro obs export``) and diffed against later runs
+(``repro obs diff``, ``python -m repro fig5 --profile --metrics-out
+run.json``).
+
+Schema history: 1 = spans + metrics (PR 1); 2 adds ``events``,
+``timeseries`` and per-span ``start_s`` (spans without it still
+export — the trace renderer synthesises a sequential layout).
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
 #: Bumped whenever the report layout changes incompatibly.
-REPORT_SCHEMA = 1
+REPORT_SCHEMA = 2
 
 
 def config_fingerprint(config: Dict[str, Any]) -> str:
@@ -35,12 +42,20 @@ def config_fingerprint(config: Dict[str, Any]) -> str:
 
 def build_run_report(command: str, config: Dict[str, Any],
                      registry: MetricsRegistry,
-                     tracer: Tracer) -> Dict[str, Any]:
-    """Assemble the serialisable report for one finished run."""
+                     tracer: Tracer,
+                     events: Optional[Any] = None,
+                     timeseries: Optional[Any] = None) -> Dict[str, Any]:
+    """Assemble the serialisable report for one finished run.
+
+    ``events`` (an :class:`~repro.obs.events.EventLog`) and
+    ``timeseries`` (a :class:`~repro.obs.timeseries.TimeSeriesRecorder`)
+    are optional for backward compatibility; without them the report
+    carries empty ``events``/``timeseries`` sections.
+    """
     from repro import __version__
 
     roots = tracer.finished_roots()
-    return {
+    report = {
         "schema": REPORT_SCHEMA,
         "command": command,
         "config": {key: _jsonable(value) for key, value in config.items()},
@@ -51,24 +66,38 @@ def build_run_report(command: str, config: Dict[str, Any],
         "span_count": tracer.total_spans(),
         "spans": tracer.to_dict(),
         "metrics": registry.snapshot(),
+        "events": [] if events is None else [
+            {key: _jsonable(value) for key, value in node.items()}
+            for node in events.to_dicts()],
+        "timeseries": {} if timeseries is None else timeseries.snapshot(),
     }
+    if events is not None:
+        report["event_count"] = events.emitted
+        report["events_dropped"] = events.dropped
+    return report
 
 
 def write_run_report(path: "str | pathlib.Path", command: str,
                      config: Dict[str, Any],
                      registry: Optional[MetricsRegistry] = None,
                      tracer: Optional[Tracer] = None,
-                     report: Optional[Dict[str, Any]] = None
+                     report: Optional[Dict[str, Any]] = None,
+                     events: Optional[Any] = None,
+                     timeseries: Optional[Any] = None
                      ) -> Dict[str, Any]:
     """Serialise the run report to ``path``; returns the report dict.
 
-    Either pass ``registry`` + ``tracer`` to build the report here, or
-    a prebuilt ``report`` dict (in which case they are ignored).
+    Either pass ``registry`` + ``tracer`` (plus optional ``events`` and
+    ``timeseries``) to build the report here, or a prebuilt ``report``
+    dict (in which case they are ignored).  Missing parent directories
+    are created; an unwritable path raises :class:`OSError`, which the
+    CLI turns into a one-line diagnostic.
     """
     if report is None:
         if registry is None or tracer is None:
             raise ValueError("need registry and tracer, or a report")
-        report = build_run_report(command, config, registry, tracer)
+        report = build_run_report(command, config, registry, tracer,
+                                  events=events, timeseries=timeseries)
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(report, indent=2, default=repr) + "\n")

@@ -64,6 +64,7 @@ class Span:
     def to_dict(self) -> Dict[str, Any]:
         node: Dict[str, Any] = {
             "name": self.name,
+            "start_s": self.start,
             "duration_s": self.duration,
         }
         if self.attrs:

@@ -24,6 +24,11 @@ from repro.refresh.traces import IDLE
 
 _log = logging.getLogger(__name__)
 
+#: Cycles per busy-fraction telemetry sample (window width).  Wide
+#: enough that the enabled-path sampler call amortises to noise over
+#: the cycle loop; the series' own decimation bounds memory after that.
+_BUSY_SAMPLE_WINDOW = 4096
+
 
 @dataclasses.dataclass(frozen=True)
 class SimulationStats:
@@ -138,10 +143,24 @@ class RefreshSimulator:
         late = 0
         queue_pos = 0
         cycle = 0
+        # Hoisted once per run: the disabled path pays one None check
+        # per cycle, never a sampler call.
+        if obs.is_enabled():
+            busy_series = obs.timeseries().series("refresh.busy_fraction")
+        else:
+            busy_series = None
+        window_stalls = 0
+        next_sample = _BUSY_SAMPLE_WINDOW
         # The simulation must drain the queue even past the trace end.
         horizon = n_cycles + 10 * policy.refresh_duration_cycles * (
             1 + len(pending))
         while queue_pos < len(pending) and cycle < horizon:
+            if busy_series is not None and cycle >= next_sample:
+                busy_series.sample(
+                    cycle,
+                    (stall_cycles - window_stalls) / _BUSY_SAMPLE_WINDOW)
+                window_stalls = stall_cycles
+                next_sample += _BUSY_SAMPLE_WINDOW
             # Advance the refresh schedule.
             next_op = policy.refresh_starting_at(refresh_index)
             if active is not None and cycle >= active.end_cycle:
@@ -152,8 +171,12 @@ class RefreshSimulator:
                     kind = fault_kind(refresh_index)
                     if kind == "drop":
                         dropped += 1
+                        obs.event("refresh.dropped", index=refresh_index,
+                                  cycle=cycle)
                     elif kind == "late":
                         late += 1
+                        obs.event("refresh.late_start", index=refresh_index,
+                                  cycle=cycle)
                 refresh_index += 1
             # Serve the head access if it has arrived.
             if arrival[queue_pos] > cycle:

@@ -155,3 +155,6 @@ def note_recovery_success(report: RecoveryReport) -> None:
     if rung != "newton":
         m.counter("spice.recovery.escalations").inc()
         m.counter("spice.recovery.attempts").inc(len(report.attempts))
+        obs.event("spice.recovery.recovered", circuit=report.circuit,
+                  time=report.time, rung=rung,
+                  attempts=len(report.attempts))

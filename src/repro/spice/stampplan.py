@@ -66,6 +66,11 @@ _LINEAR_TYPES = (Resistor, Capacitor, VoltageSource, CurrentSource)
 #: dt per halving; the ladder is bounded, but stay defensive).
 _MAX_BASES = 64
 
+#: Solves per LU reuse-ratio telemetry sample: wide enough that the
+#: enabled path amortises the sampler call to noise, narrow enough to
+#: resolve reuse collapses (e.g. a source ramp) inside one run.
+_LU_SAMPLE_WINDOW = 256
+
 
 def stamping_order(circuit) -> List[CircuitElement]:
     """The canonical element stamping order shared by both solver paths.
@@ -228,6 +233,12 @@ class StampPlan:
         self._bases: Dict[Tuple[Optional[float], str, float], np.ndarray] = {}
         self._lu: Optional[linalg.LuFactors] = None
         self._lu_key: Optional[bytes] = None
+        # Windowed LU telemetry: every _LU_SAMPLE_WINDOW solves, the
+        # window's reuse fraction is sampled into the
+        # ``spice.lu.reuse_ratio`` time series (x-axis: total solves).
+        self._lu_solves = 0
+        self._lu_window_solves = 0
+        self._lu_window_reuses = 0
 
     # -- compilation -----------------------------------------------------------
 
@@ -628,6 +639,7 @@ class StampPlan:
         key = matrix.tobytes()
         if self._lu is not None and key == self._lu_key:
             obs.metrics().counter("spice.lu.reuse").inc()
+            self._lu_window_reuses += 1
         else:
             try:
                 self._lu = linalg.lu_factorize(matrix)
@@ -637,6 +649,15 @@ class StampPlan:
                 raise self.system.singular_error() from exc
             self._lu_key = key
             obs.metrics().counter("spice.lu.refactor").inc()
+        self._lu_solves += 1
+        self._lu_window_solves += 1
+        if self._lu_window_solves >= _LU_SAMPLE_WINDOW:
+            if obs.is_enabled():
+                obs.timeseries().series("spice.lu.reuse_ratio").sample(
+                    self._lu_solves,
+                    self._lu_window_reuses / self._lu_window_solves)
+            self._lu_window_solves = 0
+            self._lu_window_reuses = 0
         return linalg.lu_backsolve(self._lu, rhs)
 
 

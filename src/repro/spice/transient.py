@@ -43,13 +43,17 @@ class _NewtonMeter:
     One histogram observation per *accepted timestep* (not per solve
     point): recovery attempts, substeps and ladder stages all fold into
     the step that needed them, so the fast path's iterate savings show
-    up directly in run reports.
+    up directly in run reports.  ``substeps`` records how many local
+    substeps the *last* attempt used — after a successful step that is
+    the accepted attempt, so ``dt / substeps`` is the effective local
+    time step the telemetry series samples.
     """
 
-    __slots__ = ("iterations",)
+    __slots__ = ("iterations", "substeps")
 
     def __init__(self) -> None:
         self.iterations = 0
+        self.substeps = 1
 
     def add(self, iterations: int) -> None:
         self.iterations += iterations
@@ -157,6 +161,13 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
 
     _log.debug("transient %r: %d steps of %gs (%s)",
                circuit.name, steps, dt, integrator)
+    # Hoisted once per run: the disabled path pays a single None check
+    # per accepted step, never a sampler call.
+    if obs.is_enabled():
+        iter_series = obs.timeseries().series("spice.newton.iterations")
+        dt_series = obs.timeseries().series("spice.dt.effective")
+    else:
+        iter_series = dt_series = None
     with obs.span("spice.transient", circuit=circuit.name, steps=steps,
                   integrator=integrator):
         for step in range(1, steps + 1):
@@ -174,6 +185,9 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
                 cap_state, capacitors, recovery, plan=plan, meter=meter)
             obs.metrics().histogram("spice.newton.iterations",
                                     _NEWTON_BUCKETS).observe(meter.iterations)
+            if iter_series is not None:
+                iter_series.sample(t, meter.iterations)
+                dt_series.sample(t, dt / meter.substeps)
             if integrator == "trap" and step == 1:
                 ctx = StampContext(system=system, x=x, x_prev=x_prev, dt=dt,
                                    time=t, integrator="be",
@@ -238,6 +252,8 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
         cap_state.update(saved_state)
 
     def run_substeps(substeps: int, **solve_kwargs) -> np.ndarray:
+        if meter is not None:
+            meter.substeps = substeps
         x = x_start
         sub_dt = dt / substeps
         for sub in range(1, substeps + 1):
@@ -321,6 +337,8 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
 
     restore_state()
     obs.metrics().counter("spice.recovery.exhausted").inc()
+    obs.event("spice.recovery.exhausted", circuit=circuit.name,
+              time=t_start + dt, attempts=len(report.attempts))
     _log.warning("recovery ladder exhausted for circuit %r at t=%gs "
                  "(%d attempts)", circuit.name, t_start + dt,
                  len(report.attempts))
@@ -344,6 +362,8 @@ def _gmin_stepping(system: MnaSystem, circuit: Circuit, x_start: np.ndarray,
                    meter: "_NewtonMeter | None" = None
                    ) -> "np.ndarray | None":
     """Walk the gmin ladder for one full step; None if any stage fails."""
+    if meter is not None:
+        meter.substeps = 1  # gmin stages solve the full step
     x = x_start
     for gmin in config.gmin_ladder:
         try:
@@ -368,6 +388,8 @@ def _source_stepping(system: MnaSystem, circuit: Circuit,
                      meter: "_NewtonMeter | None" = None
                      ) -> "np.ndarray | None":
     """Walk the source ladder for one full step; None if a stage fails."""
+    if meter is not None:
+        meter.substeps = 1  # source stages solve the full step
     x = x_start
     for alpha in config.source_ladder:
         try:
@@ -462,6 +484,8 @@ def _solve_point(system: MnaSystem, circuit: Circuit, x_prev: np.ndarray,
             if damping_events:
                 obs.metrics().counter(
                     "spice.damping_events").inc(damping_events)
+                obs.event("spice.newton.damped", circuit=circuit.name,
+                          time=t, events=damping_events)
             return x
     if meter is not None:
         meter.add(budget)

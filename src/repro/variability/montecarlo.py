@@ -157,7 +157,8 @@ class _SequentialStateCheckpoint:
 def _run_mc_parallel(model, count: int, children, state: dict,
                      checkpoint: Optional[Checkpoint],
                      budget: Optional[RunBudget],
-                     save_every: int, jobs: int) -> Optional[str]:
+                     save_every: int, jobs: int,
+                     progress=None) -> Optional[str]:
     """Parallel sample evaluation; folds results into ``state`` in
     index order and returns the exhausted-budget reason (if any)."""
     if (budget is not None and budget.max_failures is not None
@@ -175,7 +176,7 @@ def _run_mc_parallel(model, count: int, children, state: dict,
         [(str(index), _mc_eval, (model, children[index]))
          for index in range(start, count)],
         jobs=jobs, checkpoint=adapter, budget=sub_budget,
-        save_every=save_every)
+        save_every=save_every, progress=progress)
     failed_keys = set(outcome.failures)
     for index in range(start, count):
         key = str(index)
@@ -197,7 +198,8 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                               checkpoint: Optional[Checkpoint] = None,
                               budget: Optional[RunBudget] = None,
                               save_every: int = 64,
-                              jobs: int = 1) -> MonteCarloOutcome:
+                              jobs: int = 1,
+                              progress=None) -> MonteCarloOutcome:
     """Checkpointed, budget-bounded variant of :func:`run_monte_carlo`.
 
     Sample ``i`` always draws from child stream ``i`` of the seed
@@ -214,6 +216,10 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
     parent process, so serial and parallel runs — and any mix of the
     two across resumes — produce bit-identical statistics.  A worker
     crash is recorded as that one sample failing, not the whole sweep.
+
+    ``progress`` (a :class:`~repro.obs.progress.SweepProgress`) receives
+    ``note_restored`` for checkpointed samples and one ``advance`` per
+    evaluated sample, which drives the CLI's live status line.
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
@@ -230,11 +236,14 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
             state = {"next": int(loaded.get("next", 0)),
                      "samples": list(loaded.get("samples", [])),
                      "failed": list(loaded.get("failed", []))}
+            if progress is not None and state["next"]:
+                progress.note_restored(state["next"])
 
     exhausted: Optional[str] = None
     if jobs > 1 and state["next"] < count:
         exhausted = _run_mc_parallel(model, count, children, state,
-                                     checkpoint, budget, save_every, jobs)
+                                     checkpoint, budget, save_every, jobs,
+                                     progress=progress)
     elif jobs == 1:
         clock = BudgetClock(budget)
         clock.failures = len(state["failed"])
@@ -249,8 +258,12 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
             except ReproError:
                 state["failed"].append(index)
                 clock.fail()
+                if progress is not None:
+                    progress.advance(failed=1)
             else:
                 state["samples"].append(value)
+                if progress is not None:
+                    progress.advance(completed=1)
             index += 1
             state["next"] = index
             dirty += 1

@@ -1,0 +1,92 @@
+"""L108: event-kind naming and cross-file payload-schema discipline."""
+
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import EventKinds
+
+
+def rules_of(source, path="src/example.py", event_registry=None):
+    return [d.rule for d in lint_source(textwrap.dedent(source), path,
+                                        event_registry=event_registry)]
+
+
+class TestL108Naming:
+    def test_dotted_lower_snake_passes(self):
+        assert rules_of(
+            'obs.event("refresh.dropped", index=1, cycle=2)\n') == []
+
+    def test_undotted_kind_fires(self):
+        assert rules_of('obs.event("dropped", index=1)\n') == ["L108"]
+
+    def test_camel_case_kind_fires(self):
+        assert rules_of('obs.event("Refresh.Dropped")\n') == ["L108"]
+
+    def test_emit_method_checked_too(self):
+        assert rules_of('log.emit("not snake case!")\n') == ["L108"]
+        assert rules_of('log.emit("cache.eviction", set=1)\n') == []
+
+    def test_non_constant_kind_skipped(self):
+        assert rules_of("obs.event(kind, x=1)\n") == []
+
+    def test_unrelated_calls_skipped(self):
+        assert rules_of('logger.info("Not An Event")\n') == []
+
+    def test_noqa_suppresses(self):
+        assert rules_of(
+            'obs.event("UPPERCASE")  # noqa: L108\n') == []
+
+    def test_hint_names_an_example_kind(self):
+        (finding,) = lint_source('obs.event("bad")\n', "src/x.py")
+        assert "refresh.dropped" in (finding.hint or "")
+
+
+class TestL108PayloadSchema:
+    def _lint_two(self, first, second):
+        registry = EventKinds()
+        lint_source(first, "src/a.py", event_registry=registry)
+        lint_source(second, "src/b.py", event_registry=registry)
+        return registry.conflicts()
+
+    def test_same_signature_across_files_is_fine(self):
+        conflicts = self._lint_two(
+            'obs.event("cache.eviction", set=1, tag=2)\n',
+            'obs.event("cache.eviction", tag=9, set=0)\n')  # order-free
+        assert conflicts == []
+
+    def test_conflicting_signatures_fire(self):
+        conflicts = self._lint_two(
+            'obs.event("cache.eviction", set=1, tag=2)\n',
+            'obs.event("cache.eviction", victim=9)\n')
+        assert [d.rule for d in conflicts] == ["L108"]
+        (diag,) = conflicts
+        assert "cache.eviction" in diag.message
+        assert "src/a.py:1" in diag.message
+        assert diag.path == "src/b.py"
+
+    def test_distinct_kinds_never_conflict(self):
+        conflicts = self._lint_two(
+            'obs.event("a.one", x=1)\n',
+            'obs.event("b.two", y=2)\n')
+        assert conflicts == []
+
+    def test_star_payload_forwarding_skipped(self):
+        conflicts = self._lint_two(
+            'obs.event("a.one", x=1)\n',
+            'obs.event("a.one", **payload)\n')
+        assert conflicts == []
+
+    def test_conflict_within_one_file(self):
+        registry = EventKinds()
+        lint_source(textwrap.dedent("""\
+            obs.event("a.one", x=1)
+            obs.event("a.one", y=2)
+            """), "src/a.py", event_registry=registry)
+        assert [d.rule for d in registry.conflicts()] == ["L108"]
+
+
+class TestSelfDiscipline:
+    def test_shipped_tree_has_no_event_conflicts(self):
+        diagnostics = [d for d in lint_paths(["src/repro"])
+                       if d.rule == "L108"]
+        assert diagnostics == []

@@ -187,4 +187,4 @@ class TestL107StampLoop:
 
 class TestRuleCatalogue:
     def test_every_rule_has_a_description(self):
-        assert set(LINT_RULES) == {f"L10{i}" for i in range(8)}
+        assert set(LINT_RULES) == {f"L10{i}" for i in range(9)}

@@ -12,7 +12,12 @@ class TestSeedFlag:
             a for a in parser._actions
             if isinstance(a, type(parser._subparsers._group_actions[0])))
         for command in subparser_action.choices:
-            extra = ["src"] if command in ("lint",) else []
+            if command == "lint":
+                extra = ["src"]
+            elif command == "obs":  # nested family: seed rides on export
+                extra = ["export", "report.json"]
+            else:
+                extra = []
             args = parser.parse_args([command, *extra, "--seed", "7"])
             assert args.seed == 7
 

@@ -1,0 +1,129 @@
+"""End-to-end CLI tests for the telemetry family: repro obs export/diff,
+--events-out, and the run-report sink error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import validate_chrome_trace
+
+
+@pytest.fixture
+def run_report(tmp_path):
+    """A real fig5 run report with events and time series captured."""
+    path = tmp_path / "run.json"
+    assert main(["fig5", "--cycles", "20000", "--seed", "3",
+                 "--metrics-out", str(path)]) == 0
+    return path
+
+
+class TestEventsOut:
+    def test_jsonl_sink_written(self, tmp_path):
+        sink = tmp_path / "deep" / "events.jsonl"
+        assert main(["chaos", "--cycles", "20000",
+                     "--events-out", str(sink)]) == 0
+        lines = sink.read_text().splitlines()
+        assert lines  # chaos injects faults: events are guaranteed
+        for line in lines:
+            node = json.loads(line)
+            assert "t" in node and "." in node["kind"]
+
+    def test_unwritable_sink_is_one_line_error(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        assert main(["fig5", "--cycles", "20000",
+                     "--events-out", str(blocker / "e.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot open event sink" in err
+        assert "Traceback" not in err
+
+
+class TestMetricsOut:
+    def test_report_carries_schema2_sections(self, run_report):
+        report = json.loads(run_report.read_text())
+        assert report["schema"] == 2
+        assert "events" in report and "timeseries" in report
+        assert "refresh.busy_fraction" in report["timeseries"]
+
+    def test_unwritable_report_is_one_line_error(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        assert main(["fig5", "--cycles", "20000",
+                     "--metrics-out", str(blocker / "run.json")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write run report" in err
+        assert "Traceback" not in err
+
+
+class TestObsExport:
+    def test_chrome_export_validates(self, run_report, capsys):
+        assert main(["obs", "export", str(run_report)]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert validate_chrome_trace(trace) == []
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+    def test_export_to_file_creates_parents(self, run_report, tmp_path):
+        out = tmp_path / "nested" / "trace.json"
+        assert main(["obs", "export", str(run_report),
+                     "--out", str(out)]) == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    @pytest.mark.parametrize("fmt", ["csv", "prom"])
+    def test_other_formats_render(self, run_report, fmt, capsys):
+        assert main(["obs", "export", str(run_report),
+                     "--format", fmt]) == 0
+        assert capsys.readouterr().out
+
+    def test_missing_report_is_one_line_error(self, tmp_path, capsys):
+        assert main(["obs", "export", str(tmp_path / "absent.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro obs export:")
+        assert "Traceback" not in err
+
+
+class TestObsDiff:
+    def test_identical_reports_diff_clean(self, run_report, capsys):
+        assert main(["obs", "diff", str(run_report), str(run_report)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_injected_regression_exits_nonzero(self, run_report, tmp_path,
+                                               capsys):
+        report = json.loads(run_report.read_text())
+        report["total_duration_s"] *= 2.0  # lower-better metric up 100%
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(report))
+        assert main(["obs", "diff", str(run_report), str(worse)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_works_on_benchmark_shape(self, tmp_path):
+        before = tmp_path / "BENCH_solver.json"
+        after = tmp_path / "new.json"
+        before.write_text(json.dumps({"steps_per_sec": 100.0}))
+        after.write_text(json.dumps({"steps_per_sec": 60.0}))
+        assert main(["obs", "diff", str(before), str(after)]) == 1
+        after.write_text(json.dumps({"steps_per_sec": 110.0}))
+        assert main(["obs", "diff", str(before), str(after)]) == 0
+
+    def test_threshold_flag_gates(self, tmp_path, capsys):
+        before = tmp_path / "a.json"
+        after = tmp_path / "b.json"
+        before.write_text(json.dumps({"steps_per_sec": 100.0}))
+        after.write_text(json.dumps({"steps_per_sec": 60.0}))
+        assert main(["obs", "diff", str(before), str(after),
+                     "--threshold", "0.5"]) == 0
+
+    def test_json_format(self, run_report, capsys):
+        assert main(["obs", "diff", str(run_report), str(run_report),
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["regressions"] == 0
+
+    def test_missing_report_is_one_line_error(self, run_report, tmp_path,
+                                              capsys):
+        assert main(["obs", "diff", str(run_report),
+                     str(tmp_path / "absent.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro obs diff:")

@@ -44,6 +44,12 @@ def counting(value):
     return value + 1
 
 
+def emitting(value):
+    obs.event("test.tick", key=value)
+    obs.timeseries().series("test.values").sample(float(value), float(value))
+    return value
+
+
 def must_not_run(value):  # resumed items must come from the checkpoint
     raise AssertionError("evaluated an already-checkpointed item")
 
@@ -166,6 +172,73 @@ class TestMetricsMerge:
     def test_disabled_instrumentation_ships_no_snapshots(self):
         outcome = run_parallel_sweep(items_of(counting), jobs=2)
         assert outcome.completed == 20  # NullRegistry absorbed the incs
+
+
+class TestTelemetryForwarding:
+    def test_worker_events_fold_into_parent_in_item_order(self):
+        with obs.instrumented():
+            run_parallel_sweep(items_of(emitting), jobs=2, chunk_size=3)
+            events = obs.events().events()
+        # Events arrive in submission order regardless of which worker
+        # finished first — the deterministic ordered merge.
+        assert [e.payload["key"] for e in events] == list(range(20))
+        assert all(e.kind == "test.tick" for e in events)
+
+    def test_parallel_event_order_matches_serial(self):
+        def payloads(jobs):
+            with obs.instrumented():
+                run_parallel_sweep(items_of(emitting), jobs=jobs)
+                return [(e.kind, e.payload) for e in obs.events().events()]
+        assert payloads(3) == payloads(1)
+
+    def test_worker_series_merge_exactly(self):
+        with obs.instrumented():
+            run_parallel_sweep(items_of(emitting), jobs=2, chunk_size=4)
+            series = obs.timeseries().series("test.values")
+            assert series.count == 20
+            assert series.sum == sum(range(20))
+            assert series.min == 0.0
+            assert series.max == 19.0
+
+    def test_crash_emits_event_in_parent(self):
+        with obs.instrumented():
+            run_parallel_sweep(items_of(crashy), jobs=2)
+            kinds = obs.events().kinds()
+        assert kinds.get("sweep.worker_crash") == 1
+
+
+class FakeProgress:
+    def __init__(self):
+        self.restored = 0
+        self.calls = []
+
+    def note_restored(self, count):
+        self.restored += count
+
+    def advance(self, completed=0, failed=0):
+        self.calls.append((completed, failed))
+
+
+class TestProgressReporting:
+    def test_one_advance_per_item(self):
+        progress = FakeProgress()
+        run_parallel_sweep(items_of(square), jobs=2, progress=progress)
+        assert progress.calls == [(1, 0)] * 20
+
+    def test_failures_reported(self):
+        progress = FakeProgress()
+        run_parallel_sweep(items_of(flaky), jobs=2, progress=progress)
+        assert progress.calls.count((0, 1)) == 1
+        assert progress.calls.count((1, 0)) == 19
+
+    def test_checkpoint_restores_noted(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "sweep.json", "fp-progress")
+        run_parallel_sweep(items_of(square), jobs=2, checkpoint=ckpt)
+        progress = FakeProgress()
+        run_parallel_sweep(items_of(must_not_run), jobs=2, checkpoint=ckpt,
+                           progress=progress)
+        assert progress.restored == 20
+        assert progress.calls == []
 
 
 # -- validation --------------------------------------------------------------

@@ -1,0 +1,170 @@
+"""Tests for run diffing (repro.obs.diff)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.diff import (DEFAULT_THRESHOLD, MetricDelta, diff_reports,
+                            diff_to_json, flatten_metrics, format_diff,
+                            load_report, metric_direction)
+
+
+def _delta(name, before, after, threshold=DEFAULT_THRESHOLD):
+    return MetricDelta(name=name, before=before, after=after,
+                       direction=metric_direction(name), threshold=threshold)
+
+
+class TestDirection:
+    @pytest.mark.parametrize("name", [
+        "solver.steps_per_sec", "sweep.speedup", "cache.hits",
+        "lu.reuse_ratio", "sweep.completed"])
+    def test_higher_better(self, name):
+        assert metric_direction(name) == "higher_better"
+
+    @pytest.mark.parametrize("name", [
+        "total_duration_s", "refresh.stall_cycles", "cache.misses",
+        "spice.newton.failures", "refresh.dropped"])
+    def test_lower_better(self, name):
+        assert metric_direction(name) == "lower_better"
+
+    def test_neutral(self):
+        assert metric_direction("config.n_blocks") == "neutral"
+
+    def test_lower_better_wins_ties(self):
+        # "rate" (higher) + "failure" (lower): conservative choice wins.
+        assert metric_direction("convergence_failure_rate") == "lower_better"
+
+
+class TestRelChange:
+    def test_basic(self):
+        assert _delta("x", 100.0, 150.0).rel_change == pytest.approx(0.5)
+        assert _delta("x", 100.0, 50.0).rel_change == pytest.approx(-0.5)
+
+    def test_zero_baseline(self):
+        assert _delta("x", 0.0, 0.0).rel_change == 0.0
+        assert _delta("x", 0.0, 5.0).rel_change == math.inf
+        assert _delta("x", 0.0, -5.0).rel_change == -math.inf
+
+    def test_inf_always_exceeds_threshold(self):
+        delta = _delta("fail_count", 0.0, 3.0)
+        assert delta.exceeds_threshold
+        assert delta.regressed
+
+
+class TestRegressed:
+    def test_higher_better_drop_is_regression(self):
+        assert _delta("steps_per_sec", 100.0, 60.0).regressed
+
+    def test_higher_better_gain_is_not(self):
+        assert not _delta("steps_per_sec", 100.0, 160.0).regressed
+
+    def test_lower_better_rise_is_regression(self):
+        assert _delta("total_duration_s", 1.0, 2.0).regressed
+
+    def test_neutral_never_regresses(self):
+        assert not _delta("config.n_blocks", 1.0, 100.0).regressed
+
+    def test_within_threshold_is_not_flagged(self):
+        delta = _delta("steps_per_sec", 100.0, 90.0)
+        assert not delta.exceeds_threshold
+        assert not delta.regressed
+
+
+class TestFlatten:
+    def test_run_report_shape(self):
+        report = {
+            "metrics": {
+                "counters": {"cache.hits": 10},
+                "gauges": {"refresh.busy": 0.5},
+                "histograms": {
+                    "spice.newton": {"count": 4, "sum": 12.0},
+                    "empty.hist": {"count": 0, "sum": 0.0},
+                },
+            },
+            "total_duration_s": 1.5,
+        }
+        flat = flatten_metrics(report)
+        assert flat == {
+            "cache.hits": 10.0,
+            "refresh.busy": 0.5,
+            "spice.newton.count": 4.0,
+            "spice.newton.mean": 3.0,
+            "empty.hist.count": 0.0,
+            "total_duration_s": 1.5,
+        }
+
+    def test_benchmark_shape_skips_non_numerics(self):
+        flat = flatten_metrics({
+            "steps_per_sec": 120.5, "label": "fig5", "ok": True,
+            "nested": {"x": 1}})
+        assert flat == {"steps_per_sec": 120.5}
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            flatten_metrics([1, 2, 3])
+
+
+class TestDiffReports:
+    def test_identical_reports_have_zero_deltas(self):
+        report = {"steps_per_sec": 100.0, "total_duration_s": 2.0}
+        deltas = diff_reports(report, dict(report))
+        assert len(deltas) == 2
+        assert all(d.rel_change == 0.0 for d in deltas)
+        assert not any(d.regressed for d in deltas)
+
+    def test_injected_regression_is_flagged(self):
+        before = {"steps_per_sec": 100.0, "total_duration_s": 2.0}
+        after = {"steps_per_sec": 60.0, "total_duration_s": 5.0}
+        deltas = diff_reports(before, after)
+        assert all(d.regressed for d in deltas)
+
+    def test_metrics_in_only_one_report_are_skipped(self):
+        deltas = diff_reports({"a": 1.0, "shared": 2.0},
+                              {"b": 1.0, "shared": 2.0})
+        assert [d.name for d in deltas] == ["shared"]
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="threshold"):
+            diff_reports({}, {}, threshold=0.0)
+
+    def test_deltas_sorted_by_name(self):
+        deltas = diff_reports({"b": 1.0, "a": 1.0}, {"b": 1.0, "a": 1.0})
+        assert [d.name for d in deltas] == ["a", "b"]
+
+
+class TestLoadReport:
+    def test_loads_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text('{"x": 1}')
+        assert load_report(path) == {"x": 1}
+
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read report"):
+            load_report(tmp_path / "absent.json")
+
+    def test_invalid_json_is_one_line_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_report(path)
+
+
+class TestFormatting:
+    def test_verdict_line_counts(self):
+        deltas = diff_reports({"steps_per_sec": 100.0, "neutral_thing": 1.0},
+                              {"steps_per_sec": 50.0, "neutral_thing": 1.0})
+        text = format_diff(deltas)
+        assert "2 metric(s) compared" in text
+        assert "1 regression(s)" in text
+        assert "REGRESSION" in text
+
+    def test_json_output_only_keeps_exceeding_deltas(self):
+        import json
+        deltas = diff_reports({"steps_per_sec": 100.0, "stable": 5.0},
+                              {"steps_per_sec": 50.0, "stable": 5.0})
+        doc = json.loads(diff_to_json(deltas))
+        assert doc["schema"] == 1
+        assert doc["metrics_compared"] == 2
+        assert doc["regressions"] == 1
+        assert [d["name"] for d in doc["deltas"]] == ["steps_per_sec"]

@@ -1,0 +1,152 @@
+"""Tests for the bounded structured event log (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (DEFAULT_EVENT_CAPACITY, Event, EventLog,
+                              NULL_EVENT_LOG)
+
+
+class TestEvent:
+    def test_to_dict_omits_empty_payload(self):
+        assert Event(1.5, "a.b").to_dict() == {"t": 1.5, "kind": "a.b"}
+
+    def test_to_dict_includes_payload(self):
+        node = Event(1.5, "a.b", {"x": 1}).to_dict()
+        assert node == {"t": 1.5, "kind": "a.b", "payload": {"x": 1}}
+
+    def test_round_trip(self):
+        original = Event(2.25, "cache.eviction", {"set": 3, "dirty": True})
+        restored = Event.from_dict(original.to_dict())
+        assert restored.t == original.t
+        assert restored.kind == original.kind
+        assert restored.payload == original.payload
+
+
+class TestRing:
+    def test_default_capacity(self):
+        assert EventLog().capacity == DEFAULT_EVENT_CAPACITY
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_keeps_newest_and_counts_drops(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick.tock", i=i)
+        assert len(log) == 3
+        assert log.emitted == 5
+        assert log.dropped == 2
+        assert [e.payload["i"] for e in log.events()] == [2, 3, 4]
+
+    def test_timestamps_are_monotonic(self):
+        log = EventLog()
+        for _ in range(10):
+            log.emit("tick.tock")
+        times = [e.t for e in log.events()]
+        assert times == sorted(times)
+
+    def test_kinds_summary_sorted(self):
+        log = EventLog()
+        log.emit("b.two")
+        log.emit("a.one")
+        log.emit("b.two")
+        assert log.kinds() == {"a.one": 1, "b.two": 2}
+        assert list(log.kinds()) == ["a.one", "b.two"]
+
+    def test_reset_clears_ring_and_counters(self):
+        log = EventLog(capacity=2)
+        for i in range(4):
+            log.emit("tick.tock", i=i)
+        log.reset()
+        assert len(log) == 0
+        assert log.emitted == 0
+        assert log.dropped == 0
+
+
+class TestExtend:
+    def test_preserves_order_and_returns_count(self):
+        log = EventLog()
+        appended = log.extend([
+            {"t": 1.0, "kind": "a.one"},
+            Event(2.0, "b.two", {"x": 1}),
+            {"t": 3.0, "kind": "a.one", "payload": {"y": 2}},
+        ])
+        assert appended == 3
+        assert [(e.t, e.kind) for e in log.events()] == [
+            (1.0, "a.one"), (2.0, "b.two"), (3.0, "a.one")]
+        assert log.events()[2].payload == {"y": 2}
+
+    def test_extend_respects_ring_bound(self):
+        log = EventLog(capacity=2)
+        log.extend({"t": float(i), "kind": "tick.tock"} for i in range(5))
+        assert len(log) == 2
+        assert log.dropped == 3
+
+
+class TestJsonlSink:
+    def test_streams_every_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=2, jsonl_path=path)
+        for i in range(5):
+            log.emit("tick.tock", i=i)
+        log.close()
+        lines = path.read_text().splitlines()
+        # The ring keeps 2, the sink keeps all 5.
+        assert len(lines) == 5
+        assert [json.loads(line)["payload"]["i"] for line in lines] == [
+            0, 1, 2, 3, 4]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        log = EventLog(jsonl_path=path)
+        log.emit("tick.tock")
+        log.close()
+        assert path.exists()
+
+    def test_unwritable_path_fails_at_construction(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        with pytest.raises(ConfigurationError, match="cannot open event sink"):
+            EventLog(jsonl_path=blocker / "events.jsonl")
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(jsonl_path=tmp_path / "events.jsonl")
+        log.close()
+        log.close()
+
+    def test_reset_keeps_sink_open(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(jsonl_path=path)
+        log.emit("tick.tock", i=0)
+        log.reset()
+        log.emit("tick.tock", i=1)
+        log.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestInjection:
+    def test_instrumented_keeps_injected_empty_log(self):
+        # Regression: EventLog has __len__, so an empty injected log is
+        # falsy — instrumented() must still use it, not a fresh one.
+        from repro import obs
+        log = EventLog()
+        with obs.instrumented(events=log):
+            obs.event("a.b", x=1)
+        assert log.emitted == 1
+        assert log.events()[0].kind == "a.b"
+
+
+class TestNullEventLog:
+    def test_discards_everything(self):
+        assert NULL_EVENT_LOG.emit("tick.tock", x=1) is None
+        assert NULL_EVENT_LOG.extend([{"t": 0.0, "kind": "a.b"}]) == 0
+        assert NULL_EVENT_LOG.events() == []
+        assert NULL_EVENT_LOG.to_dicts() == []
+        assert NULL_EVENT_LOG.kinds() == {}
+        assert len(NULL_EVENT_LOG) == 0
+        NULL_EVENT_LOG.close()
+        NULL_EVENT_LOG.reset()

@@ -1,0 +1,187 @@
+"""Tests for trace/CSV/Prometheus exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import (EVENT_TID, EXPORT_FORMATS, SPAN_TID,
+                              chrome_trace, render_csv, render_prometheus,
+                              render_report, validate_chrome_trace)
+
+
+def _report(**overrides):
+    base = {
+        "schema": 2,
+        "command": "fig5",
+        "fingerprint": "abc123",
+        "total_duration_s": 0.5,
+        "metrics": {
+            "counters": {"cache.hits": 7},
+            "gauges": {"refresh.busy": 0.25},
+            "histograms": {
+                "spice.newton": {"count": 2, "sum": 6.0,
+                                 "buckets": [1.0, 5.0], "counts": [1, 1]},
+            },
+        },
+        "spans": [
+            {"name": "run", "start_s": 0.0, "duration_s": 0.5,
+             "attrs": {"cycles": 100}, "children": [
+                 {"name": "setup", "start_s": 0.0, "duration_s": 0.1,
+                  "children": []},
+                 {"name": "loop", "start_s": 0.1, "duration_s": 0.4,
+                  "children": []},
+             ]},
+        ],
+        "events": [
+            {"t": 0.05, "kind": "refresh.dropped",
+             "payload": {"index": 3, "cycle": 40}},
+            {"t": 0.2, "kind": "cache.eviction",
+             "payload": {"set": 1, "tag": 9, "dirty": True}},
+        ],
+        "timeseries": {
+            "spice.newton.iterations": {
+                "capacity": 256, "stride": 1, "count": 2, "sum": 6.0,
+                "min": 2.0, "max": 4.0, "last": 4.0,
+                "points": [[0.0, 2.0], [0.1, 4.0]]},
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestChromeTrace:
+    def test_produced_trace_validates(self):
+        trace = chrome_trace(_report())
+        assert validate_chrome_trace(trace) == []
+
+    def test_spans_and_events_land_on_their_tracks(self):
+        trace = chrome_trace(_report())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert {e["tid"] for e in spans} == {SPAN_TID}
+        assert {e["tid"] for e in instants} == {EVENT_TID}
+        assert [e["name"] for e in spans] == ["run", "setup", "loop"]
+        assert [e["name"] for e in instants] == [
+            "refresh.dropped", "cache.eviction"]
+
+    def test_timestamps_are_microseconds_from_t0(self):
+        trace = chrome_trace(_report())
+        by_name = {e["name"]: e for e in trace["traceEvents"]
+                   if e["ph"] in ("X", "i")}
+        assert by_name["run"]["ts"] == 0.0
+        assert by_name["run"]["dur"] == pytest.approx(500_000.0)
+        assert by_name["loop"]["ts"] == pytest.approx(100_000.0)
+        assert by_name["refresh.dropped"]["ts"] == pytest.approx(50_000.0)
+
+    def test_event_payload_becomes_args(self):
+        trace = chrome_trace(_report())
+        instant = next(e for e in trace["traceEvents"]
+                       if e.get("name") == "cache.eviction")
+        assert instant["args"] == {"set": 1, "tag": 9, "dirty": True}
+
+    def test_schema1_spans_get_sequential_layout(self):
+        # Schema-1 spans carry no start_s: children are laid out
+        # sequentially, preserving nesting exactly.
+        report = _report(schema=1, events=[], spans=[
+            {"name": "run", "duration_s": 0.5, "children": [
+                {"name": "a", "duration_s": 0.2, "children": []},
+                {"name": "b", "duration_s": 0.3, "children": []},
+            ]},
+        ])
+        trace = chrome_trace(report)
+        assert validate_chrome_trace(trace) == []
+        by_name = {e["name"]: e for e in trace["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["a"]["ts"] == 0.0
+        assert by_name["b"]["ts"] == pytest.approx(200_000.0)
+
+    def test_empty_report_still_validates(self):
+        trace = chrome_trace({"schema": 2, "spans": [], "events": []})
+        assert validate_chrome_trace(trace) == []
+
+
+class TestValidation:
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "document has no traceEvents list"]
+
+    def test_detects_missing_keys(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "name": "x", "ts": 0.0, "pid": 1, "tid": 1}]})
+        assert any("has no dur" in p for p in problems)
+
+    def test_detects_negative_duration(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "name": "x", "ts": 0.0, "dur": -1.0,
+             "pid": 1, "tid": 1}]})
+        assert any("negative" in p for p in problems)
+
+    def test_detects_partial_overlap(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "name": "a", "ts": 0.0, "dur": 100.0,
+             "pid": 1, "tid": 1},
+            {"ph": "X", "name": "b", "ts": 50.0, "dur": 100.0,
+             "pid": 1, "tid": 1}]})
+        assert any("overlaps" in p for p in problems)
+
+    def test_detects_non_monotonic_instants(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "i", "s": "t", "name": "a", "ts": 10.0,
+             "pid": 1, "tid": 2},
+            {"ph": "i", "s": "t", "name": "b", "ts": 5.0,
+             "pid": 1, "tid": 2}]})
+        assert any("monotonic" in p for p in problems)
+
+    def test_proper_nesting_accepted(self):
+        assert validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "name": "outer", "ts": 0.0, "dur": 100.0,
+             "pid": 1, "tid": 1},
+            {"ph": "X", "name": "inner", "ts": 10.0, "dur": 50.0,
+             "pid": 1, "tid": 1},
+            {"ph": "X", "name": "sibling", "ts": 60.0, "dur": 40.0,
+             "pid": 1, "tid": 1}]}) == []
+
+
+class TestCsv:
+    def test_covers_all_sections(self):
+        rows = render_csv(_report()).splitlines()
+        assert rows[0] == "section,name,key,value"
+        sections = {row.split(",")[0] for row in rows[1:]}
+        assert sections == {"counter", "gauge", "histogram", "timeseries",
+                            "event"}
+
+    def test_timeseries_points_are_rows(self):
+        rows = [r for r in render_csv(_report()).splitlines()
+                if r.startswith("timeseries,")]
+        assert len(rows) == 2
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms(self):
+        text = render_prometheus(_report())
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits 7" in text
+        assert "# TYPE repro_refresh_busy gauge" in text
+        assert "repro_refresh_busy 0.25" in text
+        assert '# TYPE repro_spice_newton histogram' in text
+        assert 'repro_spice_newton_bucket{le="1"} 1' in text
+        assert 'repro_spice_newton_bucket{le="+Inf"} 2' in text
+        assert "repro_spice_newton_sum 6" in text
+        assert "repro_spice_newton_count 2" in text
+
+    def test_empty_report_renders_empty(self):
+        assert render_prometheus({"metrics": {}}) == ""
+
+
+class TestRenderReport:
+    @pytest.mark.parametrize("fmt", EXPORT_FORMATS)
+    def test_every_format_renders(self, fmt):
+        text = render_report(_report(), fmt)
+        assert text
+        if fmt == "chrome":
+            assert json.loads(text)["traceEvents"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown export format"):
+            render_report(_report(), "xml")

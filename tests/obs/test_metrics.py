@@ -103,6 +103,57 @@ class TestRegistry:
         assert b.counter("x").value == 0.0
 
 
+class TestMergeSnapshot:
+    def test_counters_accumulate_gauges_last_write_wins(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.0)
+        other = MetricsRegistry()
+        other.counter("c").inc(3)
+        other.gauge("g").set(9.0)
+        registry.merge_snapshot(other.snapshot())
+        assert registry.counter("c").value == 5.0
+        assert registry.gauge("g").value == 9.0
+
+    def test_histograms_merge_bucket_wise(self, registry):
+        registry.histogram("h", buckets=(1, 10)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(1, 10)).observe(5)
+        registry.merge_snapshot(other.snapshot())
+        merged = registry.histogram("h", buckets=(1, 10))
+        assert merged.counts == [1, 1, 0]
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(5.5)
+
+    def test_empty_snapshot_is_a_noop(self, registry):
+        registry.counter("c").inc()
+        before = registry.snapshot()
+        registry.merge_snapshot({})
+        registry.merge_snapshot(MetricsRegistry().snapshot())
+        assert registry.snapshot() == before
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.gauge("x")
+        other = MetricsRegistry()
+        other.counter("x").inc()
+        with pytest.raises(ConfigurationError, match="another kind"):
+            registry.merge_snapshot(other.snapshot())
+
+    def test_histogram_bucket_mismatch_rejected(self, registry):
+        registry.histogram("h", buckets=(1, 10)).observe(1)
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(1, 10, 100)).observe(1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.merge_snapshot(other.snapshot())
+
+    def test_merge_into_fresh_registry_round_trips(self, registry):
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        target = MetricsRegistry()
+        target.merge_snapshot(registry.snapshot())
+        assert target.snapshot() == registry.snapshot()
+
+
 class TestNullRegistry:
     def test_discards_everything(self):
         NULL_REGISTRY.counter("x").inc(5)

@@ -1,0 +1,101 @@
+"""Tests for the live sweep progress line (repro.obs.progress)."""
+
+import argparse
+import io
+
+from repro.obs.progress import SweepProgress, _format_seconds, \
+    progress_for_args
+
+
+def _progress(**kwargs):
+    kwargs.setdefault("stream", io.StringIO())
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("min_interval", 0.0)
+    return SweepProgress(**kwargs)
+
+
+class TestStatusLine:
+    def test_shows_completed_over_total(self):
+        progress = _progress(total=100, label="mc")
+        progress.advance(completed=7)
+        assert progress.status_line().startswith("mc:    7/100")
+
+    def test_failures_shown_only_when_present(self):
+        progress = _progress(total=10)
+        progress.advance(completed=1)
+        assert "failures" not in progress.status_line()
+        progress.advance(failed=2)
+        assert "failures 2" in progress.status_line()
+
+    def test_rate_and_eta_appear_after_fresh_work(self):
+        progress = _progress(total=10)
+        progress._started -= 10.0  # pretend 10s elapsed
+        progress.advance(completed=5)
+        line = progress.status_line()
+        assert "/s" in line
+        assert "eta" in line
+
+    def test_restored_items_excluded_from_rate(self):
+        progress = _progress(total=100)
+        progress._started -= 10.0
+        progress.note_restored(50)
+        assert progress.completed == 50
+        assert progress._rate() == 0.0  # nothing fresh yet
+        progress.advance(completed=10)
+        assert progress._rate() > 0
+
+
+class TestRendering:
+    def test_writes_self_overwriting_line(self):
+        stream = io.StringIO()
+        progress = _progress(total=5, stream=stream)
+        progress.advance(completed=1)
+        progress.advance(completed=1)
+        output = stream.getvalue()
+        assert output.count("\r\x1b[2K") == 2
+        assert "\n" not in output
+
+    def test_finish_releases_the_line(self):
+        stream = io.StringIO()
+        progress = _progress(total=5, stream=stream)
+        progress.advance(completed=5)
+        progress.finish()
+        assert stream.getvalue().endswith("\n")
+
+    def test_disabled_writes_nothing(self):
+        stream = io.StringIO()
+        progress = SweepProgress(total=5, stream=stream, enabled=False)
+        progress.advance(completed=5)
+        progress.finish()
+        assert stream.getvalue() == ""
+
+    def test_auto_disables_on_non_tty(self):
+        assert SweepProgress(total=5, stream=io.StringIO()).enabled is False
+
+    def test_min_interval_throttles(self):
+        stream = io.StringIO()
+        progress = _progress(total=100, stream=stream)
+        progress.advance(completed=1)  # renders
+        progress.min_interval = 3600.0
+        for _ in range(50):
+            progress.advance(completed=1)  # all throttled
+        assert stream.getvalue().count("\r\x1b[2K") == 1
+
+
+class TestFormatSeconds:
+    def test_seconds_minutes_hours(self):
+        assert _format_seconds(42.0) == "42s"
+        assert _format_seconds(600.0) == "10.0m"
+        assert _format_seconds(7200.0) == "2.0h"
+
+
+class TestProgressForArgs:
+    def test_progress_flag_forces_on(self):
+        args = argparse.Namespace(progress=True)
+        assert progress_for_args(args, total=5, label="mc").enabled is True
+
+    def test_without_flag_auto_detects_tty(self):
+        args = argparse.Namespace(progress=False)
+        progress = progress_for_args(args, total=5, label="mc")
+        # stderr in the test harness is not a TTY.
+        assert progress.enabled is False

@@ -5,9 +5,11 @@ import json
 import pytest
 
 from repro import __version__, obs
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import (REPORT_SCHEMA, build_run_report,
                               config_fingerprint, write_run_report)
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.tracing import Tracer
 
 
@@ -79,6 +81,63 @@ class TestWriteReport:
     def test_requires_sources_or_report(self, tmp_path):
         with pytest.raises(ValueError, match="registry and tracer"):
             write_run_report(tmp_path / "r.json", "x", {})
+
+
+class TestTelemetrySections:
+    def test_events_and_timeseries_in_report(self, populated):
+        registry, tracer = populated
+        events = EventLog(capacity=2)
+        for i in range(3):
+            events.emit("refresh.dropped", index=i, cycle=i * 10)
+        timeseries = TimeSeriesRecorder()
+        timeseries.series("spice.newton.iterations").sample(0.0, 3.0)
+        report = build_run_report("fig5", {}, registry, tracer,
+                                  events=events, timeseries=timeseries)
+        assert [e["kind"] for e in report["events"]] == [
+            "refresh.dropped", "refresh.dropped"]
+        assert report["event_count"] == 3
+        assert report["events_dropped"] == 1
+        series = report["timeseries"]["spice.newton.iterations"]
+        assert series["count"] == 1
+        assert series["last"] == 3.0
+
+    def test_without_telemetry_sections_are_empty(self, populated):
+        registry, tracer = populated
+        report = build_run_report("fig5", {}, registry, tracer)
+        assert report["events"] == []
+        assert report["timeseries"] == {}
+        assert "event_count" not in report
+
+
+class TestSchemaRoundTrip:
+    def test_full_report_survives_disk_round_trip(self, populated, tmp_path):
+        registry, tracer = populated
+        events = EventLog()
+        events.emit("cache.eviction", set=1, tag=2, dirty=False)
+        timeseries = TimeSeriesRecorder()
+        for i in range(10):
+            timeseries.series("refresh.busy_fraction").sample(float(i),
+                                                              i / 10.0)
+        path = tmp_path / "run.json"
+        written = write_run_report(path, "fig5", {"cycles": 10},
+                                   registry, tracer, events=events,
+                                   timeseries=timeseries)
+        restored = json.loads(path.read_text())
+        assert restored == json.loads(json.dumps(written))
+        assert restored["schema"] == REPORT_SCHEMA
+
+        # Every schema-2 section is reusable after the round trip:
+        # metrics and timeseries fold losslessly into fresh registries,
+        # and events reload as Event objects.
+        merged = MetricsRegistry()
+        merged.merge_snapshot(restored["metrics"])
+        assert merged.snapshot() == restored["metrics"]
+        recorder = TimeSeriesRecorder()
+        recorder.merge_snapshot(restored["timeseries"])
+        assert recorder.snapshot() == restored["timeseries"]
+        reloaded = EventLog()
+        assert reloaded.extend(restored["events"]) == 1
+        assert reloaded.events()[0].kind == "cache.eviction"
 
 
 class TestModuleRunReport:

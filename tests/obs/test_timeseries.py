@@ -1,0 +1,155 @@
+"""Tests for the decimating time-series recorder (repro.obs.timeseries)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.timeseries import (DEFAULT_CAPACITY, NULL_TIMESERIES,
+                                  TimeSeries, TimeSeriesRecorder)
+
+
+def _fill(series, n, value=lambda i: float(i)):
+    for i in range(n):
+        series.sample(float(i), value(i))
+
+
+class TestDecimation:
+    def test_points_stay_bounded(self):
+        series = TimeSeries("s", capacity=8)
+        _fill(series, 10_000)
+        assert len(series.points) < series.capacity
+
+    def test_stride_doubles_per_decimation(self):
+        series = TimeSeries("s", capacity=4)
+        _fill(series, 4)  # hits capacity exactly once
+        assert series.stride == 2
+        assert len(series.points) == 2
+
+    def test_points_spread_over_whole_run(self):
+        series = TimeSeries("s", capacity=16)
+        _fill(series, 10_000)
+        times = [t for t, _ in series.points]
+        assert times == sorted(times)
+        assert times[0] < 1_000
+        assert times[-1] > 8_000
+
+    def test_stats_exact_regardless_of_decimation(self):
+        series = TimeSeries("s", capacity=4)
+        n = 1000
+        _fill(series, n)
+        assert series.count == n
+        assert series.sum == sum(range(n))
+        assert series.min == 0.0
+        assert series.max == float(n - 1)
+        assert series.last == float(n - 1)
+        assert series.mean == pytest.approx((n - 1) / 2)
+
+    def test_empty_series_stats(self):
+        series = TimeSeries("s")
+        assert series.count == 0
+        assert series.min == 0.0
+        assert series.max == 0.0
+        assert series.mean == 0.0
+        assert series.last is None
+
+    def test_capacity_below_two_rejected(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            TimeSeries("s", capacity=1)
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_round_trip(self):
+        series = TimeSeries("s", capacity=8)
+        _fill(series, 5)
+        snap = series.snapshot()
+        assert snap["count"] == 5
+        assert snap["points"] == [[float(i), float(i)] for i in range(5)]
+
+    def test_merge_is_exact_on_stats(self):
+        a = TimeSeries("s", capacity=8)
+        b = TimeSeries("s", capacity=8)
+        _fill(a, 100)
+        _fill(b, 50, value=lambda i: float(i) + 1000.0)
+        a.merge(b.snapshot())
+        assert a.count == 150
+        assert a.sum == sum(range(100)) + sum(i + 1000.0 for i in range(50))
+        assert a.min == 0.0
+        assert a.max == 1049.0
+        assert a.last == 1049.0  # last-write-wins
+
+    def test_merge_empty_snapshot_is_noop(self):
+        a = TimeSeries("s")
+        _fill(a, 3)
+        before = a.snapshot()
+        a.merge(TimeSeries("s").snapshot())
+        assert a.snapshot() == before
+
+    def test_merge_is_deterministic_in_given_order(self):
+        def merged(order):
+            target = TimeSeries("s", capacity=8)
+            for snap in order:
+                target.merge(snap)
+            return target.snapshot()
+
+        parts = []
+        for offset in (0, 100, 200):
+            part = TimeSeries("s", capacity=8)
+            _fill(part, 6, value=lambda i, o=offset: float(i + o))
+            parts.append(part.snapshot())
+        assert merged(parts) == merged(parts)
+
+    def test_merge_rebounds_points(self):
+        a = TimeSeries("s", capacity=4)
+        b = TimeSeries("s", capacity=4)
+        _fill(a, 3)
+        _fill(b, 3)
+        a.merge(b.snapshot())
+        assert len(a.points) < a.capacity
+
+
+class TestRecorder:
+    def test_series_created_on_first_use(self):
+        recorder = TimeSeriesRecorder()
+        series = recorder.series("a.one")
+        assert series is recorder.series("a.one")
+        assert series.capacity == DEFAULT_CAPACITY
+
+    def test_capacity_conflict_rejected(self):
+        recorder = TimeSeriesRecorder()
+        recorder.series("a.one", capacity=16)
+        recorder.series("a.one")  # no capacity: no conflict
+        with pytest.raises(ConfigurationError, match="already registered"):
+            recorder.series("a.one", capacity=32)
+
+    def test_snapshot_sorted_by_name(self):
+        recorder = TimeSeriesRecorder()
+        recorder.series("b.two").sample(0.0, 1.0)
+        recorder.series("a.one").sample(0.0, 1.0)
+        assert list(recorder.snapshot()) == ["a.one", "b.two"]
+
+    def test_merge_snapshot_creates_missing_series(self):
+        source = TimeSeriesRecorder()
+        source.series("a.one", capacity=16).sample(1.0, 2.0)
+        target = TimeSeriesRecorder()
+        target.merge_snapshot(source.snapshot())
+        merged = target.series("a.one")
+        assert merged.capacity == 16
+        assert merged.count == 1
+        assert merged.last == 2.0
+
+    def test_reset(self):
+        recorder = TimeSeriesRecorder()
+        recorder.series("a.one").sample(0.0, 1.0)
+        recorder.reset()
+        assert recorder.snapshot() == {}
+
+
+class TestNullRecorder:
+    def test_discards_everything(self):
+        series = NULL_TIMESERIES.series("anything", capacity=999)
+        series.sample(0.0, 1.0)
+        assert series.count == 0
+        assert series.points == []
+        assert list(NULL_TIMESERIES.names()) == []
+        assert NULL_TIMESERIES.snapshot() == {}
+        NULL_TIMESERIES.merge_snapshot({})
+        NULL_TIMESERIES.reset()
