@@ -1,21 +1,30 @@
-"""repro.analysis — static analysis: code linter + model checker.
+"""repro.analysis — static analysis: linter, model checker, audit.
 
-Two analyzers share one diagnostics core:
+Three analyzer families share one diagnostics core:
 
 * :mod:`repro.analysis.lint` — AST rules specialized to this codebase
-  (``repro lint``): bare physical-magnitude literals that should use the
-  :mod:`repro.units` multipliers, float equality comparisons, physical
-  parameters without documented units, mutable default arguments, and
-  :mod:`repro.obs` metric/span naming discipline.
+  (``repro lint``, L1xx): bare physical-magnitude literals that should
+  use the :mod:`repro.units` multipliers, float equality comparisons,
+  physical parameters without documented units, mutable default
+  arguments, and :mod:`repro.obs` metric/span naming discipline.
 * :mod:`repro.analysis.model` — pre-solve checks of ``Circuit`` graphs
-  and macro/refresh/tech configurations (``repro check``): floating
-  nodes, voltage-source loops, dangling subckt ports, undamped dynamic
-  nodes, and physical-range validation — the defect classes that
-  otherwise surface as a singular MNA matrix deep inside a solve.
+  and macro/refresh/tech configurations (``repro check``, M2xx):
+  floating nodes, voltage-source loops, dangling subckt ports, undamped
+  dynamic nodes, and physical-range validation — the defect classes
+  that otherwise surface as a singular MNA matrix deep inside a solve.
+* :mod:`repro.analysis.purity` — the determinism & parallel-safety
+  audit (``repro audit``, D3xx): an interprocedural call-graph effect
+  analysis (:mod:`repro.analysis.callgraph`,
+  :mod:`repro.analysis.effects`) proving the executor's bit-identity
+  contract — no unseeded RNG reachable from the seeded pipelines or
+  worker-submitted functions, no ambient state in fingerprints or
+  checkpoints, no global mutation in workers, no hash-ordered
+  reductions.
 
-Both emit :class:`~repro.analysis.diagnostics.Diagnostic` records with a
-stable rule ID, severity, location and fix hint; text and JSON renderers
-and a baseline file for suppressing accepted findings live in
+All emit :class:`~repro.analysis.diagnostics.Diagnostic` records with a
+stable rule ID, severity, location and fix hint; text and JSON
+renderers, the cross-family rule-ID registry, and the baseline file for
+suppressing accepted findings live in
 :mod:`repro.analysis.diagnostics`.
 """
 
@@ -23,9 +32,20 @@ from repro.analysis.diagnostics import (
     Baseline,
     Diagnostic,
     Severity,
-    format_diagnostics,
+    all_rules,
     diagnostics_to_json,
+    format_diagnostics,
+    register_rules,
 )
+from repro.analysis.effects import (
+    Effect,
+    declared_effects,
+    deterministic_under_seed,
+    mutates_global_state,
+    observational,
+    pure,
+)
+from repro.analysis.callgraph import CallGraph, build_callgraph
 from repro.analysis.lint import LINT_RULES, lint_paths, lint_source
 from repro.analysis.model import (
     MODEL_RULES,
@@ -38,12 +58,18 @@ from repro.analysis.model import (
     check_tech_node,
     default_targets,
 )
+from repro.analysis.purity import AUDIT_RULES, audit_graph, audit_paths
 
 __all__ = [
     "Baseline", "Diagnostic", "Severity",
     "format_diagnostics", "diagnostics_to_json",
+    "register_rules", "all_rules",
+    "Effect", "declared_effects", "pure", "deterministic_under_seed",
+    "mutates_global_state", "observational",
+    "CallGraph", "build_callgraph",
     "LINT_RULES", "lint_paths", "lint_source",
     "MODEL_RULES", "check_circuit", "check_organization",
     "check_python_file", "check_refresh_policy", "check_scope",
     "check_targets", "check_tech_node", "default_targets",
+    "AUDIT_RULES", "audit_graph", "audit_paths",
 ]

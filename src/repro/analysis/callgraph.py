@@ -1,0 +1,582 @@
+"""Interprocedural call-graph construction for the determinism audit.
+
+Builds a whole-package graph of every function, method, nested function
+and lambda in the analyzed files, with three edge kinds:
+
+* **call** — ``f`` may invoke ``g``: a direct call, a ``self.m()``
+  method call resolved through the enclosing class (and its in-package
+  bases), a call through an import alias (including package-``__init__``
+  re-exports like ``repro.exec.run_parallel_sweep``), a
+  ``functools.partial(g, ...)`` construction, or a decorator applied to
+  ``f`` (the wrapper a decorator returns runs on every call of ``f``).
+* **contains** — ``f`` defines ``g`` inline (nested ``def`` or
+  ``lambda``).  Effects bubble from ``g`` up to ``f``: a nested
+  function executes, if at all, under its parent's obligations.
+* **reference** — ``f`` mentions ``g`` without calling it.  Inside a
+  function that submits work to the parallel executor these are how
+  work-item callables escape into worker processes, so the audit
+  treats them as worker entry points.
+
+Resolution is best-effort and *static*: unresolvable targets (calls on
+computed objects, callables received as parameters) become external
+names, which the effect analysis classifies against its known-impure
+tables instead of following.  The graph never imports or executes the
+analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "ModuleInfo",
+    "build_callgraph",
+    "module_name_for",
+]
+
+#: Pseudo-function holding a module's import-time (top-level) code.
+MODULE_BODY = "<module>"
+
+
+def module_name_for(path: "str | pathlib.Path") -> str:
+    """Dotted module name of ``path``, walking up through packages.
+
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``; a loose file outside
+    any package is just its stem.
+    """
+    file = pathlib.Path(path).resolve()
+    parts = [file.stem]
+    if file.name == "__init__.py":
+        parts = []
+        file = file.parent
+        parts.append(file.name)
+    directory = file.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        directory = directory.parent
+    return ".".join(reversed(parts))
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    raw: str  # dotted name as written ("fn", "np.random.default_rng")
+    expanded: str  # import aliases substituted ("numpy.random.default_rng")
+    lineno: int
+    node: ast.Call
+    resolved: Optional[str] = None  # qualname of an in-graph callee
+
+
+@dataclasses.dataclass
+class FunctionNode:
+    """One function / method / lambda (or a module's top-level body)."""
+
+    qualname: str  # "repro.core.optimizer.DesignOptimizer._evaluate"
+    module: str
+    path: str
+    lineno: int
+    name: str  # bare name ("_evaluate", "<lambda>", "<module>")
+    class_name: Optional[str]
+    node: Optional[ast.AST]  # the def/lambda node; None for MODULE_BODY
+    annotation: Optional[str] = None  # effects declaration, if any
+    decorators: List[str] = dataclasses.field(default_factory=list)
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    #: qualnames of nested defs/lambdas (contains edges).
+    children: List[str] = dataclasses.field(default_factory=list)
+    parent: Optional[str] = None
+    #: in-graph functions referenced without being called.
+    references: Set[str] = dataclasses.field(default_factory=set)
+    #: names bound locally (params, assignments) — shadowing guard.
+    local_bindings: Set[str] = dataclasses.field(default_factory=set)
+
+    @property
+    def display(self) -> str:
+        """Short human name used in diagnostic messages."""
+        if self.name == MODULE_BODY:
+            return f"{self.module} (module body)"
+        prefix = f"{self.class_name}." if self.class_name else ""
+        return f"{self.module}.{prefix}{self.name}"
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """Per-module symbol tables used during resolution."""
+
+    name: str
+    path: str
+    aliases: Dict[str, str] = dataclasses.field(default_factory=dict)
+    functions: Dict[str, str] = dataclasses.field(default_factory=dict)
+    classes: Dict[str, "ClassInfo"] = dataclasses.field(default_factory=dict)
+    #: names assigned at module top level (global-mutation detection).
+    global_names: Set[str] = dataclasses.field(default_factory=set)
+    source_lines: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """Methods and base-class names of one class definition."""
+
+    name: str
+    methods: Dict[str, str] = dataclasses.field(default_factory=dict)
+    bases: List[str] = dataclasses.field(default_factory=list)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Collects functions, classes, imports and call sites of one file."""
+
+    def __init__(self, graph: "CallGraph", info: ModuleInfo) -> None:
+        self.graph = graph
+        self.info = info
+        body = FunctionNode(
+            qualname=f"{info.name}.{MODULE_BODY}", module=info.name,
+            path=info.path, lineno=1, name=MODULE_BODY, class_name=None,
+            node=None)
+        graph.add(body)
+        self._stack: List[FunctionNode] = [body]
+        self._class_stack: List[ClassInfo] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def _current(self) -> FunctionNode:
+        return self._stack[-1]
+
+    def _qualify(self, name: str, lineno: int) -> str:
+        parent = self._current
+        if parent.name == MODULE_BODY:
+            scope = self.info.name
+            if self._class_stack:
+                scope += "." + ".".join(c.name for c in self._class_stack)
+        else:
+            scope = parent.qualname
+        if name == "<lambda>":
+            name = f"<lambda:{lineno}>"
+        return f"{scope}.{name}"
+
+    def _expand(self, raw: str) -> str:
+        head, _, rest = raw.partition(".")
+        target = self.info.aliases.get(head)
+        if target is None:
+            return raw
+        return f"{target}.{rest}" if rest else target
+
+    # -- imports --------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.info.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name != "*":
+                    self.info.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+        self.generic_visit(node)
+
+    # -- definitions -----------------------------------------------------------
+
+    def _enter_function(self, node, name: str) -> FunctionNode:
+        qualname = self._qualify(name, node.lineno)
+        class_name = (self._class_stack[-1].name
+                      if self._class_stack and self._current.name == MODULE_BODY
+                      else None)
+        fn = FunctionNode(
+            qualname=qualname, module=self.info.name, path=self.info.path,
+            lineno=node.lineno, name=name, class_name=class_name, node=node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                raw = dotted_name(target)
+                if raw is not None:
+                    fn.decorators.append(self._expand(raw))
+            fn.annotation = _declaration_of(fn.decorators)
+            args = node.args
+            fn.local_bindings.update(
+                a.arg for a in [*args.posonlyargs, *args.args,
+                                *args.kwonlyargs])
+            if args.vararg:
+                fn.local_bindings.add(args.vararg.arg)
+            if args.kwarg:
+                fn.local_bindings.add(args.kwarg.arg)
+        elif isinstance(node, ast.Lambda):
+            args = node.args
+            fn.local_bindings.update(
+                a.arg for a in [*args.posonlyargs, *args.args,
+                                *args.kwonlyargs])
+        fn.parent = self._current.qualname
+        self._current.children.append(qualname)
+        self.graph.add(fn)
+        # Register in the enclosing symbol tables for call resolution.
+        if self._current.name == MODULE_BODY:
+            if self._class_stack:
+                self._class_stack[-1].methods[name] = qualname
+            else:
+                self.info.functions[name] = qualname
+        return fn
+
+    def _visit_function(self, node) -> None:
+        fn = self._enter_function(node, node.name)
+        # Decorators may call functions (``@register(table)``): record
+        # the application as a call edge of the *decorated* function —
+        # its wrapper runs on every invocation.
+        for deco in node.decorator_list:
+            self._record_call_like(deco, owner=fn)
+        self._stack.append(fn)
+        for default in [*node.args.defaults,
+                        *[d for d in node.args.kw_defaults if d]]:
+            self.visit(default)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        fn = self._enter_function(node, "<lambda>")
+        self._stack.append(fn)
+        self.visit(node.body)
+        self._stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(name=node.name)
+        for base in node.bases:
+            raw = dotted_name(base)
+            if raw is not None:
+                cls.bases.append(self._expand(raw))
+        self.info.classes[node.name] = cls
+        if self._current.name == MODULE_BODY and not self._class_stack:
+            self.info.global_names.add(node.name)
+        self._class_stack.append(cls)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._class_stack.pop()
+
+    # -- bindings and references -----------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_bindings(node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_bindings([node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_bindings([node.target])
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._record_bindings([node.target])
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._record_bindings([node.optional_vars])
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self._bind_name(node.name)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._record_bindings([node.target])
+        self.generic_visit(node)
+
+    def _record_bindings(self, targets: Iterable[ast.AST]) -> None:
+        """Record names a store target actually *binds*.
+
+        Only bare names (and names inside tuple/list unpacking or a
+        star) create bindings; a subscript or attribute store mutates
+        an existing object without binding its root, so ``CACHE[k] = v``
+        must not shadow the module global ``CACHE``.
+        """
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._bind_name(target.id)
+            elif isinstance(target, ast.Starred):
+                self._record_bindings([target.value])
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self._record_bindings(target.elts)
+
+    def _bind_name(self, name: str) -> None:
+        if self._current.name == MODULE_BODY and not self._class_stack:
+            self.info.global_names.add(name)
+        else:
+            self._current.local_bindings.add(name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record_call_like(node, owner=self._current)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+        # Visit computed callees too (``factory()()``), but not plain
+        # name chains — those were consumed as the call target.
+        if dotted_name(node.func) is None:
+            self.visit(node.func)
+
+    def _record_call_like(self, node: ast.AST, owner: FunctionNode) -> None:
+        if not isinstance(node, ast.Call):
+            raw = dotted_name(node)
+            if raw is not None:
+                owner.calls.append(CallSite(
+                    raw=raw, expanded=self._expand(raw),
+                    lineno=getattr(node, "lineno", owner.lineno),
+                    node=ast.Call(func=node, args=[], keywords=[])))
+            return
+        raw = dotted_name(node.func)
+        if raw is not None:
+            owner.calls.append(CallSite(
+                raw=raw, expanded=self._expand(raw), lineno=node.lineno,
+                node=node))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # Bare references to known functions (resolved in pass 2).
+        if isinstance(node.ctx, ast.Load):
+            self._current.references.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        raw = dotted_name(node)
+        if raw is not None and isinstance(node.ctx, ast.Load):
+            self._current.references.add(raw)
+            return  # don't double-record the chain's root Name
+        self.generic_visit(node)
+
+
+def _declaration_of(decorators: Sequence[str]) -> Optional[str]:
+    """The effects declaration named by a decorator list, if any."""
+    for deco in decorators:
+        last = deco.rsplit(".", 1)[-1]
+        if last in ("pure", "deterministic_under_seed",
+                    "mutates_global_state", "observational"):
+            # Accept both the canonical ``effects.pure`` spelling and a
+            # direct ``from repro.analysis.effects import pure``.
+            if ("effects" in deco or deco == last):
+                return last
+    return None
+
+
+class CallGraph:
+    """The resolved whole-package graph the audit walks."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionNode] = {}
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: (path, lineno, message) for files that failed to parse.
+        self.parse_failures: List[Tuple[str, Optional[int], str]] = []
+        self._by_bare_name: Dict[str, List[str]] = {}
+
+    def add(self, fn: FunctionNode) -> None:
+        self.functions[fn.qualname] = fn
+        self._by_bare_name.setdefault(fn.name, []).append(fn.qualname)
+
+    def node(self, qualname: str) -> FunctionNode:
+        return self.functions[qualname]
+
+    # -- resolution ------------------------------------------------------------
+
+    def _resolve_in_module(self, info: ModuleInfo, raw: str,
+                           expanded: str,
+                           fn: FunctionNode) -> Optional[str]:
+        head, _, rest = raw.partition(".")
+        # self.method() / cls.method(): enclosing class, then bases.
+        if head in ("self", "cls") and rest and "." not in rest:
+            class_name = self._enclosing_class(fn)
+            if class_name is not None:
+                found = self._resolve_method(info, class_name, rest, set())
+                if found is not None:
+                    return found
+            return None
+        # Nested functions of enclosing scopes shadow module names.
+        scope: Optional[FunctionNode] = fn
+        while scope is not None and not rest:
+            for child in scope.children:
+                child_fn = self.functions[child]
+                if child_fn.name == head:
+                    return child
+            scope = (self.functions[scope.parent]
+                     if scope.parent is not None else None)
+        if not rest and head in info.functions:
+            return info.functions[head]
+        if rest and head in info.classes:
+            # ClassName.method reference (including decorator targets).
+            return info.classes[head].methods.get(rest)
+        # Through an import alias: exact qualname, then a package
+        # ``__init__`` re-export (repro.exec.run_parallel_sweep ->
+        # repro.exec.parallel.run_parallel_sweep).
+        if expanded in self.functions:
+            return expanded
+        prefix, _, bare = expanded.rpartition(".")
+        if prefix:
+            for candidate in self._by_bare_name.get(bare, ()):  # re-export
+                node = self.functions[candidate]
+                if node.module.startswith(prefix) and node.class_name is None:
+                    return candidate
+            # method through an imported class: Module.Class.method
+            cls_prefix, _, cls_name = prefix.rpartition(".")
+            cls_module = self.modules.get(cls_prefix)
+            if cls_module is not None and cls_name in cls_module.classes:
+                return cls_module.classes[cls_name].methods.get(bare)
+        return None
+
+    def _enclosing_class(self, fn: FunctionNode) -> Optional[str]:
+        node: Optional[FunctionNode] = fn
+        while node is not None:
+            if node.class_name is not None:
+                return node.class_name
+            node = (self.functions[node.parent]
+                    if node.parent is not None else None)
+        return None
+
+    def _resolve_method(self, info: ModuleInfo, class_name: str,
+                        method: str, seen: Set[str]) -> Optional[str]:
+        if class_name in seen:
+            return None
+        seen.add(class_name)
+        cls = info.classes.get(class_name)
+        if cls is None:
+            # The class may live in another analyzed module (imported).
+            target = info.aliases.get(class_name, class_name)
+            module_name, _, bare = target.rpartition(".")
+            other = self.modules.get(module_name)
+            if other is None or bare not in other.classes:
+                return None
+            info, cls = other, other.classes[bare]
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            found = self._resolve_method(info, base.rsplit(".", 1)[-1],
+                                         method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def resolve(self) -> None:
+        """Second pass: resolve every call site and reference."""
+        for fn in self.functions.values():
+            info = self.modules[fn.module]
+            for site in fn.calls:
+                if ("." not in site.raw
+                        and site.raw in fn.local_bindings):
+                    continue  # a parameter/local shadows the module name
+                site.resolved = self._resolve_in_module(
+                    info, site.raw, site.expanded, fn)
+            resolved_refs: Set[str] = set()
+            for raw in fn.references:
+                if "." not in raw and raw in fn.local_bindings:
+                    continue  # a parameter/local shadows the module name
+                target = self._resolve_in_module(info, raw,
+                                                 self._expand_for(info, raw),
+                                                 fn)
+                if target is not None:
+                    resolved_refs.add(target)
+            fn.references = resolved_refs
+
+    @staticmethod
+    def _expand_for(info: ModuleInfo, raw: str) -> str:
+        head, _, rest = raw.partition(".")
+        target = info.aliases.get(head)
+        if target is None:
+            return raw
+        return f"{target}.{rest}" if rest else target
+
+    # -- traversal helpers -----------------------------------------------------
+
+    def callees(self, qualname: str) -> List[str]:
+        """Resolved in-graph call targets of one function."""
+        fn = self.functions[qualname]
+        seen: Set[str] = set()
+        out: List[str] = []
+        for site in fn.calls:
+            if site.resolved is not None and site.resolved not in seen:
+                seen.add(site.resolved)
+                out.append(site.resolved)
+        return out
+
+    def reachable_from(self, roots: Iterable[str]
+                       ) -> Dict[str, Optional[str]]:
+        """BFS closure over call edges; maps qualname -> predecessor."""
+        parent: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root in self.functions and root not in parent:
+                parent[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee in self.callees(current):
+                if callee not in parent:
+                    parent[callee] = current
+                    queue.append(callee)
+        return parent
+
+    def chain(self, parent: Dict[str, Optional[str]],
+              qualname: str, limit: int = 4) -> List[str]:
+        """Root-to-``qualname`` path through a BFS predecessor map."""
+        path = [qualname]
+        while parent.get(path[-1]) is not None and len(path) < 32:
+            nxt = parent[path[-1]]
+            assert nxt is not None
+            path.append(nxt)
+        path.reverse()
+        if len(path) > limit:
+            path = [*path[:limit - 1], "...", path[-1]]
+        return path
+
+
+def build_callgraph(files: Sequence["str | pathlib.Path"]) -> CallGraph:
+    """Parse ``files`` and return the resolved call graph.
+
+    Files that fail to read or parse are recorded in
+    :attr:`CallGraph.parse_failures` (the audit reports them as D300)
+    and skipped; one bad file never aborts the whole audit.
+    """
+    graph = CallGraph()
+    for raw_path in files:
+        path = pathlib.Path(raw_path)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            graph.parse_failures.append(
+                (str(path), None, f"cannot read file: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            graph.parse_failures.append(
+                (str(path), exc.lineno, f"syntax error: {exc.msg}"))
+            continue
+        info = ModuleInfo(name=module_name_for(path), path=str(path),
+                          source_lines=source.splitlines())
+        if info.name in graph.modules:  # same stem twice: keep both parts
+            info.name = f"{info.name}@{len(graph.modules)}"
+        graph.modules[info.name] = info
+        _ModuleVisitor(graph, info).visit(tree)
+    graph.resolve()
+    return graph

@@ -9,6 +9,12 @@ so ``repro lint`` / ``repro check`` can gate CI on *new* findings only.
 Baseline fingerprints deliberately exclude the line number: moving code
 around must not invalidate a suppression, only changing the finding
 itself (rule, file, message) does.
+
+This module also owns the cross-analyzer **rule registry**: every
+analyzer family (lint L1xx, check M2xx, audit D3xx) registers its rule
+table through :func:`register_rules`, which rejects any rule ID already
+claimed — a new rule can never silently reuse (and thereby re-key the
+baselines of) an existing one.
 """
 
 from __future__ import annotations
@@ -19,6 +25,35 @@ import hashlib
 import json
 import pathlib
 from typing import Dict, Iterable, List, Optional, Sequence
+
+
+# Rule ID -> (family, summary); populated via register_rules() by each
+# analyzer module at import time.
+_RULE_REGISTRY: Dict[str, "tuple[str, str]"] = {}
+
+
+def register_rules(family: str, rules: Dict[str, str]) -> Dict[str, str]:
+    """Claim ``rules`` (ID -> summary) for one analyzer ``family``.
+
+    Returns ``rules`` unchanged so modules can write
+    ``LINT_RULES = register_rules("lint", {...})``.  Re-registering an
+    identical entry is a no-op (modules may be reloaded); claiming an
+    ID another family or summary already holds raises ``ValueError``.
+    """
+    for rule_id, summary in rules.items():
+        existing = _RULE_REGISTRY.get(rule_id)
+        if existing is not None and existing != (family, summary):
+            raise ValueError(
+                f"rule ID {rule_id} already registered by family "
+                f"'{existing[0]}' ({existing[1]!r}); every rule ID must "
+                f"be unique across analyzers")
+        _RULE_REGISTRY[rule_id] = (family, summary)
+    return rules
+
+
+def all_rules() -> Dict[str, "tuple[str, str]"]:
+    """Every registered rule: ID -> (family, summary), sorted by ID."""
+    return dict(sorted(_RULE_REGISTRY.items()))
 
 
 class Severity(enum.Enum):
@@ -173,7 +208,10 @@ class Baseline:
         """Find and load the repo-default baseline near ``start``.
 
         Walks from ``start`` (a file or directory being analyzed) up
-        through its parents looking for :data:`DEFAULT_NAME`.
+        through its parents looking for :data:`DEFAULT_NAME`, stopping
+        at the repository root — the first directory holding ``.git``
+        or ``pyproject.toml`` — so analyzing a checkout never picks up
+        a stray baseline from ``$HOME`` or ``/``.
         """
         here = pathlib.Path(start).resolve()
         if here.is_file():
@@ -182,4 +220,7 @@ class Baseline:
             candidate = directory / cls.DEFAULT_NAME
             if candidate.is_file():
                 return cls.load(candidate)
+            if ((directory / ".git").exists()
+                    or (directory / "pyproject.toml").is_file()):
+                return None  # repository root: stop walking up
         return None

@@ -1,0 +1,149 @@
+"""Effect lattice and declarative effect annotations for the audit.
+
+The determinism audit (:mod:`repro.analysis.purity`, ``repro audit``)
+classifies every function by the *effects* its body can exercise:
+
+* :data:`Effect.UNSEEDED_RNG` — draws entropy that is not derived from
+  a seed the caller passed in (``np.random.default_rng()`` with no
+  argument, the module-global ``np.random.*`` / ``random.*`` streams,
+  ``os.urandom``, ``uuid.uuid4``);
+* :data:`Effect.AMBIENT` — reads run-varying ambient process state
+  (wall clock, ``os.environ``, ``os.getpid``, hostname);
+* :data:`Effect.GLOBAL_WRITE` — mutates process-global state (module
+  globals, class attributes, the process-global telemetry instances),
+  which fork/spawn semantics silently discard or race when it happens
+  inside a worker process.
+
+Effects form a join-semilattice under set union: a function's *closure
+effect* is the union of its intrinsic effects, the effects of every
+function it can call, and the effects of every function it defines
+inline (nested defs and lambdas execute with the parent's obligations).
+``Effect`` is a :class:`enum.Flag`, so the join is the ``|`` operator
+and "pure" is the bottom element :data:`Effect.NONE`.
+
+The decorators below are the **annotation contract**: they declare the
+effect discipline a function promises, both to human readers and to the
+static analyzer.  They are deliberately inert at runtime (they only tag
+the function) — the analyzer *verifies* each promise against the
+computed closure effect and reports rule ``D306`` on contradiction, so
+an annotation can never silence a real finding the way a trusted
+``@no_side_effects`` marker could.
+
+>>> @pure
+... def area(width_m: float, height_m: float) -> float:
+...     return width_m * height_m
+>>> declared_effects(area)
+'pure'
+>>> declared_effects(declared_effects) is None
+True
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, TypeVar
+
+__all__ = [
+    "Effect",
+    "EFFECT_ATTRIBUTE",
+    "pure",
+    "deterministic_under_seed",
+    "mutates_global_state",
+    "observational",
+    "declared_effects",
+]
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute name the decorators stamp onto the function object.
+EFFECT_ATTRIBUTE = "__repro_effects__"
+
+
+class Effect(enum.Flag):
+    """One function's effect set (a join-semilattice under ``|``)."""
+
+    NONE = 0
+    #: Entropy not derived from a caller-supplied seed.
+    UNSEEDED_RNG = enum.auto()
+    #: Run-varying ambient process state (clock, environ, pid, host).
+    AMBIENT = enum.auto()
+    #: Mutation of process-global state (module globals, class
+    #: attributes, the process-global telemetry instances).
+    GLOBAL_WRITE = enum.auto()
+
+    def describe(self) -> str:
+        """Human-readable rendering of a (possibly joined) effect."""
+        if self is Effect.NONE:
+            return "pure"
+        names = {
+            Effect.UNSEEDED_RNG: "unseeded-rng",
+            Effect.AMBIENT: "ambient-state",
+            Effect.GLOBAL_WRITE: "global-mutation",
+        }
+        return "+".join(label for flag, label in names.items()
+                        if flag in self)
+
+
+def _annotate(fn: F, declaration: str) -> F:
+    setattr(fn, EFFECT_ATTRIBUTE, declaration)
+    return fn
+
+
+def pure(fn: F) -> F:
+    """Declare ``fn`` free of every audited effect.
+
+    A pure function may not draw randomness, read ambient process
+    state, or mutate process-global state — directly or through
+    anything it calls.  ``repro audit`` verifies the declaration
+    (rule ``D306``) rather than trusting it.
+    """
+    return _annotate(fn, "pure")
+
+
+def deterministic_under_seed(fn: F) -> F:
+    """Declare ``fn`` bit-reproducible given its explicit seed inputs.
+
+    The function may sample randomness, but only through generators or
+    seeds passed in by the caller (``np.random.Generator`` parameters,
+    ``SeedSequence`` children); it may not touch the module-global RNG
+    streams or ambient process state.  This is the contract every
+    Monte-Carlo sample evaluator and sweep work item must satisfy for
+    the serial↔parallel bit-identity guarantee to hold.  Verified by
+    ``repro audit`` (rule ``D306``), never trusted.
+    """
+    return _annotate(fn, "deterministic_under_seed")
+
+
+def mutates_global_state(fn: F) -> F:
+    """Declare ``fn`` an *intentional* mutator of process-global state.
+
+    Used by the sanctioned global-state APIs (``obs.enable`` and
+    friends) so the audit knows calls to them from worker-executed
+    code are rule ``D303`` findings even when the mutation itself is
+    hidden behind the call boundary.  The declaration grants nothing:
+    it moves the report from the mutation site to the worker-side call
+    site, where the reviewer can judge (and, for the one sanctioned
+    per-worker telemetry setup, suppress) it.
+    """
+    return _annotate(fn, "mutates_global_state")
+
+
+def observational(fn: F) -> F:
+    """Declare ``fn`` telemetry-only: its effects never reach results.
+
+    The :mod:`repro.obs` accessors read clocks and append to the
+    process-global metric/event instances, but by construction nothing
+    they record flows back into computed values (disabled, they are
+    no-ops; enabled in a worker, the parent folds their data in a
+    deterministic ordered merge).  The audit therefore stops effect
+    propagation at an observational call — a ``@pure`` model function
+    may freely emit metrics — while still verifying the one thing that
+    *would* leak back: an observational function must never draw
+    unseeded randomness (rule ``D306``).
+    """
+    return _annotate(fn, "observational")
+
+
+def declared_effects(fn: Callable) -> Optional[str]:
+    """The declaration stamped on ``fn``, or ``None`` when unannotated."""
+    return getattr(fn, EFFECT_ATTRIBUTE, None)

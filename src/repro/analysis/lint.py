@@ -34,9 +34,10 @@ import pathlib
 import re
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.diagnostics import (Diagnostic, Severity,
+                                        register_rules)
 
-LINT_RULES: Dict[str, str] = {
+LINT_RULES: Dict[str, str] = register_rules("lint", {
     "L100": "source file does not parse",
     "L101": "bare physical-magnitude literal; use a repro.units multiplier",
     "L102": "float equality comparison; use a tolerance",
@@ -46,7 +47,7 @@ LINT_RULES: Dict[str, str] = {
     "L106": "metric name used with conflicting instrument kinds",
     "L107": "per-element Python-loop stamping; compile a StampPlan instead",
     "L108": "event kind violates naming or payload-schema discipline",
-}
+})
 
 # Keyword arguments whose values are solver/algorithm knobs, not
 # physical quantities — scientific notation is idiomatic there.

@@ -35,9 +35,10 @@ import pathlib
 import sys
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.diagnostics import (Diagnostic, Severity,
+                                        register_rules)
 
-MODEL_RULES: Dict[str, str] = {
+MODEL_RULES: Dict[str, str] = register_rules("check", {
     "M201": "circuit has no elements",
     "M202": "circuit has no ground connection",
     "M203": "floating node (nothing stamps it; singular matrix)",
@@ -50,7 +51,7 @@ MODEL_RULES: Dict[str, str] = {
     "M210": "technology-node parameter outside plausible envelope",
     "M211": "check target failed to load",
     "M212": "fault/resilience configuration physically inconsistent",
-}
+})
 
 # The rules Circuit.validate() has always enforced by raising; kept as
 # the non-strict raise set so legacy callers see unchanged behaviour.

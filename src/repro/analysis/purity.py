@@ -1,0 +1,878 @@
+"""Determinism & parallel-safety audit (``repro audit``, rules D3xx).
+
+The third analyzer family, beside ``repro lint`` (style, L1xx) and
+``repro check`` (model structure, M2xx).  It proves — statically, at
+lint time — the runtime contracts the executor and checkpoint layers
+promise: seeded Monte-Carlo tails, serial↔parallel bit-identity, and
+fingerprint-guarded resume.
+
+The pass builds the interprocedural call graph of every analyzed file
+(:mod:`repro.analysis.callgraph`), computes each function's *closure
+effect* over the :class:`repro.analysis.effects.Effect` lattice by a
+worklist fixpoint (intrinsic effects ∪ callees' closures ∪ inline
+children's closures), then reports:
+
+======  ========  =====================================================
+rule    severity  finding
+======  ========  =====================================================
+D300    error     file cannot be parsed, so the audit cannot see it
+D301    error     unseeded / module-global RNG reachable from the
+                  seeded pipelines (``montecarlo``, ``designspace``,
+                  ``optimizer``) or from worker-submitted functions
+D302    error     ambient process state (wall clock, ``os.environ``,
+                  pid, hostname) flowing into a config fingerprint,
+                  checkpoint payload, or run-report field
+D303    error     mutation of process-global state inside
+                  worker-executed code (fork/spawn loses or races it)
+D304    warning   iteration over a ``set`` feeding serialized output,
+                  checkpoint writes, or ordered merges with no sort key
+D305    info      float accumulation whose reduction order follows
+                  executor completion order, not submission order
+D306    error     an ``@effects`` annotation contradicts the computed
+                  closure effect (annotations are verified, not
+                  trusted)
+======  ========  =====================================================
+
+``dict`` iteration is deliberately *not* flagged by D304: insertion
+order is guaranteed on every supported interpreter, so only ``set``
+(hash-ordered, ``PYTHONHASHSEED``-dependent for strings) iteration is a
+reproducibility hazard.
+
+Worker-executed code is over-approximated: inside any function that
+calls ``run_parallel_sweep`` or ``<executor>.submit``, every in-graph
+function referenced without being called (work-item callables,
+``functools.partial`` targets) and every inline lambda is treated as a
+worker entry point.  D302 taint tracking is intra-function and
+flow-sensitive in source order.  Suppression uses the same ``# noqa``
+comments and fingerprint baselines as the other analyzers.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (MODULE_BODY, CallGraph, CallSite,
+                                      FunctionNode, ModuleInfo,
+                                      build_callgraph, dotted_name)
+from repro.analysis.diagnostics import Diagnostic, Severity, register_rules
+from repro.analysis.effects import Effect
+from repro.analysis.lint import _apply_noqa, iter_python_files
+
+__all__ = ["AUDIT_RULES", "audit_graph", "audit_paths"]
+
+AUDIT_RULES = register_rules("audit", {
+    "D300": "file cannot be parsed for the determinism audit",
+    "D301": ("unseeded or module-global RNG reachable from seeded "
+             "pipelines or parallel workers"),
+    "D302": ("ambient process state flows into a fingerprint, "
+             "checkpoint payload, or run report"),
+    "D303": "process-global state mutated in worker-executed code",
+    "D304": "unordered set iteration feeds serialized or merged output",
+    "D305": "float accumulation order depends on executor scheduling",
+    "D306": "effect annotation contradicts the computed effects",
+})
+
+_SEVERITY = {
+    "D300": Severity.ERROR,
+    "D301": Severity.ERROR,
+    "D302": Severity.ERROR,
+    "D303": Severity.ERROR,
+    "D304": Severity.WARNING,
+    "D305": Severity.INFO,
+    "D306": Severity.ERROR,
+}
+
+#: Module basenames whose whole call closure must stay seeded (D301).
+_SEEDED_MODULES = ("montecarlo", "designspace", "optimizer")
+
+#: Call names (last segment) that hand callables to worker processes.
+_SUBMIT_NAMES = ("run_parallel_sweep", "submit")
+
+# -- known-impure call tables (matched on alias-expanded dotted names) --------
+
+#: Constructors that are unseeded only when called with no arguments.
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+    "numpy.random.RandomState", "random.Random",
+}
+
+#: Always-unseeded entropy sources.
+_OS_ENTROPY = {
+    "os.urandom", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbelow", "secrets.choice",
+}
+
+#: ``numpy.random.<fn>`` names that use the module-global stream.
+_NP_GLOBAL_RNG = {
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "normal", "uniform", "standard_normal", "choice", "shuffle",
+    "permutation", "exponential", "poisson", "binomial", "lognormal",
+}
+
+#: stdlib ``random.<fn>`` names that use the module-global stream.
+_STDLIB_GLOBAL_RNG = {
+    "seed", "random", "randint", "randrange", "uniform", "gauss",
+    "normalvariate", "lognormvariate", "expovariate", "triangular",
+    "betavariate", "choice", "choices", "sample", "shuffle",
+    "getrandbits",
+}
+
+#: Ambient process-state reads (D302 sources; AMBIENT intrinsic effect).
+_AMBIENT_CALLS = {
+    "time.time": "wall-clock time.time()",
+    "time.time_ns": "wall-clock time.time_ns()",
+    "time.monotonic": "process clock time.monotonic()",
+    "time.monotonic_ns": "process clock time.monotonic_ns()",
+    "time.perf_counter": "process clock time.perf_counter()",
+    "time.perf_counter_ns": "process clock time.perf_counter_ns()",
+    "time.ctime": "wall-clock time.ctime()",
+    "datetime.datetime.now": "wall-clock datetime.now()",
+    "datetime.datetime.utcnow": "wall-clock datetime.utcnow()",
+    "datetime.datetime.today": "wall-clock datetime.today()",
+    "datetime.date.today": "wall-clock date.today()",
+    "os.getpid": "process id os.getpid()",
+    "os.getppid": "process id os.getppid()",
+    "os.getenv": "environment os.getenv()",
+    "os.uname": "host identity os.uname()",
+    "os.getcwd": "working directory os.getcwd()",
+    "socket.gethostname": "host identity socket.gethostname()",
+    "platform.node": "host identity platform.node()",
+    "uuid.uuid1": "host+clock uuid.uuid1()",
+}
+
+#: Method names whose call mutates the receiver in place (D303).
+_MUTATORS = {
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse", "reset",
+}
+
+#: Call names (last segment) that persist or fingerprint data (D302 sinks).
+_TAINT_SINKS = {"config_fingerprint", "build_run_report",
+                "write_run_report"}
+
+#: Call names in a loop body that make iteration order observable (D304).
+_ORDER_SINKS = {"append", "extend", "appendleft", "write", "writerow",
+                "emit", "dump", "dumps", "save", "put", "send"}
+
+#: Wrappers that preserve the order of their iterable argument.
+_ORDER_PRESERVING = ("enumerate", "list", "tuple", "reversed", "iter")
+
+
+@dataclasses.dataclass
+class _Evidence:
+    """One intrinsic-effect observation inside a function body."""
+
+    effect: Effect
+    lineno: int
+    description: str
+
+
+@dataclasses.dataclass
+class _Facts:
+    """Per-function intrinsic effects plus purely local findings."""
+
+    effects: Effect = Effect.NONE
+    evidence: List[_Evidence] = dataclasses.field(default_factory=list)
+    local: List[Diagnostic] = dataclasses.field(default_factory=list)
+    _seen: Set[Tuple[Effect, int]] = dataclasses.field(default_factory=set)
+
+    def add(self, effect: Effect, lineno: int, description: str) -> None:
+        if (effect, lineno) in self._seen:
+            return
+        self._seen.add((effect, lineno))
+        self.effects |= effect
+        self.evidence.append(_Evidence(effect, lineno, description))
+
+
+def _diag(rule: str, message: str, path: str, line: Optional[int],
+          hint: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(rule=rule, severity=_SEVERITY[rule], message=message,
+                      path=path, line=line, hint=hint)
+
+
+# -- call-site classification --------------------------------------------------
+
+
+def _rng_call_evidence(site: CallSite) -> Optional[str]:
+    """Unseeded-RNG description for one call site, if it is one."""
+    name = site.expanded
+    last = name.rsplit(".", 1)[-1]
+    if name in _SEEDABLE_CONSTRUCTORS:
+        if not site.node.args and not site.node.keywords:
+            return f"{site.raw}() called without a seed"
+        return None
+    if name in _OS_ENTROPY:
+        return f"{site.raw}() draws OS entropy"
+    if name.startswith("numpy.random.") and last in _NP_GLOBAL_RNG:
+        return f"module-global numpy RNG {site.raw}()"
+    if (name.startswith("random.") and name.count(".") == 1
+            and last in _STDLIB_GLOBAL_RNG):
+        return f"module-global stdlib RNG {site.raw}()"
+    return None
+
+
+def _ambient_call_evidence(site: CallSite) -> Optional[str]:
+    """Ambient-state description for one call site, if it is one."""
+    name = site.expanded
+    if name in _AMBIENT_CALLS:
+        return _AMBIENT_CALLS[name]
+    if name.startswith("os.environ."):
+        return f"environment read {site.raw}()"
+    return None
+
+
+# -- own-body traversal (never descends into nested defs/lambdas) -------------
+
+
+def _iter_own(node: ast.AST) -> Iterable[ast.AST]:
+    """Every node of a function's own body, excluding nested functions."""
+    if isinstance(node, ast.Lambda):
+        stack: List[ast.AST] = [node.body]
+    else:
+        stack = list(getattr(node, "body", []))
+        for extra in ("orelse", "finalbody", "handlers"):
+            stack.extend(getattr(node, extra, []))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _own_statements(body: Sequence[ast.stmt]) -> Iterable[ast.stmt]:
+    """Statements of a block in source order, recursing into compound
+    statements but never into nested function definitions."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            yield from _own_statements(getattr(stmt, field, []))
+        for handler in getattr(stmt, "handlers", []):
+            yield from _own_statements(handler.body)
+
+
+def _calls_in(node: ast.AST) -> Iterable[ast.Call]:
+    """Call expressions inside one statement's own expressions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+# -- intrinsic-effect scan -----------------------------------------------------
+
+
+def _class_attribute_target(target: ast.AST, info: ModuleInfo,
+                            fn: FunctionNode) -> Optional[str]:
+    """Name of the class whose attribute ``target`` stores into, if any."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    root = target.value
+    if isinstance(root, ast.Name):
+        if root.id == "cls":
+            return fn.class_name or "cls"
+        if root.id in info.classes and root.id not in fn.local_bindings:
+            return root.id
+    return None
+
+
+def _global_root(target: ast.AST, info: ModuleInfo,
+                 fn: FunctionNode) -> Optional[str]:
+    """Module-global name a subscript/attribute store mutates, if any."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if (isinstance(node, ast.Name) and node.id in info.global_names
+            and node.id not in fn.local_bindings
+            and node.id not in info.classes
+            and node.id not in ("self", "cls")):
+        return node.id
+    return None
+
+
+def _scan_function(graph: CallGraph, info: ModuleInfo,
+                   fn: FunctionNode) -> _Facts:
+    """Intrinsic effects and local findings of one function body."""
+    facts = _Facts()
+    for site in fn.calls:
+        head = site.raw.split(".", 1)[0]
+        if head in fn.local_bindings and head not in ("self", "cls"):
+            continue  # a local shadows the module/alias name
+        rng = _rng_call_evidence(site)
+        if rng is not None:
+            facts.add(Effect.UNSEEDED_RNG, site.lineno, rng)
+        ambient = _ambient_call_evidence(site)
+        if ambient is not None:
+            facts.add(Effect.AMBIENT, site.lineno, ambient)
+        last = site.raw.rsplit(".", 1)[-1]
+        if ("." in site.raw and last in _MUTATORS
+                and site.resolved is None):
+            root = site.raw.split(".", 1)[0]
+            if (root in info.global_names and root not in fn.local_bindings
+                    and root not in info.classes
+                    and root not in ("self", "cls")):
+                facts.add(Effect.GLOBAL_WRITE, site.lineno,
+                          f"in-place mutation of module global "
+                          f"'{root}' via .{last}()")
+    if fn.node is None:  # module body: import-time code, definitionally
+        return facts     # parent-process-only, so no body scans apply
+    declared_globals: Set[str] = set()
+    for node in _iter_own(fn.node):
+        if isinstance(node, ast.Global):
+            declared_globals.update(node.names)
+        elif isinstance(node, ast.Attribute):
+            raw = dotted_name(node)
+            if raw is not None:
+                expanded = CallGraph._expand_for(info, raw)
+                if expanded == "os.environ":
+                    facts.add(Effect.AMBIENT, node.lineno,
+                              "environment read os.environ")
+    for node in _iter_own(fn.node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id in declared_globals):
+                facts.add(Effect.GLOBAL_WRITE, node.lineno,
+                          f"rebinds module global '{target.id}' "
+                          f"(global statement)")
+            cls_name = _class_attribute_target(target, info, fn)
+            if cls_name is not None:
+                attr = target.attr if isinstance(target, ast.Attribute) else "?"
+                facts.add(Effect.GLOBAL_WRITE, node.lineno,
+                          f"assigns class attribute {cls_name}.{attr}")
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                root = _global_root(target, info, fn)
+                if root is not None:
+                    facts.add(Effect.GLOBAL_WRITE, node.lineno,
+                              f"stores into module global '{root}'")
+    body = ([fn.node.body] if isinstance(fn.node, ast.Lambda)
+            else list(fn.node.body))
+    if not isinstance(fn.node, ast.Lambda):
+        _LocalScan(info, fn, facts).run(body)
+    return facts
+
+
+# -- flow-sensitive local scan: D302 taint, D304 set order, D305 reduction ----
+
+
+class _LocalScan:
+    """Source-order walk of one function body tracking tainted names
+    (ambient data, D302) and set-typed names (order hazards, D304/305)."""
+
+    def __init__(self, info: ModuleInfo, fn: FunctionNode,
+                 facts: _Facts) -> None:
+        self.info = info
+        self.fn = fn
+        self.facts = facts
+        self.tainted: Dict[str, str] = {}  # name -> source description
+        self.set_names: Set[str] = set()
+
+    # taint sources / propagation ---------------------------------------------
+
+    def _call_names(self, call: ast.Call) -> Tuple[str, str]:
+        raw = dotted_name(call.func) or ""
+        return raw, CallGraph._expand_for(self.info, raw) if raw else ""
+
+    def _source_of(self, node: ast.AST) -> Optional[str]:
+        """Ambient/entropy source description for one expression node."""
+        if isinstance(node, ast.Call):
+            raw, expanded = self._call_names(node)
+            if not raw:
+                return None
+            head = raw.split(".", 1)[0]
+            if head in self.fn.local_bindings and head not in ("self", "cls"):
+                return None
+            if expanded in _AMBIENT_CALLS:
+                return _AMBIENT_CALLS[expanded]
+            if expanded.startswith("os.environ."):
+                return f"environment read {raw}()"
+            if expanded in _OS_ENTROPY:
+                return f"OS entropy {raw}()"
+        if isinstance(node, ast.Attribute):
+            raw = dotted_name(node)
+            if raw and CallGraph._expand_for(self.info, raw) == "os.environ":
+                return "environment read os.environ"
+        return None
+
+    def _expr_taint(self, node: Optional[ast.AST]) -> Optional[str]:
+        """Description of the ambient source ``node`` carries, if any."""
+        if node is None or isinstance(node, (ast.Lambda, ast.Constant)):
+            return None
+        direct = self._source_of(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return self.tainted.get(node.id)
+        if isinstance(node, ast.Attribute):
+            raw = dotted_name(node)
+            if raw is not None:
+                return self.tainted.get(raw)
+            return self._expr_taint(node.value)
+        for child in ast.iter_child_nodes(node):
+            found = self._expr_taint(child)
+            if found is not None:
+                return found
+        return None
+
+    def _bind(self, target: ast.AST, source: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            if source is not None:
+                self.tainted[target.id] = source
+            else:
+                self.tainted.pop(target.id, None)
+            self.set_names.discard(target.id)
+        elif isinstance(target, ast.Attribute):
+            raw = dotted_name(target)
+            if raw is not None:
+                if source is not None:
+                    self.tainted[raw] = source
+                else:
+                    self.tainted.pop(raw, None)
+        elif isinstance(target, ast.Subscript):
+            # A store through a subscript taints the container (weak
+            # update: ``payload["t"] = time.time()``).
+            root = target.value
+            if source is not None and isinstance(root, ast.Name):
+                self.tainted[root.id] = source
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, source)
+
+    # set-typed expression tracking -------------------------------------------
+
+    def _strip_wrappers(self, node: ast.AST) -> ast.AST:
+        while (isinstance(node, ast.Call)
+               and isinstance(node.func, ast.Name)
+               and node.func.id in _ORDER_PRESERVING and node.args):
+            node = node.args[0]
+        return node
+
+    def _is_sorted(self, node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted")
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        node = self._strip_wrappers(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func) or ""
+            if raw in ("set", "frozenset"):
+                return True
+            head, _, method = raw.rpartition(".")
+            if (method in ("union", "intersection", "difference",
+                           "symmetric_difference", "copy")
+                    and head in self.set_names):
+                return True
+        return False
+
+    def _set_desc(self, node: ast.AST) -> str:
+        node = self._strip_wrappers(node)
+        raw = dotted_name(node) if not isinstance(node, ast.Call) else None
+        return f"set '{raw}'" if raw else "a set expression"
+
+    # sinks --------------------------------------------------------------------
+
+    def _check_sinks(self, stmt: ast.stmt) -> None:
+        for call in _calls_in(stmt):
+            raw = dotted_name(call.func)
+            if raw is None:
+                continue
+            last = raw.rsplit(".", 1)[-1]
+            is_sink = last in _TAINT_SINKS or ("." in raw and last == "save")
+            if not is_sink:
+                continue
+            for value in [*call.args, *[k.value for k in call.keywords]]:
+                source = self._expr_taint(value)
+                if source is not None:
+                    self.facts.local.append(_diag(
+                        "D302",
+                        f"{source} flows into {raw}() in "
+                        f"{self.fn.display}; fingerprints, checkpoints "
+                        f"and run reports must be derived from explicit "
+                        f"config only",
+                        self.fn.path, call.lineno,
+                        hint=("drop the ambient value or move it to the "
+                              "report's non-fingerprinted metadata")))
+                    break
+
+    def _loop_has_order_sink(self, loop: ast.For) -> bool:
+        for node in self._loop_own(loop):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Subscript) for t in node.targets):
+                return True
+            if isinstance(node, ast.Call):
+                raw = dotted_name(node.func)
+                if raw is not None and "." in raw:
+                    if raw.rsplit(".", 1)[-1] in _ORDER_SINKS:
+                        return True
+        return False
+
+    @staticmethod
+    def _loop_own(loop: ast.For) -> Iterable[ast.AST]:
+        stack: List[ast.AST] = list(loop.body)
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    # rule bodies --------------------------------------------------------------
+
+    def _check_set_iteration(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.For) and not self._is_sorted(stmt.iter):
+            if self._is_set_expr(stmt.iter):
+                if self._loop_has_order_sink(stmt):
+                    self.facts.local.append(_diag(
+                        "D304",
+                        f"iteration over {self._set_desc(stmt.iter)} in "
+                        f"{self.fn.display} feeds ordered output; set "
+                        f"order is hash-dependent",
+                        self.fn.path, stmt.lineno,
+                        hint="iterate sorted(...) with an explicit key"))
+                self._bind_loop_target(stmt)
+        for expr in self._own_exprs(stmt):
+            if isinstance(expr, (ast.ListComp, ast.DictComp)):
+                gen = expr.generators[0]
+                if (not self._is_sorted(gen.iter)
+                        and self._is_set_expr(gen.iter)):
+                    self.facts.local.append(_diag(
+                        "D304",
+                        f"comprehension over {self._set_desc(gen.iter)} "
+                        f"in {self.fn.display} builds an ordered "
+                        f"container; set order is hash-dependent",
+                        self.fn.path, expr.lineno,
+                        hint="iterate sorted(...) with an explicit key"))
+
+    def _bind_loop_target(self, stmt: ast.For) -> None:
+        # ``for x in some_set`` makes ``x`` a plain element, not a set.
+        for child in ast.walk(stmt.target):
+            if isinstance(child, ast.Name):
+                self.set_names.discard(child.id)
+                self.tainted.pop(child.id, None)
+
+    def _check_reduction_order(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.For):
+            iter_node = self._strip_wrappers(stmt.iter)
+            unordered = self._is_unordered_iter(iter_node)
+            if unordered is not None:
+                for node in self._loop_own(stmt):
+                    if (isinstance(node, ast.AugAssign)
+                            and isinstance(node.op, ast.Add)):
+                        self.facts.local.append(_diag(
+                            "D305",
+                            f"accumulation in {self.fn.display} follows "
+                            f"{unordered}; float reduction order changes "
+                            f"the low bits run to run",
+                            self.fn.path, node.lineno,
+                            hint=("accumulate in submission order, or "
+                                  "math.fsum over a sorted sequence")))
+        for expr in self._own_exprs(stmt):
+            if (isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Name)
+                    and expr.func.id == "sum" and expr.args):
+                inner = expr.args[0]
+                if isinstance(inner, (ast.GeneratorExp, ast.ListComp)):
+                    gen = inner.generators[0].iter
+                    unordered = self._is_unordered_iter(
+                        self._strip_wrappers(gen))
+                    if unordered is not None:
+                        self.facts.local.append(_diag(
+                            "D305",
+                            f"sum() in {self.fn.display} reduces over "
+                            f"{unordered}; float reduction order changes "
+                            f"the low bits run to run",
+                            self.fn.path, expr.lineno,
+                            hint=("accumulate in submission order, or "
+                                  "math.fsum over a sorted sequence")))
+
+    def _is_unordered_iter(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func) or ""
+            if raw.rsplit(".", 1)[-1] == "as_completed":
+                return "as_completed() completion order"
+        if self._is_set_expr(node) and not self._is_sorted(node):
+            return f"iteration order of {self._set_desc(node)}"
+        return None
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> Iterable[ast.AST]:
+        stack: List[ast.AST] = list(ast.iter_child_nodes(stmt))
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)) or isinstance(
+                                        current, ast.stmt):
+                continue
+            yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+    # driver -------------------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in _own_statements(body):
+            self._check_sinks(stmt)
+            self._check_set_iteration(stmt)
+            self._check_reduction_order(stmt)
+            if isinstance(stmt, ast.Assign):
+                source = self._expr_taint(stmt.value)
+                is_set = self._is_set_expr(stmt.value)
+                for target in stmt.targets:
+                    self._bind(target, source)
+                    if is_set and isinstance(target, ast.Name):
+                        self.set_names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                source = self._expr_taint(stmt.value)
+                self._bind(stmt.target, source)
+                if (self._is_set_expr(stmt.value)
+                        and isinstance(stmt.target, ast.Name)):
+                    self.set_names.add(stmt.target.id)
+            elif isinstance(stmt, ast.AugAssign):
+                source = (self._expr_taint(stmt.value)
+                          or self._expr_taint(stmt.target))
+                if source is not None:
+                    self._bind(stmt.target, source)
+            elif isinstance(stmt, ast.For):
+                source = self._expr_taint(stmt.iter)
+                if source is not None:
+                    self._bind(stmt.target, source)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._bind(item.optional_vars,
+                                   self._expr_taint(item.context_expr))
+
+
+# -- graph-wide analysis -------------------------------------------------------
+
+
+def _worker_roots(graph: CallGraph) -> Set[str]:
+    """Functions that escape into worker processes (over-approximated)."""
+    roots: Set[str] = set()
+    for fn in graph.functions.values():
+        submits = any(
+            site.raw.rsplit(".", 1)[-1] in _SUBMIT_NAMES
+            for site in fn.calls)
+        if not submits:
+            continue
+        roots.update(fn.references)
+        for child in fn.children:
+            if graph.functions[child].name.startswith("<lambda"):
+                roots.add(child)
+    return roots
+
+
+def _seeded_roots(graph: CallGraph) -> List[str]:
+    return sorted(
+        qualname for qualname, fn in graph.functions.items()
+        if fn.module.rsplit(".", 1)[-1].split("@")[0] in _SEEDED_MODULES)
+
+
+def _closure_effects(graph: CallGraph,
+                     facts: Dict[str, _Facts]) -> Dict[str, Effect]:
+    """Worklist fixpoint of closure effects over the call graph."""
+    closure = {q: facts[q].effects for q in graph.functions}
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in graph.functions.items():
+            combined = facts[qualname].effects
+            for child in fn.children:
+                combined |= closure[child]
+            for callee in graph.callees(qualname):
+                target = graph.functions[callee]
+                if target.annotation == "observational":
+                    continue  # telemetry: effects never reach results
+                if target.annotation == "mutates_global_state":
+                    combined |= Effect.GLOBAL_WRITE
+                combined |= closure[callee]
+            if combined != closure[qualname]:
+                closure[qualname] = combined
+                changed = True
+    return closure
+
+
+def _chain_text(graph: CallGraph, parent: Dict[str, Optional[str]],
+                qualname: str) -> str:
+    names = [graph.functions[q].display if q != "..." else "..."
+             for q in graph.chain(parent, qualname)]
+    return " -> ".join(names)
+
+
+def _witness(graph: CallGraph, facts: Dict[str, _Facts], start: str,
+             bad: Effect) -> Optional[Tuple[FunctionNode, _Evidence]]:
+    """Nearest function (BFS) whose intrinsic evidence matches ``bad``."""
+    seen = {start}
+    queue = [start]
+    while queue:
+        current = queue.pop(0)
+        for ev in facts[current].evidence:
+            if ev.effect & bad:
+                return graph.functions[current], ev
+        fn = graph.functions[current]
+        neighbours = list(fn.children)
+        for callee in graph.callees(current):
+            if graph.functions[callee].annotation != "observational":
+                neighbours.append(callee)
+        for nxt in neighbours:
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return None
+
+
+_ANNOTATION_FORBIDS: Dict[str, Effect] = {
+    "pure": (Effect.UNSEEDED_RNG | Effect.AMBIENT | Effect.GLOBAL_WRITE),
+    "deterministic_under_seed": Effect.UNSEEDED_RNG | Effect.AMBIENT,
+    "observational": Effect.UNSEEDED_RNG,
+}
+
+
+def audit_graph(graph: CallGraph) -> List[Diagnostic]:
+    """Run every D3xx rule over a resolved call graph."""
+    diagnostics: List[Diagnostic] = []
+    for path, lineno, message in graph.parse_failures:
+        diagnostics.append(_diag("D300", message, path, lineno))
+
+    facts: Dict[str, _Facts] = {}
+    for qualname, fn in graph.functions.items():
+        facts[qualname] = _scan_function(graph, graph.modules[fn.module], fn)
+        diagnostics.extend(facts[qualname].local)
+
+    worker_reach = graph.reachable_from(sorted(_worker_roots(graph)))
+    seeded_reach = graph.reachable_from(_seeded_roots(graph))
+
+    # D301: unseeded RNG in the seeded pipelines or worker closures.
+    for qualname in sorted(graph.functions):
+        fn = graph.functions[qualname]
+        in_seeded = qualname in seeded_reach
+        in_worker = qualname in worker_reach
+        if not (in_seeded or in_worker):
+            continue
+        for ev in facts[qualname].evidence:
+            if not (ev.effect & Effect.UNSEEDED_RNG):
+                continue
+            if in_seeded:
+                base = fn.module.rsplit(".", 1)[-1].split("@")[0]
+                if base in _SEEDED_MODULES:
+                    context = f"the seeded {base} pipeline"
+                else:
+                    context = ("the seeded pipeline via "
+                               + _chain_text(graph, seeded_reach, qualname))
+            else:
+                context = ("worker-executed code via "
+                           + _chain_text(graph, worker_reach, qualname))
+            diagnostics.append(_diag(
+                "D301",
+                f"{ev.description} in {fn.display}, reachable from "
+                f"{context}; every draw must come from a caller-supplied "
+                f"seed or SeedSequence child",
+                fn.path, ev.lineno,
+                hint=("thread an np.random.Generator / SeedSequence "
+                      "parameter down from the pipeline entry point")))
+
+    # D303: global mutation in worker-executed code.
+    for qualname in sorted(worker_reach):
+        fn = graph.functions.get(qualname)
+        if fn is None:
+            continue
+        if fn.annotation != "mutates_global_state":
+            for ev in facts[qualname].evidence:
+                if ev.effect & Effect.GLOBAL_WRITE:
+                    diagnostics.append(_diag(
+                        "D303",
+                        f"{ev.description} in worker-executed "
+                        f"{fn.display} (via "
+                        f"{_chain_text(graph, worker_reach, qualname)}); "
+                        f"fork/spawn loses or races the mutation",
+                        fn.path, ev.lineno,
+                        hint=("return the data to the parent through the "
+                              "work item result instead")))
+        for site in fn.calls:
+            if site.resolved is None:
+                continue
+            target = graph.functions[site.resolved]
+            if target.annotation == "mutates_global_state":
+                diagnostics.append(_diag(
+                    "D303",
+                    f"worker-executed {fn.display} calls "
+                    f"{target.display}, declared mutates_global_state; "
+                    f"the mutation stays in the worker process",
+                    fn.path, site.lineno,
+                    hint=("snapshot in the worker and merge in the "
+                          "parent, as the executor's telemetry "
+                          "forwarding does")))
+
+    # D306: verify every annotation against the computed closure.
+    closure = _closure_effects(graph, facts)
+    for qualname in sorted(graph.functions):
+        fn = graph.functions[qualname]
+        forbidden = _ANNOTATION_FORBIDS.get(fn.annotation or "")
+        if forbidden is None:
+            continue
+        bad = closure[qualname] & forbidden
+        if not bad:
+            continue
+        witness = _witness(graph, facts, qualname, bad)
+        detail = ""
+        if witness is not None:
+            wfn, wev = witness
+            where = ("" if wfn.qualname == qualname
+                     else f" (via {wfn.display}, line {wev.lineno})")
+            detail = f": {wev.description}{where}"
+        diagnostics.append(_diag(
+            "D306",
+            f"{fn.display} is declared {fn.annotation} but its closure "
+            f"has effects [{bad.describe()}]{detail}",
+            fn.path, fn.lineno,
+            hint=("fix the effect or weaken the annotation; "
+                  "annotations are verified, never trusted")))
+
+    # noqa suppression, then a stable order.
+    by_path: Dict[str, List[str]] = {}
+    for info in graph.modules.values():
+        by_path[info.path] = info.source_lines
+    kept: List[Diagnostic] = []
+    seen: Set[Tuple[str, str, Optional[int], str]] = set()
+    for diag in diagnostics:
+        key = (diag.rule, diag.path, diag.line, diag.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines = by_path.get(diag.path)
+        if lines is not None and _apply_noqa([diag], lines) == []:
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: (d.path, d.line or 0, d.rule, d.message))
+    return kept
+
+
+def audit_paths(paths: Iterable["str | pathlib.Path"]) -> List[Diagnostic]:
+    """Audit files and directories; the ``repro audit`` entry point."""
+    return audit_graph(build_callgraph(iter_python_files(paths)))

@@ -32,6 +32,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.analysis.effects import pure
 from repro.errors import ConfigurationError, ReproError
 
 _log = logging.getLogger(__name__)
@@ -53,6 +54,7 @@ class RunBudget:
     max_failures: Optional[int] = None
 
     @property
+    @pure
     def unlimited(self) -> bool:
         return self.max_seconds is None and self.max_failures is None
 
@@ -174,10 +176,12 @@ class SweepOutcome:
     exhausted: Optional[str]  # "max_seconds" | "max_failures" | None
 
     @property
+    @pure
     def complete(self) -> bool:
         """Every item finished and none failed."""
         return self.exhausted is None and not self.failures
 
+    @pure
     def describe(self) -> str:
         parts = [f"{self.completed}/{self.attempted} completed"]
         if self.failures:

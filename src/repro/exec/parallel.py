@@ -60,6 +60,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.analysis.effects import (mutates_global_state, observational,
+                                    pure)
 from repro.checkpoint import (BudgetClock, Checkpoint, RunBudget,
                               SweepOutcome, run_sweep)
 from repro.errors import ConfigurationError, ReproError
@@ -70,6 +72,7 @@ _log = logging.getLogger(__name__)
 WorkItem = Tuple[str, Callable[..., Any], Tuple[Any, ...]]
 
 
+@pure
 def _portable_exception(exc: Exception) -> Exception:
     """``exc`` if it survives pickling, else a string-carrying stand-in."""
     try:
@@ -79,6 +82,7 @@ def _portable_exception(exc: Exception) -> Exception:
     return exc
 
 
+@mutates_global_state
 def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
     """Worker-side evaluation of one chunk (module-level for pickling).
 
@@ -96,7 +100,10 @@ def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
         registry = obs.MetricsRegistry()
         event_log = obs.EventLog()
         recorder = obs.TimeSeriesRecorder()
-        obs.enable(registry=registry, tracer=obs.Tracer(),
+        # The one sanctioned worker-side global mutation: fresh telemetry
+        # instances whose snapshots the *parent* merges in submission
+        # order — nothing recorded here is lost or racy.
+        obs.enable(registry=registry, tracer=obs.Tracer(),  # noqa: D303
                    events=event_log, timeseries=recorder)
     results = []
     for key, fn, args in chunk:
@@ -117,6 +124,7 @@ def _run_chunk(chunk: Sequence[WorkItem], instrument: bool):
     return results, telemetry
 
 
+@observational
 def _merge_telemetry(telemetry) -> None:
     """Fold one worker's telemetry into the parent's instances.
 

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.analysis.effects import deterministic_under_seed
 from repro.checkpoint import BudgetClock, Checkpoint, RunBudget
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.exec import run_parallel_sweep
@@ -50,6 +51,7 @@ class MonteCarloResult:
         return float(np.mean(logs)), float(np.std(logs, ddof=1))
 
 
+@deterministic_under_seed
 def _mc_eval(model: Callable[[np.random.Generator], float],
              child: np.random.SeedSequence) -> float:
     """One sample from its seed stream (module-level so workers can

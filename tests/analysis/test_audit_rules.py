@@ -1,0 +1,368 @@
+"""Golden tests for the determinism audit: every D3xx rule has a
+triggering snippet and a fixed counterpart that stays silent."""
+
+import textwrap
+
+from repro.analysis.purity import AUDIT_RULES, audit_paths
+
+
+def audit_file(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return audit_paths([path])
+
+
+def rules_of(diagnostics):
+    return sorted({d.rule for d in diagnostics})
+
+
+class TestD300Parse:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        diags = audit_file(tmp_path, "def broken(:\n")
+        assert rules_of(diags) == ["D300"]
+        assert diags[0].line == 1
+
+    def test_valid_file_has_no_d300(self, tmp_path):
+        assert audit_file(tmp_path, "def fine():\n    return 1\n") == []
+
+
+class TestD301UnseededRng:
+    def test_unseeded_rng_in_seeded_module(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().normal()
+            """, name="montecarlo.py")
+        assert rules_of(diags) == ["D301"]
+        assert "without a seed" in diags[0].message
+
+    def test_module_global_stream_in_seeded_module(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+
+            def draw():
+                return np.random.normal()
+            """, name="designspace.py")
+        assert rules_of(diags) == ["D301"]
+        assert "module-global" in diags[0].message
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed).normal()
+            """, name="montecarlo.py") == []
+
+    def test_rng_reached_through_call_chain(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import random
+
+            def helper():
+                return random.random()
+
+            def sample():
+                return helper()
+            """, name="optimizer.py")
+        assert "D301" in rules_of(diags)
+        # reported once, at the draw site, naming the chain context
+        assert len([d for d in diags if d.rule == "D301"]) == 1
+
+    def test_worker_submitted_function_is_audited(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            def job(index):
+                return np.random.default_rng().normal()
+
+            def sweep():
+                items = [(str(i), job, (i,)) for i in range(4)]
+                return run_parallel_sweep(items, jobs=2)
+            """)
+        assert rules_of(diags) == ["D301"]
+        assert "worker" in diags[0].message
+
+    def test_worker_function_with_seed_argument_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            def job(child):
+                return np.random.default_rng(child).normal()
+
+            def sweep(children):
+                items = [(str(i), job, (c,))
+                         for i, c in enumerate(children)]
+                return run_parallel_sweep(items, jobs=2)
+            """) == []
+
+    def test_unrelated_module_rng_not_flagged(self, tmp_path):
+        # Outside the seeded pipelines and any worker closure, an
+        # unseeded draw is not this audit's business.
+        assert audit_file(tmp_path, """
+            import numpy as np
+
+            def demo():
+                return np.random.default_rng().normal()
+            """) == []
+
+
+class TestD302AmbientTaint:
+    def test_wall_clock_into_fingerprint(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import time
+            from repro.obs import config_fingerprint
+
+            def fingerprint(config):
+                stamp = time.time()
+                config["generated_at"] = stamp
+                return config_fingerprint(config)
+            """)
+        assert rules_of(diags) == ["D302"]
+        assert "time.time()" in diags[0].message
+
+    def test_pid_into_checkpoint_save(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import os
+
+            def snapshot(checkpoint, done):
+                payload = {"done": done, "pid": os.getpid()}
+                checkpoint.save(payload)
+            """)
+        assert rules_of(diags) == ["D302"]
+
+    def test_environ_into_run_report(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import os
+            from repro.obs import build_run_report
+
+            def report(registry, tracer):
+                tag = os.environ.get("RUN_TAG", "")
+                return build_run_report(tag, {"tag": tag},
+                                        registry, tracer)
+            """)
+        assert rules_of(diags) == ["D302"]
+
+    def test_explicit_config_only_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro.obs import config_fingerprint
+
+            def fingerprint(config):
+                return config_fingerprint(config)
+            """) == []
+
+    def test_clock_not_reaching_a_sink_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """) == []
+
+
+class TestD303WorkerGlobalMutation:
+    def test_module_global_store_in_worker(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            from repro.exec import run_parallel_sweep
+
+            CACHE = {}
+
+            def job(key):
+                CACHE[key] = key * 2
+                return key
+
+            def sweep():
+                items = [(str(i), job, (i,)) for i in range(4)]
+                return run_parallel_sweep(items, jobs=2)
+            """)
+        assert rules_of(diags) == ["D303"]
+        assert "CACHE" in diags[0].message
+
+    def test_global_statement_rebind_in_worker(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            from repro.exec import run_parallel_sweep
+
+            _COUNT = 0
+
+            def job(key):
+                global _COUNT
+                _COUNT += 1
+                return key
+
+            def sweep():
+                return run_parallel_sweep([("a", job, (1,))], jobs=2)
+            """)
+        assert rules_of(diags) == ["D303"]
+
+    def test_returning_data_instead_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro.exec import run_parallel_sweep
+
+            def job(key):
+                return {key: key * 2}
+
+            def sweep():
+                items = [(str(i), job, (i,)) for i in range(4)]
+                return run_parallel_sweep(items, jobs=2)
+            """) == []
+
+    def test_parent_side_global_mutation_is_clean(self, tmp_path):
+        # The same mutation outside any worker closure is allowed.
+        assert audit_file(tmp_path, """
+            CACHE = {}
+
+            def remember(key):
+                CACHE[key] = key * 2
+            """) == []
+
+    def test_noqa_suppresses_sanctioned_mutation(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro.exec import run_parallel_sweep
+
+            CACHE = {}
+
+            def job(key):
+                CACHE[key] = key * 2  # noqa: D303
+                return key
+
+            def sweep():
+                return run_parallel_sweep([("a", job, (1,))], jobs=2)
+            """) == []
+
+
+class TestD304SetIterationOrder:
+    def test_set_loop_feeding_append(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            def merge(results):
+                out = []
+                seen = set(results)
+                for key in seen:
+                    out.append(key)
+                return out
+            """)
+        assert rules_of(diags) == ["D304"]
+
+    def test_comprehension_over_set(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import json
+
+            def serialize(keys):
+                pending = {k for k in keys if k}
+                return json.dumps([k for k in pending])
+            """)
+        assert rules_of(diags) == ["D304"]
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def merge(results):
+                out = []
+                seen = set(results)
+                for key in sorted(seen):
+                    out.append(key)
+                return out
+            """) == []
+
+    def test_membership_only_set_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def filter_new(items, done):
+                seen = set(done)
+                return [i for i in items if i not in seen]
+            """) == []
+
+
+class TestD305ReductionOrder:
+    def test_accumulation_over_as_completed(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            from concurrent.futures import as_completed
+
+            def total(futures):
+                acc = 0.0
+                for future in as_completed(futures):
+                    acc += future.result()
+                return acc
+            """)
+        assert rules_of(diags) == ["D305"]
+        assert diags[0].severity.value == "info"
+
+    def test_sum_over_set(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            def total(values):
+                pool = set(values)
+                return sum(v * 2.0 for v in pool)
+            """)
+        assert rules_of(diags) == ["D305"]
+
+    def test_submission_order_accumulation_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def total(futures):
+                acc = 0.0
+                for future in futures:
+                    acc += future.result()
+                return acc
+            """) == []
+
+
+class TestD306AnnotationContradiction:
+    def test_pure_function_reading_clock(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import time
+            from repro.analysis.effects import pure
+
+            @pure
+            def stamp():
+                return time.time()
+            """)
+        assert rules_of(diags) == ["D306"]
+        assert "declared pure" in diags[0].message
+
+    def test_contradiction_found_through_callee(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import time
+            from repro.analysis.effects import pure
+
+            def helper():
+                return time.time()
+
+            @pure
+            def stamp():
+                return helper()
+            """)
+        assert rules_of(diags) == ["D306"]
+        assert "helper" in diags[0].message  # witness names the origin
+
+    def test_deterministic_under_seed_rejects_global_stream(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+            from repro.analysis.effects import deterministic_under_seed
+
+            @deterministic_under_seed
+            def sample():
+                return np.random.normal()
+            """)
+        assert rules_of(diags) == ["D306"]
+
+    def test_deterministic_under_seed_allows_passed_rng(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro.analysis.effects import deterministic_under_seed
+
+            @deterministic_under_seed
+            def sample(rng):
+                return rng.normal()
+            """) == []
+
+    def test_honest_pure_function_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro.analysis.effects import pure
+
+            @pure
+            def area(width, height):
+                return width * height
+            """) == []
+
+
+class TestRuleTable:
+    def test_every_rule_has_severity_and_summary(self):
+        assert sorted(AUDIT_RULES) == [
+            "D300", "D301", "D302", "D303", "D304", "D305", "D306"]

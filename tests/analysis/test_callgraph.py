@@ -1,0 +1,213 @@
+"""Call-graph construction and effect propagation through the shapes
+the executor actually sees: decorators, ``functools.partial``, lambdas
+handed to ``run_parallel_sweep``, and methods resolved via ``self``."""
+
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.purity import audit_paths
+
+
+def graph_of(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return build_callgraph([path])
+
+
+def audit_file(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return audit_paths([path])
+
+
+def rules_of(diagnostics):
+    return sorted({d.rule for d in diagnostics})
+
+
+class TestGraphConstruction:
+    def test_module_function_call_resolves(self, tmp_path):
+        graph = graph_of(tmp_path, """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """)
+        assert "snippet.helper" in graph.callees("snippet.caller")
+
+    def test_self_method_call_resolves(self, tmp_path):
+        graph = graph_of(tmp_path, """
+            class Engine:
+                def _step(self):
+                    return 1
+
+                def run(self):
+                    return self._step()
+            """)
+        assert "snippet.Engine._step" in graph.callees("snippet.Engine.run")
+
+    def test_method_inherited_from_base_resolves(self, tmp_path):
+        graph = graph_of(tmp_path, """
+            class Base:
+                def _step(self):
+                    return 1
+
+            class Engine(Base):
+                def run(self):
+                    return self._step()
+            """)
+        assert "snippet.Base._step" in graph.callees("snippet.Engine.run")
+
+    def test_local_binding_shadows_module_function(self, tmp_path):
+        graph = graph_of(tmp_path, """
+            def target():
+                return 1
+
+            def caller(target):
+                return target()
+            """)
+        assert "snippet.target" not in graph.callees("snippet.caller")
+
+    def test_subscript_store_does_not_shadow_global(self, tmp_path):
+        # ``CACHE[k] = v`` mutates the module global, it does not bind a
+        # local named CACHE.
+        graph = graph_of(tmp_path, """
+            CACHE = {}
+
+            def remember(key):
+                CACHE[key] = key
+            """)
+        fn = graph.functions["snippet.remember"]
+        assert "CACHE" not in fn.local_bindings
+        assert "CACHE" in graph.modules["snippet"].global_names
+
+    def test_syntax_error_recorded_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def nope(:\n")
+        graph = build_callgraph([bad])
+        assert len(graph.parse_failures) == 1
+
+
+class TestEffectPropagation:
+    def test_through_decorator(self, tmp_path):
+        # The decorator's wrapper reads the clock; the decorated
+        # function inherits that effect, contradicting @pure.
+        diags = audit_file(tmp_path, """
+            import time
+            from repro.analysis.effects import pure
+
+            def timed(fn):
+                def wrapper(*args):
+                    time.time()
+                    return fn(*args)
+                return wrapper
+
+            @pure
+            @timed
+            def compute(x):
+                return x * 2
+            """)
+        assert rules_of(diags) == ["D306"]
+
+    def test_through_functools_partial(self, tmp_path):
+        # Binding a function with functools.partial before submission
+        # still puts it in the worker closure.
+        diags = audit_file(tmp_path, """
+            import functools
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            def draw(index):
+                return np.random.default_rng().normal()
+
+            def sweep():
+                jobs = [functools.partial(draw, i) for i in range(2)]
+                items = [(str(i), job, ()) for i, job in enumerate(jobs)]
+                return run_parallel_sweep(items, jobs=2)
+            """)
+        assert rules_of(diags) == ["D301"]
+
+    def test_lambda_passed_to_run_parallel_sweep(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            def sweep():
+                items = [("a", lambda: np.random.default_rng().normal(),
+                          ())]
+                return run_parallel_sweep(items, jobs=2)
+            """)
+        assert rules_of(diags) == ["D301"]
+        assert "lambda" in diags[0].message
+
+    def test_method_submitted_via_self(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            class Runner:
+                def _job(self, index):
+                    return np.random.default_rng().normal()
+
+                def run(self):
+                    items = [(str(i), self._job, (i,)) for i in range(2)]
+                    return run_parallel_sweep(items, jobs=2)
+            """)
+        assert rules_of(diags) == ["D301"]
+
+    def test_seeded_method_submitted_via_self_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            import numpy as np
+            from repro.exec import run_parallel_sweep
+
+            class Runner:
+                def _job(self, child):
+                    return np.random.default_rng(child).normal()
+
+                def run(self, children):
+                    items = [(str(i), self._job, (c,))
+                             for i, c in enumerate(children)]
+                    return run_parallel_sweep(items, jobs=2)
+            """) == []
+
+    def test_observational_callee_stops_propagation(self, tmp_path):
+        # Telemetry emission is excused from purity, but an
+        # observational function drawing unseeded randomness is not.
+        diags = audit_file(tmp_path, """
+            import time
+            from repro.analysis.effects import observational, pure
+
+            @observational
+            def emit(name):
+                return (name, time.time())
+
+            @pure
+            def compute(x):
+                emit("compute")
+                return x * 2
+            """)
+        assert diags == []
+
+    def test_mutates_global_state_shifts_report_to_call_site(self, tmp_path):
+        # The annotated mutator itself is sanctioned; the worker-side
+        # call site is where the audit points, so the noqa lives where
+        # the decision is made.
+        diags = audit_file(tmp_path, """
+            from repro.analysis.effects import mutates_global_state
+            from repro.exec import run_parallel_sweep
+
+            _STATE = {}
+
+            @mutates_global_state
+            def install(key):
+                _STATE[key] = key
+
+            def job(key):
+                install(key)
+                return key
+
+            def sweep():
+                return run_parallel_sweep([("a", job, (1,))], jobs=2)
+            """)
+        assert rules_of(diags) == ["D303"]
+        assert "install" in diags[0].message

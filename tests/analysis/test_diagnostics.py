@@ -96,3 +96,36 @@ class TestBaseline:
 
     def test_discover_returns_none_without_file(self, tmp_path):
         assert Baseline.discover(tmp_path) is None
+
+    def test_discover_stops_at_git_root(self, tmp_path):
+        # A baseline *above* the repository must never leak in: the
+        # walk stops at the first directory holding a .git entry.
+        Baseline.from_diagnostics([make()]).save(
+            tmp_path / Baseline.DEFAULT_NAME)
+        repo = tmp_path / "repo"
+        (repo / ".git").mkdir(parents=True)
+        nested = repo / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert Baseline.discover(nested) is None
+
+    def test_discover_stops_at_pyproject_root(self, tmp_path):
+        Baseline.from_diagnostics([make()]).save(
+            tmp_path / Baseline.DEFAULT_NAME)
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        (repo / "pyproject.toml").write_text("[project]\n")
+        nested = repo / "src"
+        nested.mkdir()
+        assert Baseline.discover(nested) is None
+
+    def test_discover_finds_baseline_at_repo_root(self, tmp_path):
+        # The repository root itself is still searched before the
+        # walk stops there.
+        repo = tmp_path / "repo"
+        (repo / ".git").mkdir(parents=True)
+        Baseline.from_diagnostics([make()]).save(
+            repo / Baseline.DEFAULT_NAME)
+        nested = repo / "src"
+        nested.mkdir()
+        found = Baseline.discover(nested)
+        assert found is not None and make() in found

@@ -3,7 +3,8 @@ the analyzers — the same gate CI runs."""
 
 import pathlib
 
-from repro.analysis import Severity, check_targets, lint_paths
+from repro.analysis import (Severity, audit_paths, check_targets,
+                            lint_paths)
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
 SRC = REPO / "src" / "repro"
@@ -13,6 +14,14 @@ EXAMPLES = REPO / "examples"
 class TestSelfHosting:
     def test_src_repro_is_lint_clean(self):
         findings = lint_paths([SRC])
+        assert findings == [], "\n".join(
+            f"{d.location()}: [{d.rule}] {d.message}" for d in findings)
+
+    def test_src_repro_is_audit_clean(self):
+        # The determinism audit gates the package with an *empty*
+        # baseline: the executor's bit-identity contract is enforced,
+        # not grandfathered.
+        findings = audit_paths([SRC])
         assert findings == [], "\n".join(
             f"{d.location()}: [{d.rule}] {d.message}" for d in findings)
 
