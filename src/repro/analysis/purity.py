@@ -31,6 +31,11 @@ D305    info      float accumulation whose reduction order follows
 D306    error     an ``@effects`` annotation contradicts the computed
                   closure effect (annotations are verified, not
                   trusted)
+D307    error     ``except Exception`` / ``except BaseException`` /
+                  bare ``except`` inside worker or supervision code
+                  that swallows — no re-raise, no structured failure
+                  recorded — turning real faults into silent sample
+                  loss
 ======  ========  =====================================================
 
 ``dict`` iteration is deliberately *not* flagged by D304: insertion
@@ -73,6 +78,8 @@ AUDIT_RULES = register_rules("audit", {
     "D304": "unordered set iteration feeds serialized or merged output",
     "D305": "float accumulation order depends on executor scheduling",
     "D306": "effect annotation contradicts the computed effects",
+    "D307": ("broad exception swallowed in worker/supervision code "
+             "without re-raise or structured failure record"),
 })
 
 _SEVERITY = {
@@ -83,10 +90,23 @@ _SEVERITY = {
     "D304": Severity.WARNING,
     "D305": Severity.INFO,
     "D306": Severity.ERROR,
+    "D307": Severity.ERROR,
 }
 
 #: Module basenames whose whole call closure must stay seeded (D301).
 _SEEDED_MODULES = ("montecarlo", "designspace", "optimizer")
+
+#: Module basenames whose functions are supervision/worker machinery:
+#: a swallowed broad exception there loses samples silently (D307).
+_SUPERVISED_MODULES = ("parallel", "supervise", "checkpoint", "chaos")
+
+#: Handler types D307 considers "broad" (catch-everything).
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+#: Call names (last segment) that record a failure in a structured way
+#: — a broad handler that reaches one of these is not a swallow.
+_FAILURE_RECORDERS = {"event", "emit", "warning", "error", "exception",
+                      "critical", "fail", "record", "append", "put"}
 
 #: Call names (last segment) that hand callables to worker processes.
 _SUBMIT_NAMES = ("run_parallel_sweep", "submit")
@@ -669,6 +689,37 @@ class _LocalScan:
                                    self._expr_taint(item.context_expr))
 
 
+# -- D307: broad-exception swallows in worker/supervision code ----------------
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> Optional[str]:
+    """Description of the handler if it catches everything, else None."""
+    node = handler.type
+    if node is None:
+        return "bare except:"
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in candidates:
+        name = dotted_name(item)
+        if (name is not None
+                and name.rsplit(".", 1)[-1] in _BROAD_EXCEPTIONS):
+            return f"except {name}"
+    return None
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body neither re-raises nor records the
+    failure through a structured channel (event/log/budget/queue)."""
+    for node in _iter_own(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func)
+            if (raw is not None
+                    and raw.rsplit(".", 1)[-1] in _FAILURE_RECORDERS):
+                return False
+    return True
+
+
 # -- graph-wide analysis -------------------------------------------------------
 
 
@@ -828,6 +879,36 @@ def audit_graph(graph: CallGraph) -> List[Diagnostic]:
                     hint=("snapshot in the worker and merge in the "
                           "parent, as the executor's telemetry "
                           "forwarding does")))
+
+    # D307: broad exception swallows in worker/supervision code.  A
+    # worker that eats an arbitrary exception without re-raising or
+    # recording it converts a real fault into a silently lost sample —
+    # the exact failure mode the supervision layer exists to prevent.
+    supervised = {
+        qualname for qualname, fn in graph.functions.items()
+        if fn.module.rsplit(".", 1)[-1].split("@")[0]
+        in _SUPERVISED_MODULES}
+    for qualname in sorted(set(worker_reach) | supervised):
+        fn = graph.functions.get(qualname)
+        if fn is None or fn.node is None:
+            continue
+        for node in _iter_own(fn.node):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_handler(node)
+            if broad is None or not _handler_swallows(node):
+                continue
+            where = ("supervision code"
+                     if qualname in supervised else "worker-executed code")
+            diagnostics.append(_diag(
+                "D307",
+                f"{broad} in {fn.display} ({where}) swallows the error: "
+                f"no re-raise, no structured failure recorded — a fault "
+                f"here becomes a silently lost sample",
+                fn.path, node.lineno,
+                hint=("re-raise, narrow the except, or record through "
+                      "obs.event/log/clock.fail; append '# noqa: D307' "
+                      "only where the swallow is the sanctioned design")))
 
     # D306: verify every annotation against the computed closure.
     closure = _closure_effects(graph, facts)

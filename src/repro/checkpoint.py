@@ -23,6 +23,7 @@ kill during a save never corrupts the previous snapshot.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import logging
 import os
@@ -38,7 +39,24 @@ from repro.errors import ConfigurationError, ReproError
 _log = logging.getLogger(__name__)
 
 #: Bumped whenever the checkpoint layout changes incompatibly.
-CHECKPOINT_SCHEMA = 1
+#: Schema 2 added the ``checksum`` content hash; schema-1 files (no
+#: checksum) are still readable.
+CHECKPOINT_SCHEMA = 2
+
+#: Oldest schema :meth:`Checkpoint.load` still accepts.
+_OLDEST_READABLE_SCHEMA = 1
+
+
+@pure
+def _content_checksum(done: Dict[str, Any]) -> str:
+    """Hex digest over the canonical JSON rendering of ``done``.
+
+    Canonical means ``sort_keys=True`` with default separators, so the
+    digest is independent of insertion order and of how the enclosing
+    payload happens to be formatted on disk.
+    """
+    canonical = json.dumps(done, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,36 +121,93 @@ class Checkpoint:
         return self.path.exists()
 
     def load(self) -> Optional[Dict[str, Any]]:
-        """The saved ``done`` mapping, or ``None`` if no file exists."""
+        """The saved ``done`` mapping, or ``None`` if no usable file exists.
+
+        A checkpoint that cannot be trusted — truncated or torn JSON,
+        undecodable bytes, a non-object payload, or a content checksum
+        that does not match
+        the stored ``done`` mapping (schema >= 2) — is **quarantined**,
+        not fatal: the file is renamed to a ``.corrupt`` sidecar, a
+        one-line warning is logged, and the sweep resumes from the last
+        good state (here: empty, since the corrupt file *was* the last
+        state).  Genuine configuration conflicts — an unreadable path,
+        a schema from a newer library, a fingerprint from a different
+        run — still raise :class:`~repro.errors.ConfigurationError`:
+        those are operator errors, not media faults.
+        """
         if not self.path.exists():
             return None
         try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            text = self.path.read_text()
+        except UnicodeDecodeError as exc:
+            return self._quarantine(f"undecodable bytes ({exc})")
+        except OSError as exc:
             raise ConfigurationError(
                 f"checkpoint {self.path} is unreadable: {exc}") from exc
-        if payload.get("schema") != CHECKPOINT_SCHEMA:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return self._quarantine(f"truncated or torn JSON ({exc})")
+        if not isinstance(payload, dict):
+            return self._quarantine(
+                f"payload is {type(payload).__name__}, not an object")
+        schema = payload.get("schema")
+        if not (isinstance(schema, int)
+                and _OLDEST_READABLE_SCHEMA <= schema <= CHECKPOINT_SCHEMA):
             raise ConfigurationError(
-                f"checkpoint {self.path} has schema "
-                f"{payload.get('schema')!r}, expected {CHECKPOINT_SCHEMA}")
+                f"checkpoint {self.path} has schema {schema!r}, "
+                f"expected {_OLDEST_READABLE_SCHEMA}..{CHECKPOINT_SCHEMA}")
         saved = payload.get("fingerprint")
         if saved != self.fingerprint:
             raise ConfigurationError(
                 f"checkpoint {self.path} was written by a run with "
                 f"fingerprint {saved!r}, not {self.fingerprint!r}; "
                 "delete it or rerun with the original configuration")
-        obs.metrics().counter("checkpoint.resumes").inc()
         done = payload.get("done", {})
+        if not isinstance(done, dict):
+            return self._quarantine(
+                f"'done' is {type(done).__name__}, not an object")
+        if schema >= 2:
+            expected = payload.get("checksum")
+            actual = _content_checksum(done)
+            if expected != actual:
+                return self._quarantine(
+                    f"checksum mismatch (stored {expected!r}, "
+                    f"content {actual!r})")
+        obs.metrics().counter("checkpoint.resumes").inc()
         obs.event("checkpoint.resumed", path=str(self.path), items=len(done))
         _log.info("resumed checkpoint %s: %d item(s) already done",
                   self.path, len(done))
         return done
 
+    def _quarantine(self, reason: str) -> Optional[Dict[str, Any]]:
+        """Move a corrupt checkpoint aside and resume from scratch."""
+        sidecar = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, sidecar)
+        except OSError:
+            sidecar = self.path  # could not move it; leave it in place
+        _log.warning("checkpoint %s is corrupt (%s); quarantined to %s, "
+                     "resuming from scratch", self.path, reason, sidecar)
+        obs.metrics().counter("checkpoint.corruptions").inc()
+        obs.event("checkpoint.corrupt", path=str(self.path),
+                  sidecar=str(sidecar), reason=reason)
+        return None
+
     def save(self, done: Dict[str, Any]) -> None:
-        """Atomically snapshot ``done`` (temp file + rename)."""
+        """Atomically snapshot ``done`` (temp file + fsync + rename).
+
+        The temp fd is fsynced before the rename so a power loss right
+        after ``os.replace`` cannot leave the *new* name pointing at
+        unwritten blocks; the directory is fsynced best-effort so the
+        rename itself is durable.  The payload carries a content
+        checksum over ``done`` (schema 2), which is what lets
+        :meth:`load` distinguish a torn write from a good snapshot.
+        """
         payload = {
             "schema": CHECKPOINT_SCHEMA,
             "fingerprint": self.fingerprint,
+            "checksum": _content_checksum(done),
             "done": done,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -141,7 +216,20 @@ class Checkpoint:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, self.path)
+            try:
+                dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            except OSError:
+                pass  # platform without directory fds: rename still atomic
+            else:
+                try:
+                    os.fsync(dir_fd)
+                except OSError:
+                    pass  # best-effort: some filesystems refuse dir fsync
+                finally:
+                    os.close(dir_fd)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -167,6 +255,13 @@ class SweepOutcome:
     item, in sweep order.  ``attempted`` counts items actually tried
     this process plus those restored from a checkpoint; items skipped
     because the budget ran out are neither attempted nor failed.
+    ``failures`` are keys whose evaluation raised a
+    :class:`~repro.errors.ReproError`; ``quarantined`` are keys the
+    supervision layer gave up on after exhausting their retry budget
+    on process-level faults (crash, hang, deadline) — every item the
+    sweep touched lands in exactly one of the three.  ``interrupted``
+    marks an outcome cut short by SIGTERM/Ctrl-C: partial but honest,
+    with the final checkpoint already written.
     """
 
     results: Dict[str, Any]
@@ -174,20 +269,32 @@ class SweepOutcome:
     attempted: int
     failures: Tuple[str, ...]  # item keys whose evaluation raised
     exhausted: Optional[str]  # "max_seconds" | "max_failures" | None
+    quarantined: Tuple[str, ...] = ()  # keys retired by the supervisor
+    interrupted: bool = False  # cut short by SIGTERM / KeyboardInterrupt
+    #: Structured :class:`repro.exec.supervise.TimeoutFailure` records,
+    #: one per deadline/hang strike (including strikes on samples that
+    #: later succeeded on retry).  Typed loosely to keep this module
+    #: free of an executor dependency.
+    timeouts: Tuple[Any, ...] = ()
 
     @property
     @pure
     def complete(self) -> bool:
         """Every item finished and none failed."""
-        return self.exhausted is None and not self.failures
+        return (self.exhausted is None and not self.failures
+                and not self.quarantined and not self.interrupted)
 
     @pure
     def describe(self) -> str:
         parts = [f"{self.completed}/{self.attempted} completed"]
         if self.failures:
             parts.append(f"{len(self.failures)} failed")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
         if self.exhausted:
             parts.append(f"stopped on {self.exhausted}")
+        if self.interrupted:
+            parts.append("interrupted")
         return ", ".join(parts)
 
 
@@ -230,33 +337,46 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
     clock = BudgetClock(budget)
     failures: List[str] = []
     exhausted: Optional[str] = None
+    interrupted = False
     dirty = 0
-    with obs.span("sweep.run", items=len(items)):
-        for key, thunk in items:
-            if key in done:
-                continue
-            exhausted = clock.exhausted()
-            if exhausted is not None:
-                _log.info("sweep stopped on %s after %d item(s)",
-                          exhausted, len(done))
-                break
-            try:
-                result = thunk()
-            except ReproError as exc:
-                _log.warning("sweep item %r failed: %s", key, exc)
-                obs.metrics().counter("sweep.failures").inc()
-                failures.append(key)
-                clock.fail()
+    try:
+        with obs.span("sweep.run", items=len(items)):
+            for key, thunk in items:
+                if key in done:
+                    continue
+                exhausted = clock.exhausted()
+                if exhausted is not None:
+                    _log.info("sweep stopped on %s after %d item(s)",
+                              exhausted, len(done))
+                    break
+                try:
+                    result = thunk()
+                except ReproError as exc:
+                    _log.warning("sweep item %r failed: %s", key, exc)
+                    obs.metrics().counter("sweep.failures").inc()
+                    failures.append(key)
+                    clock.fail()
+                    if progress is not None:
+                        progress.advance(failed=1)
+                    continue
+                done[key] = encode(result)
+                dirty += 1
                 if progress is not None:
-                    progress.advance(failed=1)
-                continue
-            done[key] = encode(result)
-            dirty += 1
-            if progress is not None:
-                progress.advance(completed=1)
-            if checkpoint is not None and dirty >= save_every:
-                checkpoint.save(done)
-                dirty = 0
+                    progress.advance(completed=1)
+                if checkpoint is not None and dirty >= save_every:
+                    checkpoint.save(done)
+                    dirty = 0
+    except KeyboardInterrupt:
+        # Graceful interruption (Ctrl-C, or SIGTERM routed here by the
+        # executor's trap): keep the accounting, write the final
+        # checkpoint below, and hand back a partial outcome instead of
+        # losing the run.
+        interrupted = True
+        pending = sum(1 for key, _thunk in items
+                      if key not in done and key not in failures)
+        _log.warning("sweep interrupted: %d item(s) done, %d pending",
+                     len(done), pending)
+        obs.event("sweep.interrupted", completed=len(done), pending=pending)
     if checkpoint is not None and dirty:
         checkpoint.save(done)
 
@@ -267,4 +387,5 @@ def run_sweep(items: Sequence[Tuple[str, Callable[[], Any]]],
         attempted=len(results) + len(failures),
         failures=tuple(failures),
         exhausted=exhausted,
+        interrupted=interrupted,
     )

@@ -60,6 +60,40 @@ def _capacity(args: argparse.Namespace) -> int:
     return args.kb * kb
 
 
+def _supervision_policy(args: argparse.Namespace):
+    """Build a SupervisionPolicy from the --timeout/--retries/
+    --max-sample-seconds flags; None when all are off (the supervised
+    code path is then skipped entirely — zero overhead)."""
+    from repro.exec import SupervisionPolicy
+    timeout = getattr(args, "timeout", 0.0)
+    retries = getattr(args, "retries", 0)
+    deadline = getattr(args, "max_sample_seconds", 0.0)
+    if timeout <= 0 and retries <= 0 and deadline <= 0:
+        return None
+    return SupervisionPolicy(
+        max_sample_seconds=deadline if deadline > 0 else None,
+        hang_seconds=timeout if timeout > 0 else None,
+        max_retries=max(0, retries),
+        seed=args.seed)
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="hang watchdog: kill and retry a worker "
+                             "whose heartbeat goes silent this long "
+                             "(<= 0 disables)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry a failed/crashed/timed-out sample "
+                             "up to N times with seeded backoff before "
+                             "quarantining it (default 0)")
+    parser.add_argument("--max-sample-seconds", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="per-sample deadline; a sample running "
+                             "longer is cut off and counted as a "
+                             "timeout (<= 0 disables)")
+
+
 def cmd_headline(args: argparse.Namespace) -> None:
     macro = FastDramDesign().build(_capacity(args),
                                    retention_override=args.retention)
@@ -202,7 +236,8 @@ def cmd_optimize(args: argparse.Namespace) -> None:
                                 activity=args.activity)
     progress = progress_for_args(args, total=len(optimizer.grid_points()),
                                  label="optimize")
-    result = optimizer.run(jobs=args.jobs, progress=progress)
+    result = optimizer.run(jobs=args.jobs, progress=progress,
+                           policy=_supervision_policy(args))
     progress.finish()
     print(f"{len(result.candidates)} feasible candidates, "
           f"{len(result.pareto_front)} on the Pareto front")
@@ -261,7 +296,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
     outcome = run_monte_carlo_resumable(
         retention.sample_retention, count=args.samples, seed=args.seed,
         checkpoint=checkpoint, budget=budget, jobs=args.jobs,
-        progress=progress)
+        progress=progress, policy=_supervision_policy(args))
     progress.finish()
     print(f"retention Monte-Carlo: {outcome.describe()}")
     if outcome.result is not None:
@@ -290,17 +325,24 @@ def cmd_mc(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_chaos(args: argparse.Namespace) -> None:
+def cmd_chaos(args: argparse.Namespace) -> int:
     """Seeded end-to-end chaos run: fault injection plus a forced solver
     failure, ending in degraded-mode statistics.
 
-    Exercises the whole resilience layer: a fault plan drawn from the
-    retention tail degrades the macro (ECC + spare-row repair), dropped
-    and late refreshes perturb the interference simulator, and a stiff
-    diode circuit under a starved Newton budget forces the solver
-    recovery ladder to escalate.  The run must end with zero uncaught
-    exceptions — that is the point.
+    The default (``--scenario model``) exercises the model-level
+    resilience layer: a fault plan drawn from the retention tail
+    degrades the macro (ECC + spare-row repair), dropped and late
+    refreshes perturb the interference simulator, and a stiff diode
+    circuit under a starved Newton budget forces the solver recovery
+    ladder to escalate.  The process-level scenarios (``kill``,
+    ``hang``, ``slow``, ``flaky``, ``torn-checkpoint``, ``disk-full``,
+    or all of them via ``matrix``) attack the supervised executor
+    instead and gate on zero lost samples with bit-identical survivors.
+    Either way the run must end with zero uncaught exceptions — that is
+    the point.
     """
+    if args.scenario != "model":
+        return _cmd_chaos_process(args)
     import numpy as np
     from repro.faults import FaultyRefreshPolicy, plan_for_organization
     from repro.refresh import (LocalizedRefresh, RefreshSimulator,
@@ -355,6 +397,27 @@ def cmd_chaos(args: argparse.Namespace) -> None:
           f"(diode at {solution['d']:.3f} V)")
     print()
     print("chaos run completed with zero uncaught exceptions")
+    return 0
+
+
+def _cmd_chaos_process(args: argparse.Namespace) -> int:
+    """Process-level chaos scenarios against the supervised executor."""
+    from repro.faults.chaos import run_chaos_matrix, run_chaos_scenario
+    print(f"== process-level chaos: {args.scenario} ==")
+    if args.scenario == "matrix":
+        reports = run_chaos_matrix(count=args.samples, seed=args.seed,
+                                   jobs=args.jobs)
+    else:
+        reports = [run_chaos_scenario(args.scenario, count=args.samples,
+                                      seed=args.seed, jobs=args.jobs)]
+    for report in reports:
+        print(report.describe())
+    if all(report.ok for report in reports):
+        print("chaos run completed with zero lost samples")
+        return 0
+    print("chaos run LOST or DRIFTED samples — supervision contract "
+          "violated", file=sys.stderr)
+    return 1
 
 
 def cmd_obs_export(args: argparse.Namespace) -> int:
@@ -582,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--progress", action="store_true",
                              help="force the live progress line even "
                                   "when stderr is not a TTY")
+            _add_supervision_arguments(sub)
         if extra == "pvt":
             sub.add_argument("--technology", default="dram",
                              choices=("dram", "scratchpad", "sram"))
@@ -614,10 +678,26 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--progress", action="store_true",
                              help="force the live progress line even "
                                   "when stderr is not a TTY")
+            _add_supervision_arguments(sub)
         if extra == "chaos":
             sub.add_argument("--cycles", type=int, default=60_000,
                              help="trace length for the faulty refresh "
                                   "interference run")
+            from repro.faults.chaos import CHAOS_SCENARIOS
+            sub.add_argument("--scenario",
+                             choices=("model",) + CHAOS_SCENARIOS
+                             + ("matrix",),
+                             default="model",
+                             help="model = the model-level resilience "
+                                  "run (default); anything else attacks "
+                                  "the supervised executor with that "
+                                  "process-level fault (matrix = all)")
+            sub.add_argument("--samples", type=int, default=12,
+                             help="sweep width for the process-level "
+                                  "scenarios (default 12)")
+            sub.add_argument("--jobs", type=int, default=2,
+                             help="worker processes for the process-"
+                                  "level scenarios (default 2)")
         sub.set_defaults(handler=handler)
 
     lint = subparsers.add_parser("lint", help=cmd_lint.__doc__,
@@ -697,11 +777,15 @@ def _report_config(args: argparse.Namespace) -> dict:
 
     Observability plumbing (output paths, the progress flag) is not
     configuration — two runs differing only in where telemetry lands
-    must share a fingerprint.
+    must share a fingerprint.  Neither are the supervision knobs: by
+    the bit-identity contract a supervised run produces the same
+    results as an unsupervised one, so deadlines/retries must not
+    split fingerprints.
     """
     return {key: value for key, value in vars(args).items()
             if key not in ("handler", "profile", "metrics_out",
-                           "events_out", "progress", "verbose")}
+                           "events_out", "progress", "verbose",
+                           "timeout", "retries", "max_sample_seconds")}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

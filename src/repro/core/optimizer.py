@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.effects import deterministic_under_seed
 from repro.checkpoint import Checkpoint, RunBudget
 from repro.core.fastdram import FastDramDesign
-from repro.exec import run_parallel_sweep
+from repro.exec import SupervisionPolicy, run_parallel_sweep
 from repro.core.voltage import scaled_supply_design
 from repro.errors import ConfigurationError
 from repro.units import MHz, kb, ms
@@ -167,7 +167,9 @@ class DesignOptimizer:
     def run(self, checkpoint: Optional[Checkpoint] = None,
             budget: Optional[RunBudget] = None,
             jobs: int = 1,
-            progress=None) -> OptimisationResult:
+            progress=None,
+            policy: Optional[SupervisionPolicy] = None
+            ) -> OptimisationResult:
         """Evaluate the grid; returns candidates, front and bests.
 
         With a ``checkpoint`` the evaluated points are snapshotted and a
@@ -177,6 +179,9 @@ class DesignOptimizer:
         *no* evaluated point is feasible).  ``jobs > 1`` prices grid
         points in worker processes (this frozen dataclass pickles, so
         the bound evaluator ships directly) with identical results.
+        A ``policy`` (:class:`~repro.exec.SupervisionPolicy`) with any
+        knob enabled adds per-point deadlines, the hang watchdog and
+        seeded retry on top, at any ``jobs`` setting.
         """
         grid = self.grid_points()
         items = [
@@ -189,7 +194,7 @@ class DesignOptimizer:
             encode=lambda c: None if c is None else dataclasses.asdict(c),
             decode=lambda raw: (None if raw is None
                                 else DesignCandidate(**raw)),
-            progress=progress,
+            progress=progress, policy=policy,
         )
         candidates = [c for c in outcome.results.values() if c is not None]
         if not candidates:

@@ -71,5 +71,24 @@ class SimulationError(ReproError):
     """A simulation was asked to do something unsupported or inconsistent."""
 
 
+class DeadlineExceeded(SimulationError):
+    """A supervised sample ran past its per-sample deadline.
+
+    Raised cooperatively by :func:`repro.exec.supervise.tick` from long
+    solver loops (transient stepping, the recovery ladder), so a worker
+    can abandon a pathological sample cleanly instead of being killed
+    by the parent's watchdog.  Carries the deadline and the elapsed
+    time as attributes for the supervisor's structured accounting.
+    """
+
+    def __init__(self, message: str, *, elapsed: "float | None" = None,
+                 limit: "float | None" = None) -> None:
+        if elapsed is not None and limit is not None:
+            message = f"{message} ({elapsed:.3f}s elapsed, limit {limit:g}s)"
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.limit = limit
+
+
 class CalibrationError(ReproError):
     """A calibrated model fell outside its validated envelope."""

@@ -6,8 +6,27 @@
 file format — plus a ``jobs`` knob that fans evaluation out over a
 :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
 merged results deterministic (submission order, not completion order).
+
+:mod:`repro.exec.supervise` hardens the same contract for hostile
+conditions: :func:`run_supervised_sweep` adds per-sample deadlines, a
+heartbeat-based hung-worker watchdog, seeded retry with backoff, a
+crash-loop circuit breaker that quarantines repeat offenders, and
+graceful pool-shrink/serial degradation — all configured by a frozen
+:class:`SupervisionPolicy` and reachable from
+:func:`run_parallel_sweep` via its ``policy`` argument.
 """
 
 from repro.exec.parallel import run_parallel_sweep
+from repro.exec.supervise import (SupervisionPolicy, TimeoutFailure,
+                                  run_supervised_sweep, sample_deadline,
+                                  tick, trap_termination)
 
-__all__ = ["run_parallel_sweep"]
+__all__ = [
+    "run_parallel_sweep",
+    "run_supervised_sweep",
+    "SupervisionPolicy",
+    "TimeoutFailure",
+    "sample_deadline",
+    "tick",
+    "trap_termination",
+]

@@ -65,6 +65,8 @@ from repro.analysis.effects import (mutates_global_state, observational,
 from repro.checkpoint import (BudgetClock, Checkpoint, RunBudget,
                               SweepOutcome, run_sweep)
 from repro.errors import ConfigurationError, ReproError
+from repro.exec.supervise import (SupervisionPolicy, run_supervised_sweep,
+                                  trap_termination)
 
 _log = logging.getLogger(__name__)
 
@@ -77,7 +79,7 @@ def _portable_exception(exc: Exception) -> Exception:
     """``exc`` if it survives pickling, else a string-carrying stand-in."""
     try:
         pickle.loads(pickle.dumps(exc))
-    except Exception:
+    except Exception:  # noqa: D307 - the stand-in *is* the record
         return RuntimeError(f"{type(exc).__name__}: {exc}")
     return exc
 
@@ -154,7 +156,9 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                        encode: Optional[Callable[[Any], Any]] = None,
                        decode: Optional[Callable[[Any], Any]] = None,
                        chunk_size: Optional[int] = None,
-                       progress: Optional[Any] = None) -> SweepOutcome:
+                       progress: Optional[Any] = None,
+                       policy: Optional[SupervisionPolicy] = None
+                       ) -> SweepOutcome:
     """Evaluate keyed work items over ``jobs`` worker processes.
 
     Mirrors :func:`repro.checkpoint.run_sweep` exactly — checkpoint
@@ -166,6 +170,14 @@ def run_parallel_sweep(items: Sequence[WorkItem],
     never affects results, only dispatch overhead.  ``progress`` (a
     :class:`~repro.obs.progress.SweepProgress`) receives one
     ``advance`` call per merged item, in submission order.
+
+    An *enabled* ``policy`` (:class:`SupervisionPolicy`) reroutes the
+    whole call to :func:`repro.exec.supervise.run_supervised_sweep` —
+    deadlines, hang watchdog, seeded retry, quarantine, degradation —
+    with identical accounting; a ``None`` or all-defaults policy costs
+    nothing.  Either way SIGTERM/Ctrl-C is trapped: the final parent
+    checkpoint is written and the partial outcome comes back with
+    ``interrupted=True``.
     """
     keys = [key for key, _fn, _args in items]
     if len(set(keys)) != len(keys):
@@ -176,12 +188,18 @@ def run_parallel_sweep(items: Sequence[WorkItem],
         raise ConfigurationError("save_every must be >= 1")
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError("chunk_size must be >= 1")
+    if policy is not None and policy.enabled:
+        return run_supervised_sweep(
+            items, policy, jobs=jobs, checkpoint=checkpoint, budget=budget,
+            save_every=save_every, encode=encode, decode=decode,
+            progress=progress)
     if jobs == 1:
         thunks = [(key, functools.partial(fn, *args))
                   for key, fn, args in items]
-        return run_sweep(thunks, checkpoint=checkpoint, budget=budget,
-                         save_every=save_every, encode=encode, decode=decode,
-                         progress=progress)
+        with trap_termination():
+            return run_sweep(thunks, checkpoint=checkpoint, budget=budget,
+                             save_every=save_every, encode=encode,
+                             decode=decode, progress=progress)
 
     encode = encode or (lambda value: value)
     decode = decode or (lambda value: value)
@@ -200,13 +218,15 @@ def run_parallel_sweep(items: Sequence[WorkItem],
     clock = BudgetClock(budget)
     failures: List[str] = []
     exhausted: Optional[str] = None
+    interrupted = False
     dirty = 0
     crash_retried: set = set()
     instrument = obs.is_enabled()
     context = _pool_context()
     executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
     try:
-        with obs.span("sweep.parallel", items=len(items), jobs=jobs):
+        with obs.span("sweep.parallel", items=len(items), jobs=jobs), \
+                trap_termination():
             futures = [executor.submit(_run_chunk, chunk, instrument)
                        for chunk in chunks]
             index = 0
@@ -275,6 +295,17 @@ def run_parallel_sweep(items: Sequence[WorkItem],
                             dirty = 0
                         raise payload
                 index += 1
+    except KeyboardInterrupt:
+        # Graceful interruption (Ctrl-C, or SIGTERM via the trap):
+        # cancel what never ran, keep every merged result, write the
+        # final parent checkpoint below, and report a partial outcome
+        # instead of losing the in-flight accounting.
+        interrupted = True
+        pending = sum(1 for key in keys
+                      if key not in done and key not in failures)
+        _log.warning("parallel sweep interrupted: %d item(s) done, "
+                     "%d pending", len(done), pending)
+        obs.event("sweep.interrupted", completed=len(done), pending=pending)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     if checkpoint is not None and dirty:
@@ -287,4 +318,5 @@ def run_parallel_sweep(items: Sequence[WorkItem],
         attempted=len(results) + len(failures),
         failures=tuple(failures),
         exhausted=exhausted,
+        interrupted=interrupted,
     )

@@ -8,9 +8,22 @@ The subsystem splits cleanly in three:
   spare-row repair, yielding a degraded-but-functional
   :class:`DegradedMacroReport`);
 * :mod:`repro.faults.injector` — how the survivors perturb the
-  behavioural engines (refresh interference, cache hierarchy).
+  behavioural engines (refresh interference, cache hierarchy);
+* :mod:`repro.faults.chaos` — process-level chaos (worker kill/hang/
+  slow, torn checkpoints, disk-full sinks) proving the supervised
+  executor loses nothing and drifts nowhere.
 """
 
+from repro.faults.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosPlan,
+    ChaosReport,
+    corrupt_checkpoint,
+    fill_event_sink,
+    generate_chaos_plan,
+    run_chaos_matrix,
+    run_chaos_scenario,
+)
 from repro.faults.injector import CacheFaultModel, FaultyRefreshPolicy
 from repro.faults.plan import (
     FaultPlan,
@@ -28,7 +41,10 @@ from repro.faults.repair import (
 )
 
 __all__ = [
+    "CHAOS_SCENARIOS",
     "CacheFaultModel",
+    "ChaosPlan",
+    "ChaosReport",
     "DegradedMacroReport",
     "FaultPlan",
     "FaultyRefreshPolicy",
@@ -38,6 +54,11 @@ __all__ = [
     "StuckBit",
     "WeakCell",
     "assess_plan",
+    "corrupt_checkpoint",
+    "fill_event_sink",
+    "generate_chaos_plan",
     "generate_fault_plan",
     "plan_for_organization",
+    "run_chaos_matrix",
+    "run_chaos_scenario",
 ]

@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import collections
 import json
+import logging
 import pathlib
 import time
 from typing import Any, Deque, Dict, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
+
+_log = logging.getLogger(__name__)
 
 #: Default ring capacity — newest events kept in memory per run.
 DEFAULT_EVENT_CAPACITY = 4096
@@ -77,6 +80,11 @@ class EventLog:
     path fails at construction with a one-line
     :class:`~repro.errors.ConfigurationError` instead of a traceback
     from deep inside a run.
+
+    A sink that fails **mid-run** (disk full, filesystem yanked) must
+    not kill the sweep that is being observed: the sink is closed, the
+    failure is counted in :attr:`sink_errors` and logged once, and the
+    log degrades to in-memory-only for the rest of the run.
     """
 
     def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY,
@@ -89,6 +97,7 @@ class EventLog:
         self.emitted = 0
         self.dropped = 0
         self._sink = None
+        self.sink_errors = 0
         self.sink_path: Optional[pathlib.Path] = None
         if jsonl_path is not None:
             self.sink_path = pathlib.Path(jsonl_path)
@@ -117,10 +126,19 @@ class EventLog:
             try:
                 self._sink.write(
                     json.dumps(event.to_dict(), default=repr) + "\n")
-            except OSError as exc:
-                raise ConfigurationError(
-                    f"cannot write event sink {self.sink_path}: "
-                    f"{exc}") from exc
+            except (OSError, ValueError) as exc:
+                # Disk full / sink torn away mid-run: telemetry must
+                # never kill the run it observes.  Degrade to the
+                # in-memory ring and say so once.
+                self.sink_errors += 1
+                sink, self._sink = self._sink, None
+                try:
+                    sink.close()
+                except (OSError, ValueError):
+                    pass
+                _log.warning(
+                    "event sink %s failed (%s); continuing in-memory only",
+                    self.sink_path, exc)
 
     def extend(self, events: Iterable[Union[Event, Dict[str, Any]]]) -> int:
         """Fold already-timestamped events in, preserving their order.
@@ -180,6 +198,7 @@ class NullEventLog:
     capacity = 0
     emitted = 0
     dropped = 0
+    sink_errors = 0
     sink_path = None
 
     def emit(self, kind: str, **payload: Any) -> None:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError, ConvergenceError, SimulationError
+from repro.exec.supervise import tick as _supervision_tick
 from repro.spice.elements import Capacitor
 from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
@@ -171,6 +172,10 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     with obs.span("spice.transient", circuit=circuit.name, steps=steps,
                   integrator=integrator):
         for step in range(1, steps + 1):
+            # Cooperative deadline check: a supervised sample whose
+            # transient runs past its budget raises DeadlineExceeded
+            # here instead of waiting for the parent's hard kill.
+            _supervision_tick()
             t = times[step]
             x_prev = data[step - 1]
             # Trapezoidal needs a consistent capacitor-current history,
@@ -278,6 +283,9 @@ def _solve_step_with_recovery(system: MnaSystem, circuit: Circuit,
     def attempt(rung: str, detail: str, substeps: int = 1,
                 **solve_kwargs) -> "np.ndarray | None":
         nonlocal last_error
+        # Each ladder rung is a fresh chance to notice an expired
+        # per-sample deadline before burning more Newton iterations.
+        _supervision_tick()
         restore_state()
         try:
             x = run_substeps(substeps, **solve_kwargs)

@@ -18,7 +18,7 @@ import numpy as np
 from repro.analysis.effects import deterministic_under_seed
 from repro.checkpoint import BudgetClock, Checkpoint, RunBudget
 from repro.errors import ConfigurationError, ReproError, SimulationError
-from repro.exec import run_parallel_sweep
+from repro.exec import SupervisionPolicy, run_parallel_sweep
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,7 +160,9 @@ def _run_mc_parallel(model, count: int, children, state: dict,
                      checkpoint: Optional[Checkpoint],
                      budget: Optional[RunBudget],
                      save_every: int, jobs: int,
-                     progress=None) -> Optional[str]:
+                     progress=None,
+                     policy: Optional[SupervisionPolicy] = None
+                     ) -> Optional[str]:
     """Parallel sample evaluation; folds results into ``state`` in
     index order and returns the exhausted-budget reason (if any)."""
     if (budget is not None and budget.max_failures is not None
@@ -178,8 +180,8 @@ def _run_mc_parallel(model, count: int, children, state: dict,
         [(str(index), _mc_eval, (model, children[index]))
          for index in range(start, count)],
         jobs=jobs, checkpoint=adapter, budget=sub_budget,
-        save_every=save_every, progress=progress)
-    failed_keys = set(outcome.failures)
+        save_every=save_every, progress=progress, policy=policy)
+    failed_keys = set(outcome.failures) | set(outcome.quarantined)
     for index in range(start, count):
         key = str(index)
         if key in outcome.results:
@@ -201,7 +203,9 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                               budget: Optional[RunBudget] = None,
                               save_every: int = 64,
                               jobs: int = 1,
-                              progress=None) -> MonteCarloOutcome:
+                              progress=None,
+                              policy: Optional[SupervisionPolicy] = None
+                              ) -> MonteCarloOutcome:
     """Checkpointed, budget-bounded variant of :func:`run_monte_carlo`.
 
     Sample ``i`` always draws from child stream ``i`` of the seed
@@ -222,6 +226,12 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
     ``progress`` (a :class:`~repro.obs.progress.SweepProgress`) receives
     ``note_restored`` for checkpointed samples and one ``advance`` per
     evaluated sample, which drives the CLI's live status line.
+
+    A ``policy`` (:class:`~repro.exec.SupervisionPolicy`) with any
+    knob enabled routes evaluation through the supervised executor —
+    per-sample deadlines, hang watchdog, seeded retry/backoff and
+    quarantine — at any ``jobs`` setting; quarantined samples are
+    counted as failed.
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
@@ -241,12 +251,13 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
             if progress is not None and state["next"]:
                 progress.note_restored(state["next"])
 
+    supervised = policy is not None and policy.enabled
     exhausted: Optional[str] = None
-    if jobs > 1 and state["next"] < count:
+    if (jobs > 1 or supervised) and state["next"] < count:
         exhausted = _run_mc_parallel(model, count, children, state,
                                      checkpoint, budget, save_every, jobs,
-                                     progress=progress)
-    elif jobs == 1:
+                                     progress=progress, policy=policy)
+    elif jobs == 1 and state["next"] < count:
         clock = BudgetClock(budget)
         clock.failures = len(state["failed"])
         dirty = 0

@@ -362,7 +362,86 @@ class TestD306AnnotationContradiction:
             """) == []
 
 
+class TestD307ExceptionSwallow:
+    def test_swallow_in_supervision_module(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            def harvest(future):
+                try:
+                    return future.result()
+                except Exception:
+                    pass
+            """, name="supervise.py")
+        assert rules_of(diags) == ["D307"]
+        assert "swallows" in diags[0].message
+
+    def test_bare_except_in_worker_code(self, tmp_path):
+        diags = audit_file(tmp_path, """
+            from repro.exec import run_parallel_sweep
+
+            def job(x):
+                try:
+                    return 1.0 / x
+                except:
+                    return 0.0
+
+            def sweep(items):
+                return run_parallel_sweep(
+                    [(k, job, (v,)) for k, v in items], jobs=2)
+            """)
+        assert "D307" in rules_of(diags)
+        assert "bare except" in next(
+            d.message for d in diags if d.rule == "D307")
+
+    def test_reraise_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def harvest(future):
+                try:
+                    return future.result()
+                except Exception as exc:
+                    raise RuntimeError("sample lost") from exc
+            """, name="supervise.py") == []
+
+    def test_structured_record_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            from repro import obs
+
+            def harvest(future, failures):
+                try:
+                    return future.result()
+                except Exception as exc:
+                    obs.event("exec.supervise.crash", detail=str(exc))
+            """, name="supervise.py") == []
+
+    def test_narrow_except_is_clean(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def load(path):
+                try:
+                    return path.read_text()
+                except OSError:
+                    pass
+            """, name="checkpoint.py") == []
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def beat(channel, key):
+                try:
+                    channel.put_nowait(key)
+                except Exception:  # noqa: D307 - parent may be gone
+                    pass
+            """, name="supervise.py") == []
+
+    def test_other_modules_not_in_scope(self, tmp_path):
+        assert audit_file(tmp_path, """
+            def parse(text):
+                try:
+                    return float(text)
+                except Exception:
+                    pass
+            """, name="helpers.py") == []
+
+
 class TestRuleTable:
     def test_every_rule_has_severity_and_summary(self):
         assert sorted(AUDIT_RULES) == [
-            "D300", "D301", "D302", "D303", "D304", "D305", "D306"]
+            "D300", "D301", "D302", "D303", "D304", "D305", "D306",
+            "D307"]

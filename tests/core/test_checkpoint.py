@@ -52,10 +52,13 @@ class TestCheckpointFile:
         with pytest.raises(ConfigurationError, match="schema"):
             ckpt.load()
 
-    def test_corrupt_file_is_a_config_error(self, ckpt):
+    def test_corrupt_file_is_quarantined_not_fatal(self, ckpt):
         ckpt.path.write_text("{not json")
-        with pytest.raises(ConfigurationError, match="unreadable"):
-            ckpt.load()
+        assert ckpt.load() is None  # resume from scratch, not a crash
+        sidecar = ckpt.path.with_name(ckpt.path.name + ".corrupt")
+        assert sidecar.exists()
+        assert sidecar.read_text() == "{not json"
+        assert not ckpt.path.exists()
 
     def test_clear_removes_file(self, ckpt):
         ckpt.save({})
