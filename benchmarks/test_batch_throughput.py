@@ -1,0 +1,94 @@
+"""Batched transient solver throughput: samples/sec vs batch size.
+
+The batched sample-axis Newton engine (:mod:`repro.spice.batch`) must
+deliver at least a 3x samples/sec improvement at B=32 on the paper's
+transistor-level local-block Monte-Carlo workload — on one core, purely
+by amortising Python dispatch over the sample axis — while staying
+bit-identical to the per-sample scalar path.  Serial and batched runs
+are interleaved rep by rep and the *best* time per configuration is
+compared (min-over-reps cancels the load spikes of a noisy shared
+machine without averaging them into the result); identity is asserted
+on every rep, not just the fastest.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cells.dram1t1c import Dram1t1cCell
+from repro.spice.batch import eval_model_batch
+from repro.variability.localblock_mc import LocalBlockMcModel
+from benchmarks._util import check_regression, record_json, record_result
+
+SAMPLES = 32
+BATCH_SIZES = (1, 8, 32)
+REPS = 4
+MIN_SPEEDUP_B32 = 3.0
+SEED = 2009
+
+
+def _rngs():
+    return [np.random.default_rng(child)
+            for child in np.random.SeedSequence(SEED).spawn(SAMPLES)]
+
+
+def _run_serial(model):
+    start = time.perf_counter()
+    values = [model(rng) for rng in _rngs()]
+    return time.perf_counter() - start, values
+
+
+def _run_batched(model, batch):
+    rngs = _rngs()
+    start = time.perf_counter()
+    values = []
+    for chunk_start in range(0, SAMPLES, batch):
+        outcomes = eval_model_batch(model, rngs[chunk_start:
+                                               chunk_start + batch])
+        for ok, value in outcomes:
+            assert ok, f"batched sample failed: {value!r}"
+            values.append(value)
+    return time.perf_counter() - start, values
+
+
+def test_batch_throughput_and_bit_identity():
+    model = LocalBlockMcModel(Dram1t1cCell.scratchpad())
+
+    best = {size: float("inf") for size in BATCH_SIZES}
+    for _ in range(REPS):
+        elapsed, reference = _run_serial(model)
+        best[1] = min(best[1], elapsed)
+        for size in BATCH_SIZES[1:]:
+            elapsed, values = _run_batched(model, size)
+            # The speedup must never buy numerical drift: every batch
+            # size reproduces the scalar samples bit for bit.
+            assert values == reference, (
+                f"B={size} drifted from the serial sample vector")
+            best[size] = min(best[size], elapsed)
+
+    speedups = {size: best[1] / best[size] for size in BATCH_SIZES}
+    metrics = {
+        "workload": "localblock-read MC (16 cells/LBL, 700 steps)",
+        "samples": SAMPLES,
+        "reps": REPS,
+    }
+    for size in BATCH_SIZES:
+        metrics[f"samples_per_sec_b{size}"] = round(SAMPLES / best[size], 2)
+    for size in BATCH_SIZES[1:]:
+        metrics[f"speedup_b{size}"] = round(speedups[size], 3)
+    record_json("BENCH_batch", metrics)
+    record_result("batch_throughput", "\n".join([
+        f"batched vs serial Newton, {SAMPLES}-sample local-block MC:",
+        *(f"  B={size:>2}: {best[size] * 1e3:8.1f} ms  "
+          f"{SAMPLES / best[size]:7.2f} samples/s  "
+          f"({speedups[size]:5.2f}x vs serial)" for size in BATCH_SIZES),
+        f"  B=32 floor: {MIN_SPEEDUP_B32}x (asserted)",
+    ]))
+
+    assert speedups[32] >= MIN_SPEEDUP_B32, (
+        f"B=32 speedup {speedups[32]:.2f}x fell below the "
+        f"{MIN_SPEEDUP_B32}x floor "
+        f"(best times: {[round(best[s], 3) for s in BATCH_SIZES]})")
+    check_regression("BENCH_batch", metrics)

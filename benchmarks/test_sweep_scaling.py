@@ -83,3 +83,11 @@ def test_parallel_sweep_scaling_and_determinism():
             f"jobs=4 speedup {speedups[4]:.2f}x fell below the "
             f"{MIN_SPEEDUP_J4}x floor on a {cpu_count}-CPU machine")
         check_regression("BENCH_sweep", metrics)
+    else:
+        # The regression baseline still gates the non-speedup metrics;
+        # the speedup_jobs* floors are skipped with a logged reason
+        # instead of silently dropping the whole check.
+        check_regression(
+            "BENCH_sweep", metrics, skip_prefixes=("speedup_jobs",),
+            skip_reason=f"only {cpu_count} CPU(s); parallel speedup "
+                        "is not expressible on this machine")

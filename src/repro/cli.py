@@ -237,7 +237,8 @@ def cmd_optimize(args: argparse.Namespace) -> None:
     progress = progress_for_args(args, total=len(optimizer.grid_points()),
                                  label="optimize")
     result = optimizer.run(jobs=args.jobs, progress=progress,
-                           policy=_supervision_policy(args))
+                           policy=_supervision_policy(args),
+                           batch=args.batch)
     progress.finish()
     print(f"{len(result.candidates)} feasible candidates, "
           f"{len(result.pareto_front)} on the Pareto front")
@@ -274,15 +275,28 @@ def cmd_mc(args: argparse.Namespace) -> int:
     from repro.checkpoint import Checkpoint, RunBudget
     from repro.units import si_format as fmt
     from repro.variability.montecarlo import (run_monte_carlo_resumable,
+                                              worst_case_gaussian,
                                               worst_case_lognormal)
 
     design = FastDramDesign()
     retention = design.cell().retention_model()
+    if args.model == "localblock":
+        from repro.variability.localblock_mc import LocalBlockMcModel
+        model = LocalBlockMcModel(design.cell())
+    else:
+        model = retention.sample_retention
     checkpoint = None
     if args.checkpoint:
-        checkpoint = Checkpoint(args.checkpoint, obs.config_fingerprint({
-            "command": "mc", "samples": args.samples, "seed": args.seed,
-            "kb": args.kb}))
+        fingerprint = {"command": "mc", "samples": args.samples,
+                       "seed": args.seed, "kb": args.kb}
+        if args.model != "retention":
+            # Keyed only when non-default so pre-existing retention
+            # checkpoints stay resumable.  --batch and --jobs are
+            # deliberately absent: every setting produces bit-identical
+            # samples, so their checkpoints are interchangeable.
+            fingerprint["model"] = args.model
+        checkpoint = Checkpoint(args.checkpoint,
+                                obs.config_fingerprint(fingerprint))
         if checkpoint.exists() and not args.resume:
             print(f"checkpoint {args.checkpoint} exists; pass --resume to "
                   "continue it or delete it to start over",
@@ -294,18 +308,29 @@ def cmd_mc(args: argparse.Namespace) -> int:
     from repro.obs.progress import progress_for_args
     progress = progress_for_args(args, total=args.samples, label="mc")
     outcome = run_monte_carlo_resumable(
-        retention.sample_retention, count=args.samples, seed=args.seed,
+        model, count=args.samples, seed=args.seed,
         checkpoint=checkpoint, budget=budget, jobs=args.jobs,
-        progress=progress, policy=_supervision_policy(args))
+        progress=progress, policy=_supervision_policy(args),
+        batch=args.batch)
     progress.finish()
-    print(f"retention Monte-Carlo: {outcome.describe()}")
-    if outcome.result is not None:
-        result = outcome.result
-        print(f"  median retention : {fmt(result.median, 's')}")
-        print(f"  mean / std       : {fmt(result.mean, 's')} / "
-              f"{fmt(result.std, 's')}")
-        print(f"  6-sigma worst    : "
-              f"{fmt(worst_case_lognormal(result, 6.0), 's')}")
+    if args.model == "localblock":
+        print(f"local-block read-signal Monte-Carlo: {outcome.describe()}")
+        if outcome.result is not None:
+            result = outcome.result
+            print(f"  median signal    : {fmt(result.median, 'V')}")
+            print(f"  mean / std       : {fmt(result.mean, 'V')} / "
+                  f"{fmt(result.std, 'V')}")
+            print(f"  6-sigma worst    : "
+                  f"{fmt(worst_case_gaussian(result, 6.0), 'V')}")
+    else:
+        print(f"retention Monte-Carlo: {outcome.describe()}")
+        if outcome.result is not None:
+            result = outcome.result
+            print(f"  median retention : {fmt(result.median, 's')}")
+            print(f"  mean / std       : {fmt(result.mean, 's')} / "
+                  f"{fmt(result.std, 's')}")
+            print(f"  6-sigma worst    : "
+                  f"{fmt(worst_case_lognormal(result, 6.0), 's')}")
     if checkpoint is not None:
         if outcome.complete:
             checkpoint.clear()
@@ -642,6 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the grid search "
                                   "(default 1 = serial; results are "
                                   "identical at any setting)")
+            sub.add_argument("--batch", type=int, default=1,
+                             help="grid points per worker dispatch "
+                                  "(composes with --jobs; results are "
+                                  "identical at any setting)")
             sub.add_argument("--progress", action="store_true",
                              help="force the live progress line even "
                                   "when stderr is not a TTY")
@@ -671,6 +700,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes for the sample sweep "
                                   "(default 1 = serial; statistics are "
                                   "bit-identical at any setting)")
+            sub.add_argument("--batch", type=int, default=1,
+                             help="samples solved together by the batched "
+                                  "transient engine (transistor-level "
+                                  "models only; composes with --jobs — "
+                                  "each worker solves one batch; "
+                                  "statistics are bit-identical at any "
+                                  "setting)")
+            sub.add_argument("--model", choices=("retention", "localblock"),
+                             default="retention",
+                             help="retention = analytic cell retention "
+                                  "draw (default); localblock = "
+                                  "transistor-level local-block read "
+                                  "signal, the --batch workload")
             sub.add_argument("--faults", choices=("none", "weak-cells"),
                              default="none",
                              help="also draw a fault plan and print the "

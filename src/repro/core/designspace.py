@@ -118,7 +118,8 @@ def sweep_retention_resumable(values: Sequence[float],
                               total_bits: int = 128 * kb,
                               checkpoint: Optional[Checkpoint] = None,
                               budget: Optional[RunBudget] = None,
-                              jobs: int = 1) -> SweepOutcome:
+                              jobs: int = 1,
+                              batch: int = 1) -> SweepOutcome:
     """Checkpointed, budget-bounded :func:`sweep_retention`.
 
     Returns a :class:`~repro.checkpoint.SweepOutcome` whose ``results``
@@ -126,10 +127,14 @@ def sweep_retention_resumable(values: Sequence[float],
     values; a killed run resumed from the same checkpoint completes
     with exactly the rows an uninterrupted run would have produced.
     ``jobs > 1`` fans the points out over worker processes with
-    identical results and checkpoint contents.
+    identical results and checkpoint contents.  The rows are analytic,
+    so ``batch`` only sets the dispatch chunk size (points per worker
+    round-trip) — results are identical at every setting.
     """
     if any(v <= 0 for v in values):
         raise ConfigurationError("retention times must be positive")
+    if batch < 1:
+        raise ConfigurationError("batch must be >= 1")
     items = [(f"retention={retention:g}", _evaluate_retention_row,
               (retention, total_bits))
              for retention in values]
@@ -137,6 +142,7 @@ def sweep_retention_resumable(values: Sequence[float],
         items, jobs=jobs, checkpoint=checkpoint, budget=budget,
         encode=dataclasses.asdict,
         decode=lambda raw: RetentionSweepRow(**raw),
+        chunk_size=batch if batch > 1 else None,
     )
 
 
@@ -194,12 +200,16 @@ def sweep_sizes_resumable(sizes: Sequence[int] = (128 * kb, 512 * kb,
                           retention_override: float = 1 * ms,
                           checkpoint: Optional[Checkpoint] = None,
                           budget: Optional[RunBudget] = None,
-                          jobs: int = 1) -> SweepOutcome:
+                          jobs: int = 1,
+                          batch: int = 1) -> SweepOutcome:
     """Checkpointed, budget-bounded :func:`sweep_sizes`.
 
     ``retention_override`` is in seconds; ``jobs > 1`` evaluates the
-    sizes in worker processes with identical results.
+    sizes in worker processes with identical results.  ``batch`` sets
+    the dispatch chunk size only (see :func:`sweep_retention_resumable`).
     """
+    if batch < 1:
+        raise ConfigurationError("batch must be >= 1")
     items = [(f"bits={bits}", _evaluate_size_row,
               (bits, technology, retention_override))
              for bits in sizes]
@@ -207,6 +217,7 @@ def sweep_sizes_resumable(sizes: Sequence[int] = (128 * kb, 512 * kb,
         items, jobs=jobs, checkpoint=checkpoint, budget=budget,
         encode=dataclasses.asdict,
         decode=lambda raw: SizeSweepRow(**raw),
+        chunk_size=batch if batch > 1 else None,
     )
 
 

@@ -168,8 +168,8 @@ class DesignOptimizer:
             budget: Optional[RunBudget] = None,
             jobs: int = 1,
             progress=None,
-            policy: Optional[SupervisionPolicy] = None
-            ) -> OptimisationResult:
+            policy: Optional[SupervisionPolicy] = None,
+            batch: int = 1) -> OptimisationResult:
         """Evaluate the grid; returns candidates, front and bests.
 
         With a ``checkpoint`` the evaluated points are snapshotted and a
@@ -182,7 +182,15 @@ class DesignOptimizer:
         A ``policy`` (:class:`~repro.exec.SupervisionPolicy`) with any
         knob enabled adds per-point deadlines, the hang watchdog and
         seeded retry on top, at any ``jobs`` setting.
+
+        The grid pricing is analytic (no transient Newton solve), so
+        ``batch`` here controls only the executor's dispatch chunking:
+        each worker round-trip prices ``batch`` grid points.  Results
+        are identical at every setting; ``batch=1`` keeps the
+        executor's own default chunking.
         """
+        if batch < 1:
+            raise ConfigurationError("batch must be >= 1")
         grid = self.grid_points()
         items = [
             (f"cells={cells},word={word_bits},vdd={vdd:g}",
@@ -194,6 +202,7 @@ class DesignOptimizer:
             encode=lambda c: None if c is None else dataclasses.asdict(c),
             decode=lambda raw: (None if raw is None
                                 else DesignCandidate(**raw)),
+            chunk_size=batch if batch > 1 else None,
             progress=progress, policy=policy,
         )
         candidates = [c for c in outcome.results.values() if c is not None]

@@ -106,6 +106,19 @@ class Histogram:
         self._sum += value
         self._count += 1
 
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` identical observations in one call.
+
+        Hot loops (the batched Newton driver observes one iteration
+        count per converged sample) fold a whole batch into a single
+        bucket update instead of ``n`` Python calls.
+        """
+        if n <= 0:
+            return
+        self.counts[bisect.bisect_left(self.buckets, value)] += n
+        self._sum += value * n
+        self._count += n
+
     @property
     def count(self) -> int:
         return self._count
@@ -171,6 +184,9 @@ class _NullHistogram:
     mean = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, n: int) -> None:
         pass
 
 

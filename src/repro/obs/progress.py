@@ -108,6 +108,50 @@ class SweepProgress:
             self._line_open = False
 
 
+class BatchSampleProgress:
+    """Adapt a per-item reporter to per-*sample* counts for ``--batch``.
+
+    When each sweep item is a whole batch of Monte-Carlo samples, the
+    executor's one-``advance``-per-merged-item contract would make the
+    rate/ETA line count *batches*.  This adapter sits between the sweep
+    and a :class:`SweepProgress` built with ``total=samples``: items
+    arrive in submission order (the executor's ordered-merge promise),
+    so the ``k``-th advance corresponds to the ``k``-th batch and is
+    forwarded scaled by that batch's known sample count.
+
+    A batch that comes back *failed* at the item level (worker crash)
+    marks all of its samples failed.  Per-sample failures hidden inside
+    a successfully returned batch are reconciled by the caller's final
+    accounting, not the live line — the line may briefly overcount
+    completions by at most one batch's worth.
+    """
+
+    def __init__(self, inner: SweepProgress,
+                 sizes: "list[int]") -> None:
+        self._inner = inner
+        self._sizes = list(sizes)
+        self._index = 0
+
+    def _next_size(self) -> int:
+        size = (self._sizes[self._index]
+                if self._index < len(self._sizes) else 1)
+        self._index += 1
+        return size
+
+    def note_restored(self, count: int) -> None:
+        """``count`` leading items already done (restores are a prefix
+        of the submission order in the sequential MC schema)."""
+        samples = sum(self._sizes[:count])
+        self._index = count
+        self._inner.note_restored(samples)
+
+    def advance(self, completed: int = 0, failed: int = 0) -> None:
+        for _ in range(completed):
+            self._inner.advance(completed=self._next_size())
+        for _ in range(failed):
+            self._inner.advance(failed=self._next_size())
+
+
 def _format_seconds(seconds: float) -> str:
     if seconds < 90:
         return f"{seconds:.0f}s"

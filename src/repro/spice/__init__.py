@@ -40,6 +40,12 @@ from repro.spice.op import solve_dc
 from repro.spice.stampplan import StampPlan, stamping_order
 from repro.spice.export import save_waveforms, waveforms_to_csv
 from repro.spice.transient import TransientResult, simulate_transient
+from repro.spice.batch import (
+    BatchTransientModel,
+    batch_transient_outcomes,
+    eval_model_batch,
+    simulate_transient_batch,
+)
 from repro.spice.measure import (
     crossing_time,
     delay_between,
@@ -73,6 +79,10 @@ __all__ = [
     "stamping_order",
     "TransientResult",
     "simulate_transient",
+    "BatchTransientModel",
+    "batch_transient_outcomes",
+    "eval_model_batch",
+    "simulate_transient_batch",
     "crossing_time",
     "delay_between",
     "signal_swing",

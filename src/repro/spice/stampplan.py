@@ -28,7 +28,14 @@ A :class:`StampPlan` compiles a circuit once per :class:`MnaSystem`:
   (``spice.lu.reuse`` / ``spice.lu.refactor`` count the split).
   Content keying makes invalidation automatic: gmin stepping, source
   stepping and substep halving all change the assembled matrix, so
-  they can never reuse a stale factorisation by construction.
+  they can never reuse a stale factorisation by construction.  On
+  fully-compiled plans the content key is the tuple of assembly
+  *inputs* — the linear-base key, ``extra_gmin``, and the bytes of the
+  (small) nonlinear value vector — because assembly is a deterministic
+  function of those inputs, equal inputs imply an equal matrix.  That
+  replaces an O(n²) ``matrix.tobytes()`` copy per Newton iterate with
+  an O(#nonlinear-slots) one; plans carrying generic-fallback stamps
+  (whose writes are opaque to the compiler) keep the full-matrix key.
 
 **Bit-identity contract.**  Both the plan and the legacy path stamp in
 the canonical order of :func:`stamping_order` (linear groups by type in
@@ -111,6 +118,9 @@ class _SolvePoint:
     cap_state: Optional[Dict[str, float]]
     x_prev: Optional[np.ndarray]
     source_scale: float
+    #: Cache key of ``base`` — the (dt, integrator, gmin) tuple.  Part
+    #: of the inputs-mode LU content key (see StampPlan._solve).
+    base_key: Optional[Tuple[Optional[float], str, float]] = None
 
 
 #: Compiled stamper: (x, matrix_flat, rhs, gmin, point) -> None.  The
@@ -124,7 +134,10 @@ _Stamper = Callable[[np.ndarray, np.ndarray, np.ndarray, float,
 class StampPlan:
     """One circuit compiled for fast repeated Newton solves."""
 
-    def __init__(self, system: MnaSystem) -> None:
+    def __init__(self, system: MnaSystem, *, lu_key: str = "inputs") -> None:
+        if lu_key not in ("inputs", "matrix"):
+            raise ConfigurationError(
+                f"lu_key must be 'inputs' or 'matrix', got {lu_key!r}")
         self.system = system
         self.size = system.size
         self._n_nodes = len(system.node_index)
@@ -231,8 +244,11 @@ class StampPlan:
         self._cap_vals = np.empty(2 * n_caps)
 
         self._bases: Dict[Tuple[Optional[float], str, float], np.ndarray] = {}
+        # Inputs-mode keys are only sound when every matrix write is
+        # compiler-known; generic-fallback plans key on matrix bytes.
+        self._lu_inputs_key = self._batched and lu_key == "inputs"
         self._lu: Optional[linalg.LuFactors] = None
-        self._lu_key: Optional[bytes] = None
+        self._lu_key: Optional[object] = None
         # Windowed LU telemetry: every _LU_SAMPLE_WINDOW solves, the
         # window's reuse fraction is sampled into the
         # ``spice.lu.reuse_ratio`` time series (x-axis: total solves).
@@ -607,7 +623,7 @@ class StampPlan:
                                       x_history, cap_state),
             gmin=gmin, extra_gmin=extra_gmin, t=t, dt=dt,
             integrator=integrator, cap_state=cap_state, x_prev=x_history,
-            source_scale=source_scale)
+            source_scale=source_scale, base_key=(dt, integrator, gmin))
 
     def solve_iterate(self, point: _SolvePoint, x: np.ndarray) -> np.ndarray:
         """Assemble and solve one Newton iterate at ``x``."""
@@ -616,27 +632,37 @@ class StampPlan:
         np.copyto(rhs, point.rhs_point)
         gmin = point.gmin
         mf = self._matrix_flat
+        key: Optional[object] = None
         if self._batched:
             vals = self._nl_vals
             for fill in self._fillers:
                 fill(x, vals, gmin, point)
+            nl_key = b""
             if vals:
                 v = np.array(vals)
                 np.add.at(mf, self._m_idx, v[self._m_slot] * self._m_sign)
                 np.add.at(rhs, self._r_idx, v[self._r_slot] * self._r_sign)
+                nl_key = v.tobytes()
+            if self._lu_inputs_key:
+                key = (point.base_key, point.extra_gmin, nl_key)
         else:
             for stamp in self._stampers:
                 stamp(x, mf, rhs, gmin, point)
         if point.extra_gmin > 0.0:
             mf[self._diag_flat] += point.extra_gmin
-        return self._solve(matrix, rhs)
+        return self._solve(matrix, rhs, key)
 
-    def _solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        # Content keying by raw bytes: one memcmp against the cached
-        # key, and stricter than element-wise equality (-0.0 and +0.0
-        # matrices get distinct factorisations, so a reuse can never
-        # shift even the sign of a zero in the solution).
-        key = matrix.tobytes()
+    def _solve(self, matrix: np.ndarray, rhs: np.ndarray,
+               key: Optional[object] = None) -> np.ndarray:
+        # Content keying: stricter than element-wise equality (-0.0 and
+        # +0.0 get distinct factorisations, so a reuse can never shift
+        # even the sign of a zero in the solution).  Inputs-mode keys
+        # (base key, extra_gmin, nonlinear-value bytes) arrive from
+        # solve_iterate and are sound because assembly is deterministic:
+        # equal inputs produce a byte-equal matrix.  Without one, fall
+        # back to hashing the full matrix content.
+        if key is None:
+            key = matrix.tobytes()
         if self._lu is not None and key == self._lu_key:
             obs.metrics().counter("spice.lu.reuse").inc()
             self._lu_window_reuses += 1

@@ -138,20 +138,7 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     n_unknowns = system.size
     n_nodes = len(system.node_index)
 
-    x = np.zeros(n_unknowns)
-    if initial_voltages:
-        for node, voltage in initial_voltages.items():
-            idx = system.index(node)
-            if idx >= 0:
-                x[idx] = voltage
-    for element in circuit.elements:
-        if isinstance(element, Capacitor) and element.initial_voltage is not None:
-            ia = system.index(element.node_a)
-            ib = system.index(element.node_b)
-            if ia >= 0 and (initial_voltages is None
-                            or element.node_a not in initial_voltages):
-                base = x[ib] if ib >= 0 else 0.0
-                x[ia] = base + element.initial_voltage
+    x = _initial_state(circuit, system, initial_voltages)
 
     capacitors = [e for e in circuit.elements if isinstance(e, Capacitor)]
     cap_state: Dict[str, float] = {c.name: 0.0 for c in capacitors}
@@ -209,6 +196,33 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
         node_index=dict(system.node_index),
         branch_index=dict(system.branch_index),
     )
+
+
+def _initial_state(circuit: Circuit, system: MnaSystem,
+                   initial_voltages: Optional[Dict[str, float]]
+                   ) -> np.ndarray:
+    """The t=0 unknown vector: pinned nodes, then capacitor overrides.
+
+    Shared with :mod:`repro.spice.batch` so batched runs start from the
+    byte-identical state a scalar run would.  Capacitor overrides apply
+    sequentially in circuit order (an override may read a node another
+    capacitor just set), so this stays a Python loop by design.
+    """
+    x = np.zeros(system.size)
+    if initial_voltages:
+        for node, voltage in initial_voltages.items():
+            idx = system.index(node)
+            if idx >= 0:
+                x[idx] = voltage
+    for element in circuit.elements:
+        if isinstance(element, Capacitor) and element.initial_voltage is not None:
+            ia = system.index(element.node_a)
+            ib = system.index(element.node_b)
+            if ia >= 0 and (initial_voltages is None
+                            or element.node_a not in initial_voltages):
+                base = x[ib] if ib >= 0 else 0.0
+                x[ia] = base + element.initial_voltage
+    return x
 
 
 def _validate_time_grid(t_stop: float, dt: float) -> None:

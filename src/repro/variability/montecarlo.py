@@ -5,20 +5,32 @@ the worst-case helpers extrapolate to the paper's "6 sigma worst case",
 which brute-force sampling cannot reach (P(6 sigma) ~ 1e-9) — exactly
 why analytic tail extrapolation on a fitted distribution is the standard
 memory-design practice this module implements.
+
+``batch > 1`` vectorizes the sampling axis: when the model is a
+:class:`~repro.spice.batch.BatchTransientModel`, consecutive samples are
+solved together by the batched stamp-plan Newton engine
+(:func:`~repro.spice.batch.eval_model_batch`), which is bit-identical to
+the per-sample serial path by construction — so every ``batch`` setting
+produces the same statistics and resumes from the same checkpoints.  A
+model without a batched twin silently degrades to ``batch=1`` (logged as
+an ``mc.batch.fallback`` event).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.effects import deterministic_under_seed
 from repro.checkpoint import BudgetClock, Checkpoint, RunBudget
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.exec import SupervisionPolicy, run_parallel_sweep
+from repro.obs.progress import BatchSampleProgress
+from repro.spice.batch import BatchTransientModel, eval_model_batch
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,10 +71,43 @@ def _mc_eval(model: Callable[[np.random.Generator], float],
     return float(model(np.random.default_rng(child)))
 
 
+def _mc_eval_chunk(model: BatchTransientModel,
+                   children) -> List[Tuple[bool, object]]:
+    """One batch of samples, solved together (module-level so workers
+    can unpickle it).  Returns one ``(ok, payload)`` pair per sample —
+    the value on success, the error message on failure — because a
+    chunk task must report sample-level failures as *data*: raising
+    would throw away its siblings' finished results."""
+    outcomes = eval_model_batch(
+        model, [np.random.default_rng(child) for child in children])
+    return [(ok, float(value) if ok else f"{type(value).__name__}: {value}")
+            for ok, value in outcomes]
+
+
+def _effective_batch(model, batch: int) -> int:
+    """Clamp ``batch`` to 1 for models without a batched twin.
+
+    Only a :class:`~repro.spice.batch.BatchTransientModel` carries the
+    draw/build/measure decomposition the batched engine needs; any other
+    callable runs per-sample exactly as before.  The degradation is
+    observable (``mc.batch.fallback``), not an error, so sweep scripts
+    can pass ``--batch`` unconditionally.
+    """
+    if batch < 1:
+        raise ConfigurationError("batch must be >= 1")
+    if batch > 1 and not isinstance(model, BatchTransientModel):
+        obs.metrics().counter("mc.batch.fallback").inc()
+        obs.event("mc.batch.fallback", batch=batch,
+                  model=type(model).__name__)
+        return 1
+    return batch
+
+
 def run_monte_carlo(model: Callable[[np.random.Generator], float],
                     count: int,
                     seed: Optional[int] = 0,
-                    jobs: int = 1) -> MonteCarloResult:
+                    jobs: int = 1,
+                    batch: int = 1) -> MonteCarloResult:
     """Evaluate ``model`` ``count`` times with independent RNG streams.
 
     Each call receives a generator spawned from a common seed sequence,
@@ -70,12 +115,40 @@ def run_monte_carlo(model: Callable[[np.random.Generator], float],
     ``jobs > 1`` the samples are evaluated by a process pool — sample
     ``i`` still draws from child stream ``i``, so the returned samples
     are bit-identical to a serial run (``model`` must be picklable).
+
+    ``batch > 1`` solves consecutive samples together through the
+    batched transient engine when the model supports it (see the module
+    docstring); with ``jobs > 1`` each worker solves one chunk of
+    ``batch`` samples as a single batch.  Every combination returns
+    bit-identical samples.
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
+    batch = _effective_batch(model, batch)
     root = np.random.SeedSequence(seed)
     children = root.spawn(count)
     if jobs > 1:
+        if batch > 1:
+            starts = list(range(0, count, batch))
+            outcome = run_parallel_sweep(
+                [(str(start), _mc_eval_chunk,
+                  (model, children[start:start + batch]))
+                 for start in starts],
+                jobs=jobs)
+            if outcome.failures:
+                raise SimulationError(
+                    f"{len(outcome.failures)} Monte-Carlo batch(es) failed "
+                    f"in parallel evaluation: {', '.join(outcome.failures)}")
+            values: List[float] = []
+            for start in starts:
+                for offset, (ok, payload) in enumerate(
+                        outcome.results[str(start)]):
+                    if not ok:
+                        raise SimulationError(
+                            f"Monte-Carlo sample {start + offset} "
+                            f"failed: {payload}")
+                    values.append(payload)
+            return MonteCarloResult(samples=np.array(values, dtype=float))
         outcome = run_parallel_sweep(
             [(str(index), _mc_eval, (model, child))
              for index, child in enumerate(children)],
@@ -87,6 +160,20 @@ def run_monte_carlo(model: Callable[[np.random.Generator], float],
         samples = np.array([outcome.results[str(index)]
                             for index in range(count)], dtype=float)
         return MonteCarloResult(samples=samples)
+    if batch > 1:
+        values = []
+        for start in range(0, count, batch):
+            outcomes = eval_model_batch(
+                model, [np.random.default_rng(child)
+                        for child in children[start:start + batch]])
+            for ok, value in outcomes:
+                if not ok:
+                    # The serial path would have raised this very error
+                    # at this very sample; re-raising the instance keeps
+                    # the two paths indistinguishable to callers.
+                    raise value
+                values.append(float(value))
+        return MonteCarloResult(samples=np.array(values, dtype=float))
     samples = np.array([
         model(np.random.default_rng(child)) for child in children
     ], dtype=float)
@@ -156,13 +243,50 @@ class _SequentialStateCheckpoint:
                                "failed": list(self._failed0)})
 
 
+class _ChunkStateCheckpoint:
+    """Chunk-task twin of :class:`_SequentialStateCheckpoint`.
+
+    With ``batch > 1`` each sweep item is a whole chunk, keyed by its
+    first sample index and valued by the per-sample ``(ok, payload)``
+    list from :func:`_mc_eval_chunk`.  Saves expand completed chunks —
+    in index order, stopping at the first gap — back into the
+    per-sample ``{"next", "samples", "failed"}`` schema, so a
+    ``--batch`` run's checkpoints are byte-compatible with (and
+    resumable by) ``--jobs 1 --batch 1`` and every other combination.
+    """
+
+    def __init__(self, checkpoint: Checkpoint, state: dict) -> None:
+        self._checkpoint = checkpoint
+        self._next0 = int(state["next"])
+        self._samples0 = list(state["samples"])
+        self._failed0 = list(state["failed"])
+
+    def load(self) -> None:
+        return None  # the caller already consumed the base state
+
+    def save(self, done: dict) -> None:
+        samples = list(self._samples0)
+        failed = list(self._failed0)
+        index = self._next0
+        while str(index) in done:
+            chunk = done[str(index)]
+            for offset, (ok, payload) in enumerate(chunk):
+                if ok:
+                    samples.append(payload)
+                else:
+                    failed.append(index + offset)
+            index += len(chunk)
+        self._checkpoint.save({"next": index, "samples": samples,
+                               "failed": failed})
+
+
 def _run_mc_parallel(model, count: int, children, state: dict,
                      checkpoint: Optional[Checkpoint],
                      budget: Optional[RunBudget],
                      save_every: int, jobs: int,
                      progress=None,
-                     policy: Optional[SupervisionPolicy] = None
-                     ) -> Optional[str]:
+                     policy: Optional[SupervisionPolicy] = None,
+                     batch: int = 1) -> Optional[str]:
     """Parallel sample evaluation; folds results into ``state`` in
     index order and returns the exhausted-budget reason (if any)."""
     if (budget is not None and budget.max_failures is not None
@@ -173,9 +297,13 @@ def _run_mc_parallel(model, count: int, children, state: dict,
         sub_budget = RunBudget(
             max_seconds=budget.max_seconds,
             max_failures=budget.max_failures - len(state["failed"]))
+    start = state["next"]
+    if batch > 1:
+        return _run_mc_parallel_batched(
+            model, count, children, state, checkpoint, sub_budget,
+            save_every, jobs, progress, policy, batch, start)
     adapter = (_SequentialStateCheckpoint(checkpoint, state)
                if checkpoint is not None else None)
-    start = state["next"]
     outcome = run_parallel_sweep(
         [(str(index), _mc_eval, (model, children[index]))
          for index in range(start, count)],
@@ -196,6 +324,52 @@ def _run_mc_parallel(model, count: int, children, state: dict,
     return outcome.exhausted
 
 
+def _run_mc_parallel_batched(model, count: int, children, state: dict,
+                             checkpoint: Optional[Checkpoint],
+                             sub_budget: Optional[RunBudget],
+                             save_every: int, jobs: int,
+                             progress, policy, batch: int,
+                             start: int) -> Optional[str]:
+    """Chunked twin of the parallel merge: each sweep item is one batch
+    of ``batch`` samples solved together by a worker.
+
+    Sample-level failures inside a returned chunk are data, not task
+    failures (see :func:`_mc_eval_chunk`), so they do not count against
+    the executor's failure budget mid-sweep — only against the final
+    accounting.  A whole-chunk failure (worker crash) fails every sample
+    in the chunk.
+    """
+    starts = list(range(start, count, batch))
+    sizes = [min(batch, count - s) for s in starts]
+    adapter = (_ChunkStateCheckpoint(checkpoint, state)
+               if checkpoint is not None else None)
+    sweep_progress = (BatchSampleProgress(progress, sizes)
+                      if progress is not None else None)
+    outcome = run_parallel_sweep(
+        [(str(s), _mc_eval_chunk, (model, children[s:s + batch]))
+         for s in starts],
+        jobs=jobs, checkpoint=adapter, budget=sub_budget,
+        save_every=max(1, save_every // batch),
+        progress=sweep_progress, policy=policy)
+    failed_keys = set(outcome.failures) | set(outcome.quarantined)
+    for s, size in zip(starts, sizes):
+        key = str(s)
+        if key in outcome.results:
+            for offset, (ok, payload) in enumerate(outcome.results[key]):
+                if ok:
+                    state["samples"].append(payload)
+                else:
+                    state["failed"].append(s + offset)
+        elif key in failed_keys:
+            state["failed"].extend(range(s, s + size))
+        else:
+            break  # the budget stopped the merge before this chunk
+        state["next"] = s + size
+    if checkpoint is not None:
+        checkpoint.save(state)
+    return outcome.exhausted
+
+
 def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                               count: int,
                               seed: Optional[int] = 0,
@@ -204,8 +378,8 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
                               save_every: int = 64,
                               jobs: int = 1,
                               progress=None,
-                              policy: Optional[SupervisionPolicy] = None
-                              ) -> MonteCarloOutcome:
+                              policy: Optional[SupervisionPolicy] = None,
+                              batch: int = 1) -> MonteCarloOutcome:
     """Checkpointed, budget-bounded variant of :func:`run_monte_carlo`.
 
     Sample ``i`` always draws from child stream ``i`` of the seed
@@ -232,6 +406,18 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
     per-sample deadlines, hang watchdog, seeded retry/backoff and
     quarantine — at any ``jobs`` setting; quarantined samples are
     counted as failed.
+
+    ``batch > 1`` solves consecutive samples together through the
+    batched transient engine when the model supports it (module
+    docstring).  The checkpoint keeps the per-sample schema regardless
+    of ``batch``, so any run can resume any other run's checkpoint —
+    including ``--jobs 1 --batch 1`` resuming a ``--batch 32`` run —
+    with bit-identical final statistics.  ``progress`` still counts
+    *samples*, not batches.  Budget caveats: the wall-clock budget is
+    checked between batches, so a run may overshoot ``max_seconds`` by
+    up to one batch; with ``jobs > 1``, sample failures inside a
+    successfully returned chunk reach ``max_failures`` accounting only
+    when the sweep completes.
     """
     if count < 2:
         raise ConfigurationError("count must be >= 2")
@@ -239,6 +425,7 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
         raise ConfigurationError("save_every must be >= 1")
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
+    batch = _effective_batch(model, batch)
     children = np.random.SeedSequence(seed).spawn(count)
 
     state: dict = {"next": 0, "samples": [], "failed": []}
@@ -256,7 +443,39 @@ def run_monte_carlo_resumable(model: Callable[[np.random.Generator], float],
     if (jobs > 1 or supervised) and state["next"] < count:
         exhausted = _run_mc_parallel(model, count, children, state,
                                      checkpoint, budget, save_every, jobs,
-                                     progress=progress, policy=policy)
+                                     progress=progress, policy=policy,
+                                     batch=batch)
+    elif jobs == 1 and batch > 1 and state["next"] < count:
+        clock = BudgetClock(budget)
+        clock.failures = len(state["failed"])
+        dirty = 0
+        index = state["next"]
+        while index < count:
+            exhausted = clock.exhausted()
+            if exhausted is not None:
+                break
+            stop = min(count, index + batch)
+            outcomes = eval_model_batch(
+                model, [np.random.default_rng(children[i])
+                        for i in range(index, stop)])
+            for offset, (ok, value) in enumerate(outcomes):
+                if ok:
+                    state["samples"].append(float(value))
+                    if progress is not None:
+                        progress.advance(completed=1)
+                else:
+                    state["failed"].append(index + offset)
+                    clock.fail()
+                    if progress is not None:
+                        progress.advance(failed=1)
+            dirty += stop - index
+            index = stop
+            state["next"] = index
+            if checkpoint is not None and dirty >= save_every:
+                checkpoint.save(state)
+                dirty = 0
+        if checkpoint is not None and dirty:
+            checkpoint.save(state)
     elif jobs == 1 and state["next"] < count:
         clock = BudgetClock(budget)
         clock.failures = len(state["failed"])

@@ -1,0 +1,274 @@
+"""Batched sample-axis transient solver: bit-identity is the contract.
+
+Every test here compares the batched engine against per-sample
+:func:`repro.spice.transient.simulate_transient` calls with
+``np.array_equal`` (no tolerance): the batch is a *transcription* of
+the scalar Newton loop, not an approximation of it.  Samples the batch
+cannot carry — stiff draws that trip damping or exhaust the Newton
+budget, singular rows, whole stacks with mismatched topology — must be
+ejected to the scalar path so the contract holds by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import (ConfigurationError, ConvergenceError, ReproError,
+                          SimulationError)
+from repro.spice import (
+    BatchTransientModel,
+    Capacitor,
+    Circuit,
+    Diode,
+    Resistor,
+    VoltageSource,
+    batch_transient_outcomes,
+    dc,
+    eval_model_batch,
+    simulate_transient,
+    simulate_transient_batch,
+)
+from repro.spice.recovery import RecoveryConfig
+
+T_STOP = 2e-10
+DT = 1e-11
+
+
+def _diode_divider(name: str, resistance: float, capacitance: float,
+                   v_t: float, drive: float = 2.0) -> Circuit:
+    """One sample: a driven RC node clamped by a diode.  The exponential
+    diode is the nonlinearity that makes Newton iterate (and, at small
+    ``v_t``, oscillate hard enough to trigger ejection)."""
+    circuit = Circuit(name)
+    circuit.add(VoltageSource("v1", "in", "0", dc(drive)))
+    circuit.add(Resistor("r1", "in", "mid", resistance))
+    circuit.add(Diode("d1", "mid", "0", v_t=v_t, v_clip=0.8))
+    circuit.add(Capacitor("c1", "mid", "0", capacitance))
+    return circuit
+
+
+def _stack(count: int, seed: int, v_t: float = 0.026) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        _diode_divider("stack", float(rng.lognormal(np.log(10e3), 0.4)),
+                       float(rng.uniform(0.5e-12, 2e-12)), v_t)
+        for _ in range(count)
+    ]
+
+
+def _serial_outcomes(circuits, recovery=None):
+    outcomes = []
+    for circuit in circuits:
+        try:
+            outcomes.append((True, simulate_transient(
+                circuit, T_STOP, DT, recovery=recovery)))
+        except ReproError as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+def _assert_outcomes_identical(batched, serial):
+    assert len(batched) == len(serial)
+    for (b_ok, b_payload), (s_ok, s_payload) in zip(batched, serial):
+        assert b_ok == s_ok
+        if b_ok:
+            assert np.array_equal(b_payload.data, s_payload.data)
+            assert np.array_equal(b_payload.time, s_payload.time)
+        else:
+            assert type(b_payload) is type(s_payload)
+            assert str(b_payload) == str(s_payload)
+
+
+class TestBitIdentity:
+    def test_waveforms_bit_identical(self):
+        circuits = _stack(5, seed=7)
+        batched = simulate_transient_batch(circuits, T_STOP, DT)
+        for circuit, result in zip(circuits, batched):
+            reference = simulate_transient(circuit, T_STOP, DT)
+            assert np.array_equal(result.data, reference.data)
+            assert np.array_equal(result.time, reference.time)
+            assert result.node_index == reference.node_index
+
+    def test_per_sample_initial_voltages(self):
+        circuits = _stack(3, seed=11)
+        initials = [{"mid": 0.1 * b} for b in range(3)]
+        batched = simulate_transient_batch(circuits, T_STOP, DT,
+                                           initial_voltages=initials)
+        for circuit, initial, result in zip(circuits, initials, batched):
+            reference = simulate_transient(circuit, T_STOP, DT,
+                                           initial_voltages=initial)
+            assert np.array_equal(result.data, reference.data)
+
+    def test_ejected_stiff_samples_identical(self):
+        # v_t = 0.012 makes the diode exponential steep and a 2-iterate
+        # Newton budget unreachable for most samples: they must eject
+        # to the scalar recovery ladder and still match it bit for bit.
+        circuits = _stack(4, seed=3, v_t=0.012)
+        recovery = RecoveryConfig(max_newton=2)
+        batched = batch_transient_outcomes(circuits, T_STOP, DT,
+                                           recovery=recovery)
+        _assert_outcomes_identical(
+            batched, _serial_outcomes(circuits, recovery=recovery))
+
+    def test_scalar_failures_reproduced(self):
+        # With every recovery rung disabled a 1-iterate budget fails on
+        # the scalar path too; the batch must hand back the *same*
+        # error per sample instead of raising or succeeding.
+        circuits = _stack(3, seed=5, v_t=0.012)
+        recovery = RecoveryConfig(
+            max_newton=1, enable_damping=False, enable_substep=False,
+            enable_gmin=False, enable_source=False)
+        batched = batch_transient_outcomes(circuits, T_STOP, DT,
+                                           recovery=recovery)
+        serial = _serial_outcomes(circuits, recovery=recovery)
+        assert any(not ok for ok, _ in serial)  # the workload is stiff
+        _assert_outcomes_identical(batched, serial)
+
+    def test_simulate_transient_batch_raises_first_failure(self):
+        circuits = _stack(3, seed=5, v_t=0.012)
+        recovery = RecoveryConfig(
+            max_newton=1, enable_damping=False, enable_substep=False,
+            enable_gmin=False, enable_source=False)
+        with pytest.raises(ConvergenceError):
+            simulate_transient_batch(circuits, T_STOP, DT,
+                                     recovery=recovery)
+
+
+class TestFallbacks:
+    def test_single_sample_runs_scalar(self):
+        circuits = _stack(1, seed=2)
+        with obs.instrumented() as registry:
+            batched = batch_transient_outcomes(circuits, T_STOP, DT)
+        assert registry.counter("spice.batch.fallback").value == 1
+        assert registry.counter("spice.batch.batches").value == 0
+        _assert_outcomes_identical(batched, _serial_outcomes(circuits))
+
+    def test_trap_integrator_falls_back(self):
+        circuits = _stack(3, seed=2)
+        with obs.instrumented() as registry:
+            batched = batch_transient_outcomes(circuits, T_STOP, DT,
+                                               integrator="trap")
+        assert registry.counter("spice.batch.fallback").value == 3
+        for circuit, (ok, result) in zip(circuits, batched):
+            assert ok
+            reference = simulate_transient(circuit, T_STOP, DT,
+                                           integrator="trap")
+            assert np.array_equal(result.data, reference.data)
+
+    def test_mixed_topology_falls_back(self):
+        circuits = _stack(2, seed=2)
+        other = Circuit("stack")
+        other.add(VoltageSource("v1", "in", "0", dc(2.0)))
+        other.add(Resistor("r1", "in", "mid", 1e4))
+        other.add(Resistor("r2", "mid", "0", 1e4))  # no diode: new shape
+        other.add(Capacitor("c1", "mid", "0", 1e-12))
+        circuits.append(other)
+        with obs.instrumented() as registry:
+            batched = batch_transient_outcomes(circuits, T_STOP, DT)
+        assert registry.counter("spice.batch.fallback").value == 3
+        _assert_outcomes_identical(batched, _serial_outcomes(circuits))
+
+    def test_batched_stack_counts_samples(self):
+        circuits = _stack(4, seed=2)
+        with obs.instrumented() as registry:
+            batch_transient_outcomes(circuits, T_STOP, DT)
+        assert registry.counter("spice.batch.batches").value == 1
+        assert registry.counter("spice.batch.samples").value == 4
+        assert registry.counter("spice.batch.fallback").value == 0
+
+    def test_empty_stack(self):
+        assert batch_transient_outcomes([], T_STOP, DT) == []
+
+    def test_bad_integrator_raises(self):
+        with pytest.raises(SimulationError):
+            batch_transient_outcomes(_stack(2, seed=0), T_STOP, DT,
+                                     integrator="rk4")
+
+
+class _DividerModel(BatchTransientModel):
+    """Minimal batchable MC model over the diode divider."""
+
+    t_stop = T_STOP
+    dt = DT
+
+    def __init__(self, fail_draw_below: float = -1.0,
+                 fail_measure_above: float = 2.0) -> None:
+        self.fail_draw_below = fail_draw_below
+        self.fail_measure_above = fail_measure_above
+
+    def draw(self, rng):
+        value = float(rng.uniform())
+        if value < self.fail_draw_below:
+            raise ConfigurationError(f"draw fault at {value:.3f}")
+        return 5e3 + 2e4 * value
+
+    def build(self, resistance):
+        return _diode_divider("model", resistance, 1e-12, 0.026)
+
+    def measure(self, result, resistance):
+        value = float(result.final_voltage("mid"))
+        if value > self.fail_measure_above:
+            raise SimulationError(f"measure fault at {value:.3f}")
+        return value
+
+
+class TestEvalModelBatch:
+    def _rngs(self, count, seed):
+        return [np.random.default_rng(child)
+                for child in np.random.SeedSequence(seed).spawn(count)]
+
+    def test_matches_serial_model_calls(self):
+        model = _DividerModel()
+        outcomes = eval_model_batch(model, self._rngs(5, seed=13))
+        reference = [model(rng) for rng in self._rngs(5, seed=13)]
+        assert [value for ok, value in outcomes] == reference
+        assert all(ok for ok, _ in outcomes)
+
+    def test_draw_failures_captured_per_sample(self):
+        # Roughly half the draws fault; the survivors must still batch
+        # and match their serial values exactly.
+        model = _DividerModel(fail_draw_below=0.5)
+        outcomes = eval_model_batch(model, self._rngs(6, seed=1))
+        assert any(not ok for ok, _ in outcomes)
+        for outcome, rng in zip(outcomes, self._rngs(6, seed=1)):
+            ok, payload = outcome
+            if ok:
+                assert payload == model(rng)
+            else:
+                assert isinstance(payload, ConfigurationError)
+
+    def test_measure_failures_captured_per_sample(self):
+        model = _DividerModel(fail_measure_above=-10.0)  # always faults
+        outcomes = eval_model_batch(model, self._rngs(3, seed=4))
+        assert all(not ok for ok, _ in outcomes)
+        assert all(isinstance(payload, SimulationError)
+                   for _, payload in outcomes)
+
+
+class TestBatchProperty:
+    """Hypothesis sweep of the identity contract.
+
+    Seeds vary the component draws, ``batch`` varies the stack width,
+    and the sampled recovery configs inject Newton-budget faults that
+    force mid-run ejection — the three axes the ISSUE's acceptance
+    property names.  Identity must hold on every combination, including
+    samples that *fail* identically on both paths.
+    """
+
+    @given(seed=st.integers(0, 2**20),
+           count=st.integers(2, 5),
+           v_t=st.sampled_from([0.012, 0.026, 0.05]),
+           max_newton=st.sampled_from([None, 2, 40]))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_equals_serial(self, seed, count, v_t, max_newton):
+        circuits = _stack(count, seed=seed, v_t=v_t)
+        recovery = (None if max_newton is None
+                    else RecoveryConfig(max_newton=max_newton))
+        batched = batch_transient_outcomes(circuits, T_STOP, DT,
+                                           recovery=recovery)
+        _assert_outcomes_identical(
+            batched, _serial_outcomes(circuits, recovery=recovery))
