@@ -1,0 +1,105 @@
+"""Sparse-vs-dense solve throughput across the hierarchy sizes.
+
+The pattern-compiled symbolic-LU backend exists to make the
+hierarchical-bitline workload tractable: dense LU is O(n^3) per
+refactor while the sparse refactor tracks the near-linear fill-in of
+the MNA tree.  This benchmark times identical transients on both
+backends at n ~= 64 / 256 / 1024 unknowns and asserts the ISSUE's
+acceptance floor — sparse at least ``MIN_SPEEDUP_1024``x the dense
+timesteps/sec on the ~1024-unknown circuit — alongside the
+dense-vs-sparse waveform-agreement contract.
+
+Backends are interleaved per pair and the median per-pair ratio is
+asserted, cancelling slow machine drift exactly as the solver
+benchmark does.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro import FastDramDesign, obs
+from repro.array.globalbitline import (build_globalbitline_read_circuit,
+                                       globalbitline_initial_voltages)
+from repro.spice import simulate_transient
+from repro.spice.mna import MnaSystem
+from repro.units import ns, ps
+from benchmarks._util import check_regression, record_json, record_result
+
+#: Acceptance floor: sparse timesteps/sec over dense at n ~= 1024.
+MIN_SPEEDUP_1024 = 5.0
+#: Dense-vs-sparse max-abs waveform tolerance, volts (ARCHITECTURE §15).
+WAVEFORM_TOL = 1e-9
+
+#: (blocks, cells_per_lbl) -> n = blocks * (cells + 1) + 17 unknowns.
+SIZES = [
+    ("n64", 4, 12),     # 69 unknowns
+    ("n256", 16, 14),   # 257 unknowns
+    ("n1024", 56, 17),  # 1025 unknowns
+]
+PAIRS = 3
+T_STOP = 0.1 * ns
+DT = 2.0 * ps
+
+
+def _workload(blocks, cells):
+    cell = FastDramDesign().cell()
+    circuit = build_globalbitline_read_circuit(cell, blocks=blocks,
+                                               cells_per_lbl=cells)
+    return circuit, globalbitline_initial_voltages(cell)
+
+
+def _run(circuit, initial, backend):
+    with obs.instrumented() as registry:
+        start = time.perf_counter()
+        result = simulate_transient(circuit, t_stop=T_STOP, dt=DT,
+                                    initial_voltages=initial,
+                                    backend=backend)
+        elapsed = time.perf_counter() - start
+        steps = registry.snapshot()["counters"]["spice.timesteps"]
+    return result, steps / elapsed
+
+
+def test_sparse_backend_speedup_and_agreement():
+    metrics = {"timesteps": int(round(T_STOP / DT)), "pairs": PAIRS}
+    lines = ["sparse vs dense backend, hierarchical-bitline read:"]
+    speedups = {}
+    for label, blocks, cells in SIZES:
+        circuit, initial = _workload(blocks, cells)
+        size = MnaSystem(circuit).size
+        ratios, sparse_rates, dense_rates = [], [], []
+        for _ in range(PAIRS):
+            dense, dense_rate = _run(circuit, initial, "dense")
+            sparse, sparse_rate = _run(circuit, initial, "sparse")
+            # Speedup must never buy waveform drift past the contract.
+            worst = float(np.abs(dense.data - sparse.data).max())
+            assert worst < WAVEFORM_TOL, (
+                f"{label}: dense-vs-sparse disagreement {worst:g} V "
+                f"exceeds the {WAVEFORM_TOL:g} V contract")
+            ratios.append(sparse_rate / dense_rate)
+            sparse_rates.append(sparse_rate)
+            dense_rates.append(dense_rate)
+        speedup = statistics.median(ratios)
+        speedups[label] = speedup
+        metrics[f"unknowns_{label}"] = size
+        metrics[f"speedup_sparse_vs_dense_{label}"] = round(speedup, 3)
+        metrics[f"timesteps_per_sec_sparse_{label}"] = round(
+            max(sparse_rates), 1)
+        metrics[f"timesteps_per_sec_dense_{label}"] = round(
+            max(dense_rates), 1)
+        lines.append(
+            f"  {label} ({size} unknowns): sparse "
+            f"{max(sparse_rates):9.1f} steps/s, dense "
+            f"{max(dense_rates):9.1f} steps/s, speedup {speedup:6.2f}x")
+    lines.append(f"  asserted: n1024 speedup >= {MIN_SPEEDUP_1024}x")
+
+    record_json("BENCH_sparse", metrics)
+    record_result("sparse_throughput", "\n".join(lines))
+
+    assert speedups["n1024"] >= MIN_SPEEDUP_1024, (
+        f"sparse speedup {speedups['n1024']:.2f}x at ~1024 unknowns "
+        f"fell below the {MIN_SPEEDUP_1024}x floor")
+    check_regression("BENCH_sparse", metrics)

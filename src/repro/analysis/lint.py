@@ -20,6 +20,11 @@ Rules
           breaking the dotted ``lower_snake.case`` convention, or one
           kind emitted with conflicting payload-key signatures across
           the codebase
+``L109``  direct dense-solver call (``np.linalg.solve`` /
+          ``np.linalg.lu`` and friends) outside ``spice/linalg.py`` —
+          every solve must route through the shared kernel layer so
+          LAPACK/fallback selection, batching and the sparse backend
+          stay in one place
 
 Suppression: a trailing ``# noqa`` comment suppresses every rule on
 that line; ``# noqa: L101,L102`` suppresses only those rules.  Findings
@@ -47,6 +52,8 @@ LINT_RULES: Dict[str, str] = register_rules("lint", {
     "L106": "metric name used with conflicting instrument kinds",
     "L107": "per-element Python-loop stamping; compile a StampPlan instead",
     "L108": "event kind violates naming or payload-schema discipline",
+    "L109": "direct linalg solve outside spice/linalg.py; use the "
+            "shared kernel layer",
 })
 
 # Keyword arguments whose values are solver/algorithm knobs, not
@@ -59,6 +66,16 @@ _TOLERANCE_KWARGS = {
 #: Assignment / loop targets whose bound values are numerical knobs
 #: (solver tolerances, gmin ladders), not physical magnitudes.
 _TOLERANCE_NAME_RE = re.compile(r"(tol|eps|gmin)", re.IGNORECASE)
+
+#: Solver entry points of the ``numpy.linalg`` / ``scipy.linalg``
+#: namespaces.  Calling them directly bypasses the shared kernel layer
+#: (:mod:`repro.spice.linalg`), which owns LAPACK-vs-fallback routing,
+#: the batched variants and the sparse backend.
+_LINALG_SOLVE_NAMES = {
+    "solve", "lstsq", "inv", "pinv", "cholesky", "lu", "lu_factor",
+    "lu_solve", "solve_triangular",
+}
+_LINALG_ROOTS = {"np", "numpy", "scipy"}
 
 _METRIC_KINDS = {"counter", "gauge", "histogram"}
 _OBS_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
@@ -209,6 +226,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.event_registry = event_registry
         self.diagnostics: List[Diagnostic] = []
         self.is_units_module = pathlib.Path(path).name == "units.py"
+        self.is_linalg_module = pathlib.Path(path).name == "linalg.py"
         # Scope stacks for type-aware float-equality checking.
         self._float_names: List[Set[str]] = [set()]
         self._float_fields: List[Set[str]] = [set()]
@@ -242,7 +260,41 @@ class _LintVisitor(ast.NodeVisitor):
                     self._tolerance_values.add(id(child))
         self._check_obs_call(node)
         self._check_event_call(node)
+        self._check_linalg_call(node)
         self.generic_visit(node)
+
+    # -- L109: direct linalg solves ---------------------------------------------
+
+    def _check_linalg_call(self, node: ast.Call) -> None:
+        """Flag ``np.linalg.solve(...)``-style calls outside the shared
+        kernel module ``spice/linalg.py``."""
+        if self.is_linalg_module:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _LINALG_SOLVE_NAMES):
+            return
+        inner = func.value
+        if (isinstance(inner, ast.Attribute) and inner.attr == "linalg"
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id in _LINALG_ROOTS):
+            root = f"{inner.value.id}.linalg"
+        elif (isinstance(inner, ast.Name)
+                and inner.id == "linalg"
+                and func.attr in ("lu", "lu_factor", "lu_solve",
+                                  "solve_triangular")):
+            # ``from scipy import linalg`` spelling of the same calls
+            # (the repro.spice.linalg wrappers have distinct names).
+            root = "linalg"
+        else:
+            return
+        self._emit(
+            "L109", Severity.ERROR,
+            f"direct {root}.{func.attr}() call; dense solves must "
+            "route through repro.spice.linalg",
+            node,
+            hint="use lu_factorize/lu_backsolve or lu_solve_dense from "
+                 "repro.spice.linalg (batched variants included)")
 
     def _exempt_tolerance_targets(self, targets, value) -> None:
         """Values bound to tolerance-named targets are numerical knobs."""

@@ -33,6 +33,11 @@ from repro.array.localblock import (
     simulate_localblock_read,
     LocalBlockWaveforms,
 )
+from repro.array.globalbitline import (
+    build_globalbitline_read_circuit,
+    simulate_globalbitline_read,
+    GlobalBitlineWaveforms,
+)
 
 __all__ = [
     "ArrayOrganization",
@@ -55,4 +60,7 @@ __all__ = [
     "build_localblock_read_circuit",
     "simulate_localblock_read",
     "LocalBlockWaveforms",
+    "build_globalbitline_read_circuit",
+    "simulate_globalbitline_read",
+    "GlobalBitlineWaveforms",
 ]

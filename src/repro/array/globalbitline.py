@@ -1,0 +1,234 @@
+"""Transistor-level hierarchical-bitline simulation (paper Fig. 1).
+
+Where :mod:`repro.array.localblock` simulates one short local-bitline
+column in isolation, this module builds the *hierarchy* the paper's
+architecture is actually about: ``blocks`` local bitlines, each loaded
+with ``cells_per_lbl`` one-transistor cells, hanging off a single
+shared global bitline through per-block select devices, sensed by one
+global cross-coupled latch against a dummy-cell reference.
+
+Only the selected block's select switch closes, so the accessed cell
+charge-shares into the *series* LBL + GBL capacitance while every idle
+block contributes nothing but subthreshold leakage through its dormant
+access devices — the leakage-versus-hierarchy interaction the paper's
+area/energy trade-off rests on.  The circuit is parameterized in both
+axes, which makes it the canonical scaling workload for the sparse MNA
+backend: unknown count grows as ``blocks * (cells_per_lbl + 1)`` while
+the matrix stays >95 % structurally zero.
+
+The sense stage reuses the local-block idiom (cross-coupled SVT latch,
+footer/header switches); :class:`repro.array.senseamp.SenseAmplifier`
+remains the analytic counterpart for timing/energy models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.cells.dram1t1c import Dram1t1cCell
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    MosfetElement,
+    Switch,
+    VoltageSource,
+    dc,
+    pulse,
+    simulate_transient,
+    TransientResult,
+)
+from repro.tech.node import Polarity, VtFlavor
+from repro.tech.transistor import Mosfet
+from repro.tech.wire import GLOBAL_LAYER, LOCAL_LAYER, Wire
+from repro.units import fF, kohm, ns, ps, um
+
+# Simulation schedule (seconds).  The global read is a single-phase
+# charge share (no local regeneration stage), so the SA fires earlier
+# than in the local-block schedule.
+_T_PRECHARGE_OFF = 0.10 * ns
+_T_SELECT = 0.20 * ns
+_T_WL_RISE = 0.20 * ns
+_T_SA_ENABLE = 0.55 * ns
+_T_STOP = 1.2 * ns
+_DT = 1.0 * ps
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalBitlineWaveforms:
+    """Measured quantities of one hierarchical-bitline read."""
+
+    result: TransientResult
+    stored_value: int
+    charge_sharing_signal: float  # GBL-vs-reference step before SA, V
+    gbl_final: float  # GBL level after regeneration, V
+    selected_lbl_final: float  # selected block's LBL, V
+    idle_lbl_drift: float  # max |drift| of the idle LBLs, V
+
+
+def build_globalbitline_read_circuit(cell: Dram1t1cCell,
+                                     blocks: int = 16,
+                                     cells_per_lbl: int = 16,
+                                     stored_value: int = 1,
+                                     selected_block: int = 0,
+                                     idle_value: int = 1) -> Circuit:
+    """Netlist of ``blocks`` local bitlines sharing one global bitline.
+
+    Block ``selected_block`` closes its select switch and raises the
+    word line of its first cell (storing ``stored_value``); every other
+    cell in the array idles at ``idle_value`` behind a grounded gate,
+    so the only paths it offers are subthreshold leakage.  The global
+    sense latch compares the GBL against a half-capacitance dummy-cell
+    reference bitline, exactly as the local-block column does.
+    """
+    if stored_value not in (0, 1):
+        raise SimulationError("stored_value must be 0 or 1")
+    if idle_value not in (0, 1):
+        raise SimulationError("idle_value must be 0 or 1")
+    if blocks < 2:
+        raise SimulationError("need at least 2 local blocks")
+    if cells_per_lbl < 2:
+        raise SimulationError("need at least 2 cells per LBL")
+    if not 0 <= selected_block < blocks:
+        raise SimulationError(
+            f"selected_block {selected_block} out of range 0..{blocks - 1}")
+    node = cell.node
+    circuit = Circuit(
+        f"globalbitline-read-{blocks}x{cells_per_lbl}-{stored_value}")
+
+    precharge = cell.bitline_precharge
+    v_stored = cell.stored_high if stored_value else 0.0
+    v_idle = cell.stored_high if idle_value else 0.0
+
+    # --- supplies and control -------------------------------------------------
+    circuit.add(VoltageSource("vpre_rail", "pre_rail", "0", dc(precharge)))
+    circuit.add(VoltageSource("vsa_rail", "sa_rail", "0", dc(precharge)))
+    circuit.add(VoltageSource(
+        "vwl", "wl", "0",
+        pulse(0.0, cell.wordline_voltage, delay=_T_WL_RISE,
+              rise=30 * ps, width=_T_STOP)))
+    circuit.add(VoltageSource(
+        "vsel", "sel_en", "0",
+        pulse(0.0, 1.2, delay=_T_SELECT, rise=20 * ps, width=_T_STOP)))
+    circuit.add(VoltageSource(
+        "vprech_n", "prech_ctl", "0",
+        pulse(1.2, 0.0, delay=_T_PRECHARGE_OFF, rise=20 * ps, width=_T_STOP)))
+    circuit.add(VoltageSource(
+        "vsa_en", "sa_en", "0",
+        pulse(0.0, 1.2, delay=_T_SA_ENABLE, rise=20 * ps, width=_T_STOP)))
+
+    # The WL driver sees the access gates of one word plus wire.
+    lwl_load = (32 * cell.access.gate_capacitance()
+                + Wire(LOCAL_LAYER, 32 * 0.6 * um).capacitance)
+    circuit.add(Capacitor("c_lwl", "wl", "0", lwl_load))
+
+    # --- local blocks ---------------------------------------------------------
+    lbl_wire = Wire(LOCAL_LAYER, cells_per_lbl * 0.6 * um)
+    c_lbl = (cells_per_lbl * cell.access.junction_capacitance()
+             + lbl_wire.capacitance + 0.3 * fF)
+    for b in range(blocks):
+        lbl = f"lbl{b}"
+        circuit.add(Capacitor(f"c_lbl{b}", lbl, "0", c_lbl,
+                              initial_voltage=precharge))
+        circuit.add(Switch(f"sw_pre{b}", lbl, "pre_rail", "prech_ctl", "0",
+                           threshold=0.6, r_on=2 * kohm))
+        # Per-block select device onto the shared GBL; idle blocks keep
+        # a grounded control node, so their switch never closes.
+        sel_ctl = "sel_en" if b == selected_block else "0"
+        circuit.add(Switch(f"sw_sel{b}", lbl, "gbl", sel_ctl, "0",
+                           threshold=0.6, r_on=2 * kohm))
+        for i in range(cells_per_lbl):
+            accessed = b == selected_block and i == 0
+            gate = "wl" if accessed else "0"
+            cell_node = f"cell{b}_{i}"
+            circuit.add(MosfetElement(f"m_acc{b}_{i}", lbl, gate, cell_node,
+                                      cell.access))
+            circuit.add(Capacitor(
+                f"c_cell{b}_{i}", cell_node, "0",
+                cell.capacitor.capacitance,
+                initial_voltage=v_stored if accessed else v_idle))
+
+    # --- shared global bitline ------------------------------------------------
+    gbl_wire = Wire(GLOBAL_LAYER, blocks * cells_per_lbl * 0.6 * um)
+    c_gbl = (gbl_wire.capacitance
+             + blocks * cell.access.junction_capacitance() + 1.0 * fF)
+    circuit.add(Capacitor("c_gbl", "gbl", "0", c_gbl,
+                          initial_voltage=precharge))
+    circuit.add(Switch("sw_pre_gbl", "gbl", "pre_rail", "prech_ctl", "0",
+                       threshold=0.6, r_on=2 * kohm))
+
+    # --- reference bitline with half-capacitance dummy cell -------------------
+    circuit.add(Capacitor("c_gbl_ref", "gbl_ref", "0", c_gbl + c_lbl,
+                          initial_voltage=precharge))
+    circuit.add(Switch("sw_pre_ref", "gbl_ref", "pre_rail", "prech_ctl", "0",
+                       threshold=0.6, r_on=2 * kohm))
+    dummy = Mosfet(node, Polarity.NMOS, VtFlavor.HVT,
+                   width=cell.access.width,
+                   length_factor=cell.access.length_factor)
+    circuit.add(MosfetElement("m_dummy", "gbl_ref", "wl", "dummy_cell",
+                              dummy))
+    circuit.add(Capacitor("c_dummy", "dummy_cell", "0",
+                          cell.capacitor.capacitance / 2.0,
+                          initial_voltage=0.0))
+
+    # --- global cross-coupled latch SA ----------------------------------------
+    sa_n = Mosfet(node, Polarity.NMOS, VtFlavor.SVT,
+                  width=node.width_units(4.0))
+    sa_p = Mosfet(node, Polarity.PMOS, VtFlavor.SVT,
+                  width=node.width_units(6.0))
+    circuit.add(MosfetElement("m_sa_n1", "gbl", "gbl_ref", "sa_tail", sa_n))
+    circuit.add(MosfetElement("m_sa_n2", "gbl_ref", "gbl", "sa_tail", sa_n))
+    circuit.add(MosfetElement("m_sa_p1", "gbl", "gbl_ref", "sa_top", sa_p))
+    circuit.add(MosfetElement("m_sa_p2", "gbl_ref", "gbl", "sa_top", sa_p))
+    circuit.add(Switch("sw_sa_foot", "sa_tail", "0", "sa_en", "0",
+                       threshold=0.6, r_on=500.0))
+    circuit.add(Switch("sw_sa_head", "sa_top", "sa_rail", "sa_en", "0",
+                       threshold=0.6, r_on=500.0))
+    return circuit
+
+
+def globalbitline_initial_voltages(cell: Dram1t1cCell) -> dict:
+    """The precharged-state initial guess shared by every GBL run."""
+    return {
+        "pre_rail": cell.bitline_precharge,
+        "sa_rail": cell.bitline_precharge,
+        "prech_ctl": 1.2,
+    }
+
+
+def simulate_globalbitline_read(cell: Dram1t1cCell,
+                                blocks: int = 16,
+                                cells_per_lbl: int = 16,
+                                stored_value: int = 1,
+                                selected_block: int = 0,
+                                backend: str = "auto"
+                                ) -> GlobalBitlineWaveforms:
+    """Run the hierarchical read and measure the sense-margin
+    quantities.  ``backend`` selects the linear kernel exactly as in
+    :func:`repro.spice.transient.simulate_transient`."""
+    circuit = build_globalbitline_read_circuit(
+        cell, blocks=blocks, cells_per_lbl=cells_per_lbl,
+        stored_value=stored_value, selected_block=selected_block)
+    result = simulate_transient(
+        circuit, t_stop=_T_STOP, dt=_DT,
+        initial_voltages=globalbitline_initial_voltages(cell),
+        backend=backend)
+    gbl = result.voltage("gbl")
+    ref = result.voltage("gbl_ref")
+    idx = int(_T_SA_ENABLE / _DT) - 2
+    signal = float(abs(gbl[idx] - ref[idx]))
+    precharge = cell.bitline_precharge
+    idle_drift = max(
+        float(np.abs(result.voltage(f"lbl{b}") - precharge).max())
+        for b in range(blocks) if b != selected_block)
+    return GlobalBitlineWaveforms(
+        result=result,
+        stored_value=stored_value,
+        charge_sharing_signal=signal,
+        gbl_final=float(gbl[-1]),
+        selected_lbl_final=float(
+            result.final_voltage(f"lbl{selected_block}")),
+        idle_lbl_drift=idle_drift,
+    )

@@ -283,6 +283,9 @@ def cmd_mc(args: argparse.Namespace) -> int:
     if args.model == "localblock":
         from repro.variability.localblock_mc import LocalBlockMcModel
         model = LocalBlockMcModel(design.cell())
+    elif args.model == "globalbitline":
+        from repro.variability.globalbitline_mc import GlobalBitlineMcModel
+        model = GlobalBitlineMcModel(design.cell())
     else:
         model = retention.sample_retention
     checkpoint = None
@@ -313,8 +316,10 @@ def cmd_mc(args: argparse.Namespace) -> int:
         progress=progress, policy=_supervision_policy(args),
         batch=args.batch)
     progress.finish()
-    if args.model == "localblock":
-        print(f"local-block read-signal Monte-Carlo: {outcome.describe()}")
+    if args.model in ("localblock", "globalbitline"):
+        label = ("local-block" if args.model == "localblock"
+                 else "global-bitline")
+        print(f"{label} read-signal Monte-Carlo: {outcome.describe()}")
         if outcome.result is not None:
             result = outcome.result
             print(f"  median signal    : {fmt(result.median, 'V')}")
@@ -707,12 +712,17 @@ def build_parser() -> argparse.ArgumentParser:
                                   "each worker solves one batch; "
                                   "statistics are bit-identical at any "
                                   "setting)")
-            sub.add_argument("--model", choices=("retention", "localblock"),
+            sub.add_argument("--model",
+                             choices=("retention", "localblock",
+                                      "globalbitline"),
                              default="retention",
                              help="retention = analytic cell retention "
                                   "draw (default); localblock = "
                                   "transistor-level local-block read "
-                                  "signal, the --batch workload")
+                                  "signal, the --batch workload; "
+                                  "globalbitline = full hierarchical "
+                                  "bitline read (16 blocks x 16 cells), "
+                                  "the sparse-backend workload")
             sub.add_argument("--faults", choices=("none", "weak-cells"),
                              default="none",
                              help="also draw a fault plan and print the "

@@ -97,12 +97,13 @@ from repro.analysis.effects import deterministic_under_seed
 from repro.errors import ReproError, SimulationError
 from repro.exec.supervise import tick as _supervision_tick
 from repro.spice import linalg
-from repro.spice.elements import Diode, Switch
+from repro.spice.elements import Diode, Switch, VoltageSource
 from repro.spice.mna import MnaSystem
 from repro.spice.mosfet import _FD_STEP, MosfetElement
 from repro.spice.netlist import Circuit
 from repro.spice.recovery import DEFAULT_RECOVERY, RecoveryConfig
 from repro.spice.stampplan import (_LINEAR_TYPES, _mosfet_constants,
+                                   resolve_backend, SPARSE_AUTO_THRESHOLD,
                                    StampPlan, stamping_order)
 from repro.spice.transient import (_DAMP_LIMIT, _MAX_NEWTON, _NEWTON_BUCKETS,
                                    _V_TOL, _initial_state, _validate_time_grid,
@@ -1271,7 +1272,8 @@ def _run_batch(plan: BatchStampPlan, t_stop: float, dt: float,
 def batch_transient_outcomes(
         circuits: Sequence[Circuit], t_stop: float, dt: float,
         initial_voltages: Any = None, integrator: str = "be",
-        recovery: Optional[RecoveryConfig] = None) -> List[Outcome]:
+        recovery: Optional[RecoveryConfig] = None,
+        backend: str = "auto") -> List[Outcome]:
     """Simulate a stack of same-topology circuits, one outcome each.
 
     Returns ``(True, TransientResult)`` or ``(False, ReproError)`` per
@@ -1282,6 +1284,13 @@ def batch_transient_outcomes(
     (bad time grid, unknown integrator) raise immediately; per-sample
     :class:`repro.errors.ReproError` failures are captured in the
     outcome list; any other exception propagates.
+
+    ``backend`` is the linear-kernel selector of
+    :func:`repro.spice.transient.simulate_transient`.  The batched
+    sample-axis solver is inherently dense (it row-solves small
+    per-sample systems), so when the backend resolves to ``"sparse"``
+    for this topology the whole stack ejects to the scalar path — each
+    sample then runs scalar-sparse, never scalar-dense.
     """
     _validate_time_grid(t_stop, dt)
     if integrator not in ("be", "trap"):
@@ -1295,12 +1304,24 @@ def batch_transient_outcomes(
         try:
             return (True, simulate_transient(
                 stack[b], t_stop, dt, initial_voltages=initials[b],
-                integrator=integrator, recovery=recovery))
+                integrator=integrator, recovery=recovery,
+                backend=backend))
         except ReproError as exc:
             return (False, exc)
 
+    if backend not in ("dense", "sparse", "auto"):
+        resolve_backend(backend, 0)  # raises ConfigurationError
+    # MNA size without allocating the dense system: non-ground nodes
+    # plus one branch current per voltage source.  The auto threshold
+    # is compared inline so the decision counter stays owned by the
+    # per-plan resolve_backend call inside each solve.
+    size = len(stack[0].nodes()) + sum(
+        1 for el in stack[0].elements if type(el) is VoltageSource)
     reason = None
-    if len(stack) == 1:
+    if backend == "sparse" or (backend == "auto"
+                               and size >= SPARSE_AUTO_THRESHOLD):
+        reason = "sparse backend solves per sample"
+    elif len(stack) == 1:
         reason = "single sample"
     elif integrator == "trap":
         reason = "trapezoidal capacitor history is scalar-only"
@@ -1321,13 +1342,14 @@ def batch_transient_outcomes(
 def simulate_transient_batch(
         circuits: Sequence[Circuit], t_stop: float, dt: float,
         initial_voltages: Any = None, integrator: str = "be",
-        recovery: Optional[RecoveryConfig] = None) -> List[TransientResult]:
+        recovery: Optional[RecoveryConfig] = None,
+        backend: str = "auto") -> List[TransientResult]:
     """Like :func:`batch_transient_outcomes`, raising the first
     (sample-order) captured failure instead of returning it."""
     results: List[TransientResult] = []
     for ok, payload in batch_transient_outcomes(
             circuits, t_stop, dt, initial_voltages=initial_voltages,
-            integrator=integrator, recovery=recovery):
+            integrator=integrator, recovery=recovery, backend=backend):
         if not ok:
             raise payload
         results.append(payload)
@@ -1353,6 +1375,7 @@ class BatchTransientModel:
     dt: float
     integrator: str = "be"
     recovery: Optional[RecoveryConfig] = None
+    backend: str = "auto"
 
     def draw(self, rng: np.random.Generator) -> Any:
         raise NotImplementedError
@@ -1371,7 +1394,8 @@ class BatchTransientModel:
         result = simulate_transient(
             self.build(params), self.t_stop, self.dt,
             initial_voltages=self.initial_voltages(params),
-            integrator=self.integrator, recovery=self.recovery)
+            integrator=self.integrator, recovery=self.recovery,
+            backend=self.backend)
         return self.measure(result, params)
 
 
@@ -1405,7 +1429,8 @@ def eval_model_batch(model: BatchTransientModel,
     if built:
         solved = batch_transient_outcomes(
             circuits, model.t_stop, model.dt, initial_voltages=initials,
-            integrator=model.integrator, recovery=model.recovery)
+            integrator=model.integrator, recovery=model.recovery,
+            backend=getattr(model, "backend", "auto"))
         for i, (ok, payload) in zip(built, solved):
             if not ok:
                 outcomes[i] = (False, payload)

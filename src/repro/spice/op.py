@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigurationError, ConvergenceError
 from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.netlist import Circuit
 from repro.spice.recovery import (DEFAULT_RECOVERY, RecoveryConfig,
@@ -100,7 +100,8 @@ def _gmin_walk(system: MnaSystem, circuit: Circuit, x0: np.ndarray,
 def solve_dc(circuit: Circuit, time: float = 0.0,
              initial_guess: Optional[Dict[str, float]] = None,
              recovery: Optional[RecoveryConfig] = None,
-             stamp_plan: bool = True) -> Dict[str, float]:
+             stamp_plan: bool = True,
+             backend: str = "auto") -> Dict[str, float]:
     """Solve the DC operating point; returns node-name -> voltage.
 
     ``time`` selects the value of time-dependent sources (useful to find
@@ -109,11 +110,18 @@ def solve_dc(circuit: Circuit, time: float = 0.0,
     then source stepping); if every rung fails, the raised
     :class:`~repro.errors.ConvergenceError` carries the full
     :class:`~repro.spice.recovery.RecoveryReport` as ``.recovery``.
+
+    ``backend`` selects the fast-path linear kernel (``"dense"``,
+    ``"sparse"`` or ``"auto"``), exactly as in
+    :func:`repro.spice.transient.simulate_transient`.
     """
     if recovery is None:
         recovery = DEFAULT_RECOVERY
     system = MnaSystem(circuit)
-    plan = StampPlan(system) if stamp_plan else None
+    if not stamp_plan and backend == "sparse":
+        raise ConfigurationError(
+            "backend='sparse' requires the stamp-plan fast path")
+    plan = StampPlan(system, backend=backend) if stamp_plan else None
     x0 = np.zeros(system.size)
     if initial_guess:
         for node, voltage in initial_guess.items():

@@ -23,12 +23,13 @@ A :class:`StampPlan` compiles a circuit once per :class:`MnaSystem`:
   frozen in canonical write order (unknown element types fall back to
   their generic ``stamp()`` through a facade system with direct
   per-element writes, so plans accept any circuit);
-* the LU factorisation is cached by matrix *content* and reused when
-  the matrix is unchanged between iterates or timesteps
-  (``spice.lu.reuse`` / ``spice.lu.refactor`` count the split).
-  Content keying makes invalidation automatic: gmin stepping, source
-  stepping and substep halving all change the assembled matrix, so
-  they can never reuse a stale factorisation by construction.  On
+* the LU factorisation is cached by matrix *content* in a small LRU
+  (``_MAX_LU_FACTORS`` entries, ``spice.lu.evictions`` counts the
+  overflow) and reused when the matrix is unchanged between iterates
+  or timesteps (``spice.lu.reuse`` / ``spice.lu.refactor`` count the
+  split).  Content keying makes invalidation automatic: gmin stepping,
+  source stepping and substep halving all change the assembled matrix,
+  so they can never reuse a stale factorisation by construction.  On
   fully-compiled plans the content key is the tuple of assembly
   *inputs* — the linear-base key, ``extra_gmin``, and the bytes of the
   (small) nonlinear value vector — because assembly is a deterministic
@@ -36,6 +37,19 @@ A :class:`StampPlan` compiles a circuit once per :class:`MnaSystem`:
   replaces an O(n²) ``matrix.tobytes()`` copy per Newton iterate with
   an O(#nonlinear-slots) one; plans carrying generic-fallback stamps
   (whose writes are opaque to the compiler) keep the full-matrix key.
+
+**Backends.**  ``backend`` selects the linear kernel: ``"dense"`` (the
+default — LAPACK LU via :mod:`repro.spice.linalg`, bit-identical to
+the legacy path), ``"sparse"`` (the pattern-compiled CSR path of
+:mod:`repro.spice.sparse` — assembly scatters into the frozen value
+array, never touching an O(n²) matrix copy), or ``"auto"`` (sparse at
+and above ``SPARSE_AUTO_THRESHOLD`` unknowns, dense below; the
+crossover is calibrated by ``benchmarks/test_sparse_throughput.py``).
+Sparse factorisations live in the same content-keyed LRU, so the
+recovery ladder invalidates them exactly like dense ones.  Plans
+carrying generic-fallback stamps always solve dense (their writes are
+opaque to the pattern compiler); ``spice.sparse.generic_fallback``
+counts that demotion.
 
 **Bit-identity contract.**  Both the plan and the legacy path stamp in
 the canonical order of :func:`stamping_order` (linear groups by type in
@@ -51,6 +65,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +75,7 @@ from repro.errors import ConfigurationError
 from repro.spice import linalg
 from repro.spice.elements import (Capacitor, CurrentSource, Diode, Resistor,
                                   Switch, VoltageSource)
+from repro.spice.sparse import SparseContext
 from repro.spice.mna import MnaSystem, StampContext
 from repro.spice.mosfet import _FD_STEP, MosfetElement
 from repro.spice.netlist import CircuitElement
@@ -77,6 +93,69 @@ _MAX_BASES = 64
 #: enabled path amortises the sampler call to noise, narrow enough to
 #: resolve reuse collapses (e.g. a source ramp) inside one run.
 _LU_SAMPLE_WINDOW = 256
+
+#: Upper bound on content-keyed factorisations held per plan.  Long
+#: sweeps walk through an unbounded stream of distinct matrices; the
+#: LRU keeps the working set (a Newton fixed point plus the recovery
+#: ladder's warm restarts) while bounding memory.
+_MAX_LU_FACTORS = 16
+
+#: ``backend="auto"`` picks the sparse path at and above this unknown
+#: count.  Calibrated by ``benchmarks/test_sparse_throughput.py``: at
+#: n ≈ 64 the dense LAPACK kernel still wins (lower fixed overhead),
+#: from n ≈ 256 the pattern-compiled sparse refactor is an order of
+#: magnitude faster and the gap widens cubically.
+SPARSE_AUTO_THRESHOLD = 128
+
+
+def resolve_backend(backend: str, size: int) -> str:
+    """Resolve a requested backend to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` compares ``size`` (MNA unknown count) against
+    :data:`SPARSE_AUTO_THRESHOLD` and counts its decision in
+    ``spice.sparse.auto.dense`` / ``spice.sparse.auto.sparse``.
+    """
+    if backend not in ("dense", "sparse", "auto"):
+        raise ConfigurationError(
+            f"backend must be 'dense', 'sparse' or 'auto', got {backend!r}")
+    if backend == "auto":
+        choice = "sparse" if size >= SPARSE_AUTO_THRESHOLD else "dense"
+        obs.metrics().counter(f"spice.sparse.auto.{choice}").inc()
+        return choice
+    return backend
+
+
+class _LuCache:
+    """Small LRU of content-keyed factorisations (dense and sparse).
+
+    Lookups refresh recency; inserting past ``capacity`` evicts the
+    least recently used entry and counts one ``spice.lu.evictions``.
+    Because entries are keyed by matrix *content* (or the assembly
+    inputs that determine it), an eviction can only ever cost a
+    refactorisation, never correctness.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: object) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: object, factors: object) -> None:
+        self._entries[key] = factors
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            obs.metrics().counter("spice.lu.evictions").inc()
 
 
 def stamping_order(circuit) -> List[CircuitElement]:
@@ -134,10 +213,12 @@ _Stamper = Callable[[np.ndarray, np.ndarray, np.ndarray, float,
 class StampPlan:
     """One circuit compiled for fast repeated Newton solves."""
 
-    def __init__(self, system: MnaSystem, *, lu_key: str = "inputs") -> None:
+    def __init__(self, system: MnaSystem, *, lu_key: str = "inputs",
+                 backend: str = "dense") -> None:
         if lu_key not in ("inputs", "matrix"):
             raise ConfigurationError(
                 f"lu_key must be 'inputs' or 'matrix', got {lu_key!r}")
+        backend = resolve_backend(backend, system.size)
         self.system = system
         self.size = system.size
         self._n_nodes = len(system.node_index)
@@ -247,14 +328,56 @@ class StampPlan:
         # Inputs-mode keys are only sound when every matrix write is
         # compiler-known; generic-fallback plans key on matrix bytes.
         self._lu_inputs_key = self._batched and lu_key == "inputs"
-        self._lu: Optional[linalg.LuFactors] = None
-        self._lu_key: Optional[object] = None
+        self._lu_cache = _LuCache(_MAX_LU_FACTORS)
         # Windowed LU telemetry: every _LU_SAMPLE_WINDOW solves, the
         # window's reuse fraction is sampled into the
         # ``spice.lu.reuse_ratio`` time series (x-axis: total solves).
         self._lu_solves = 0
         self._lu_window_solves = 0
         self._lu_window_reuses = 0
+
+        # Sparse backend: freeze the sparsity pattern (every position
+        # any stamp can write) and the scatter maps from the compiled
+        # write lists into it.  Generic-fallback plans stay dense —
+        # their writes are opaque to the pattern compiler.
+        if backend == "sparse" and not self._batched:
+            obs.metrics().counter("spice.sparse.generic_fallback").inc()
+            backend = "dense"
+        self.backend = backend
+        self._sparse: Optional[SparseContext] = None
+        if backend == "sparse":
+            self._compile_sparse()
+
+    def _compile_sparse(self) -> None:
+        """Freeze the sparsity pattern and the value-scatter maps."""
+        size = self.size
+        pattern = {int(flat) for flat in self._m_idx}
+        for ia, ib, _g in self._resistors:
+            _pattern_couple(pattern, ia, ib, size)
+        for ia, ib, _c in self._cap_entries:
+            _pattern_couple(pattern, ia, ib, size)
+        for _element, br, ip, in_ in self._vsources:
+            if ip >= 0:
+                pattern.add(ip * size + br)
+                pattern.add(br * size + ip)
+            if in_ >= 0:
+                pattern.add(in_ * size + br)
+                pattern.add(br * size + in_)
+        # Every node diagonal: extra_gmin (the gmin-stepping rung)
+        # writes them all, so they must be structural even when no
+        # element stamps one.
+        pattern.update(int(flat) for flat in self._diag_flat)
+        flat = np.array(sorted(pattern), dtype=np.intp)
+        self._sparse = SparseContext(size, flat)
+        pos_of = {int(f): pos for pos, f in enumerate(flat)}
+        self._sp_m_pos = np.array([pos_of[int(i)] for i in self._m_idx],
+                                  dtype=np.intp)
+        self._sp_diag_pos = np.array(
+            [pos_of[int(i)] for i in self._diag_flat], dtype=np.intp)
+        # Linear base gathered into pattern order, cached per base key
+        # alongside _bases.
+        self._sp_bases: Dict[Tuple[Optional[float], str, float],
+                             np.ndarray] = {}
 
     # -- compilation -----------------------------------------------------------
 
@@ -627,6 +750,8 @@ class StampPlan:
 
     def solve_iterate(self, point: _SolvePoint, x: np.ndarray) -> np.ndarray:
         """Assemble and solve one Newton iterate at ``x``."""
+        if self._sparse is not None:
+            return self._solve_iterate_sparse(point, x)
         matrix, rhs = self._matrix, self._rhs
         np.copyto(matrix, point.base)
         np.copyto(rhs, point.rhs_point)
@@ -652,6 +777,54 @@ class StampPlan:
             mf[self._diag_flat] += point.extra_gmin
         return self._solve(matrix, rhs, key)
 
+    def _solve_iterate_sparse(self, point: _SolvePoint,
+                              x: np.ndarray) -> np.ndarray:
+        """Sparse twin of :meth:`solve_iterate`.
+
+        Assembly scatters straight into the frozen pattern-value array
+        (a copy of the gathered linear base, nnz-sized — no O(n²)
+        matrix copy anywhere on this path).  Sparse plans are always
+        fully compiled, so the LU content key is always inputs-mode.
+        """
+        vals = self._sparse_base(point).copy()
+        rhs = self._rhs
+        np.copyto(rhs, point.rhs_point)
+        gmin = point.gmin
+        nl_key = b""
+        if self._fillers:
+            nl_vals = self._nl_vals
+            for fill in self._fillers:
+                fill(x, nl_vals, gmin, point)
+            v = np.array(nl_vals)
+            np.add.at(vals, self._sp_m_pos, v[self._m_slot] * self._m_sign)
+            np.add.at(rhs, self._r_idx, v[self._r_slot] * self._r_sign)
+            nl_key = v.tobytes()
+        if point.extra_gmin > 0.0:
+            vals[self._sp_diag_pos] += point.extra_gmin
+        key = (point.base_key, point.extra_gmin, nl_key)
+        sparse = self._sparse
+        factors = self._lu_cache.get(key)
+        if factors is not None:
+            self._note_solve(reused=True)
+        else:
+            try:
+                factors = sparse.factorize(vals)
+            except np.linalg.LinAlgError as exc:
+                raise self.system.singular_error() from exc
+            self._lu_cache.put(key, factors)
+            self._note_solve(reused=False)
+        return sparse.solve(factors, rhs)
+
+    def _sparse_base(self, point: _SolvePoint) -> np.ndarray:
+        """The linear base gathered into pattern order, cached per key."""
+        vals = self._sp_bases.get(point.base_key)
+        if vals is None:
+            if len(self._sp_bases) >= _MAX_BASES:
+                self._sp_bases.pop(next(iter(self._sp_bases)))
+            vals = point.base.ravel()[self._sparse.flat]
+            self._sp_bases[point.base_key] = vals
+        return vals
+
     def _solve(self, matrix: np.ndarray, rhs: np.ndarray,
                key: Optional[object] = None) -> np.ndarray:
         # Content keying: stricter than element-wise equality (-0.0 and
@@ -663,17 +836,24 @@ class StampPlan:
         # back to hashing the full matrix content.
         if key is None:
             key = matrix.tobytes()
-        if self._lu is not None and key == self._lu_key:
+        factors = self._lu_cache.get(key)
+        if factors is not None:
+            self._note_solve(reused=True)
+        else:
+            try:
+                factors = linalg.lu_factorize(matrix)
+            except np.linalg.LinAlgError as exc:
+                raise self.system.singular_error() from exc
+            self._lu_cache.put(key, factors)
+            self._note_solve(reused=False)
+        return linalg.lu_backsolve(factors, rhs)
+
+    def _note_solve(self, reused: bool) -> None:
+        """Count one solve in the reuse/refactor split and the window."""
+        if reused:
             obs.metrics().counter("spice.lu.reuse").inc()
             self._lu_window_reuses += 1
         else:
-            try:
-                self._lu = linalg.lu_factorize(matrix)
-            except np.linalg.LinAlgError as exc:
-                self._lu = None
-                self._lu_key = None
-                raise self.system.singular_error() from exc
-            self._lu_key = key
             obs.metrics().counter("spice.lu.refactor").inc()
         self._lu_solves += 1
         self._lu_window_solves += 1
@@ -684,7 +864,6 @@ class StampPlan:
                     self._lu_window_reuses / self._lu_window_solves)
             self._lu_window_solves = 0
             self._lu_window_reuses = 0
-        return linalg.lu_backsolve(self._lu, rhs)
 
 
 def _direct_adapter(fill: Callable, n_slots: int,
@@ -706,6 +885,17 @@ def _direct_adapter(fill: Callable, n_slots: int,
             rhs[idx] += sign * tmp[slot]
 
     return stamp
+
+
+def _pattern_couple(pattern: set, ia: int, ib: int, size: int) -> None:
+    """Add the positions :func:`_add_conductance` writes to ``pattern``."""
+    if ia >= 0:
+        pattern.add(ia * size + ia)
+    if ib >= 0:
+        pattern.add(ib * size + ib)
+    if ia >= 0 and ib >= 0:
+        pattern.add(ia * size + ib)
+        pattern.add(ib * size + ia)
 
 
 def _add_conductance(m: np.ndarray, ia: int, ib: int, g: float) -> None:

@@ -104,7 +104,8 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
                        initial_voltages: Optional[Dict[str, float]] = None,
                        integrator: str = "be",
                        recovery: Optional[RecoveryConfig] = None,
-                       stamp_plan: bool = True) -> TransientResult:
+                       stamp_plan: bool = True,
+                       backend: str = "auto") -> TransientResult:
     """Simulate ``circuit`` from 0 to ``t_stop`` with fixed step ``dt``.
 
     ``initial_voltages`` pins the t=0 node voltages (unlisted nodes start
@@ -121,6 +122,13 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     legacy per-element stamping loop; both produce bit-identical
     results — the flag exists for benchmarking and verification.
 
+    ``backend`` selects the linear kernel of the fast path: ``"dense"``,
+    ``"sparse"``, or ``"auto"`` (the default: sparse at and above
+    :data:`~repro.spice.stampplan.SPARSE_AUTO_THRESHOLD` unknowns).
+    The sparse backend agrees with dense within the documented
+    tolerance (see ``docs/ARCHITECTURE.md`` §15) instead of bit-exactly
+    — a different elimination order rounds differently.
+
     Returns a :class:`TransientResult` with one row per accepted time
     point, including t=0.
     """
@@ -134,7 +142,10 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
         raise SimulationError("t_stop shorter than one time step")
 
     system = MnaSystem(circuit)
-    plan = StampPlan(system) if stamp_plan else None
+    if not stamp_plan and backend == "sparse":
+        raise ConfigurationError(
+            "backend='sparse' requires the stamp-plan fast path")
+    plan = StampPlan(system, backend=backend) if stamp_plan else None
     n_unknowns = system.size
     n_nodes = len(system.node_index)
 
@@ -157,7 +168,8 @@ def simulate_transient(circuit: Circuit, t_stop: float, dt: float,
     else:
         iter_series = dt_series = None
     with obs.span("spice.transient", circuit=circuit.name, steps=steps,
-                  integrator=integrator):
+                  integrator=integrator,
+                  backend=plan.backend if plan is not None else "dense"):
         for step in range(1, steps + 1):
             # Cooperative deadline check: a supervised sample whose
             # transient runs past its budget raises DeadlineExceeded

@@ -185,6 +185,53 @@ class TestL107StampLoop:
             "    element.stamp(ctx)\n") == []
 
 
+class TestL109DirectLinalgSolve:
+    def test_np_linalg_solve_fires(self):
+        assert rules_of(
+            "import numpy as np\nx = np.linalg.solve(a, b)\n") == ["L109"]
+
+    def test_numpy_spelling_fires(self):
+        assert rules_of(
+            "import numpy\nx = numpy.linalg.inv(a)\n") == ["L109"]
+
+    def test_scipy_lu_factor_fires(self):
+        assert rules_of(
+            "import scipy\nf = scipy.linalg.lu_factor(a)\n") == ["L109"]
+
+    def test_from_scipy_import_linalg_fires(self):
+        assert rules_of(
+            "from scipy import linalg\nf = linalg.lu_solve(lu, b)\n"
+        ) == ["L109"]
+
+    def test_linalg_module_is_exempt(self):
+        assert rules_of(
+            "import numpy as np\nx = np.linalg.solve(a, b)\n",
+            "src/repro/spice/linalg.py") == []
+
+    def test_fixed_counterpart_passes(self):
+        assert rules_of(
+            "from repro.spice.linalg import lu_solve_dense\n"
+            "x = lu_solve_dense(a, b)\n") == []
+
+    def test_linalgerror_reference_passes(self):
+        assert rules_of(
+            "import numpy as np\n"
+            "def f():\n"
+            "    raise np.linalg.LinAlgError('singular')\n") == []
+
+    def test_severity_is_error(self):
+        (finding,) = lint_source(
+            "import numpy as np\nx = np.linalg.solve(a, b)\n",
+            "src/example.py")
+        assert finding.severity.value == "error"
+        assert "repro.spice.linalg" in (finding.hint or "")
+
+    def test_noqa_suppresses(self):
+        assert rules_of(
+            "import numpy as np\n"
+            "x = np.linalg.solve(a, b)  # noqa: L109\n") == []
+
+
 class TestRuleCatalogue:
     def test_every_rule_has_a_description(self):
-        assert set(LINT_RULES) == {f"L10{i}" for i in range(9)}
+        assert set(LINT_RULES) == {f"L10{i}" for i in range(10)}

@@ -83,6 +83,22 @@ class TestMcCommand:
                      "--checkpoint", str(ckpt)]) == 1
         assert "--resume" in capsys.readouterr().err
 
+    def test_mc_globalbitline_runs_on_sparse_backend(self, tmp_path,
+                                                     capsys):
+        from repro import obs as obs_mod
+
+        with obs_mod.instrumented() as registry:
+            assert main(["mc", "--model", "globalbitline",
+                         "--samples", "2"]) == 0
+            counters = registry.snapshot()["counters"]
+        out = capsys.readouterr().out
+        assert "global-bitline read-signal Monte-Carlo: 2/2 samples" in out
+        assert "6-sigma worst" in out
+        # The default hierarchy sits above the auto threshold, so every
+        # sample must have run the sparse path.
+        assert counters["spice.sparse.auto.sparse"] == 2
+        assert counters.get("spice.sparse.auto.dense", 0) == 0
+
     def test_mc_with_weak_cell_faults(self, capsys):
         assert main(["mc", "--samples", "100", "--faults",
                      "weak-cells"]) == 0

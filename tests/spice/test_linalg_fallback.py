@@ -1,0 +1,92 @@
+"""Pure-NumPy Doolittle fallback of ``repro.spice.linalg``.
+
+The fallback normally runs only when LAPACK (scipy) is absent, so
+nothing would exercise it on the CI image.  These tests call the
+``_numpy_*`` kernels directly and pin (a) numerical parity against the
+LAPACK path on random well-conditioned systems and (b) the
+singular-matrix error contract both entry points share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import linalg
+
+
+def random_spd_system(rng, n):
+    """A well-conditioned system: diagonally dominant + random rhs."""
+    a = rng.normal(0.0, 1.0, size=(n, n))
+    a += n * np.eye(n)
+    b = rng.normal(0.0, 1.0, size=n)
+    return a, b
+
+
+class TestDoolittleParity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 40])
+    def test_matches_lapack_path(self, n):
+        rng = np.random.default_rng(1000 + n)
+        for _ in range(5):
+            a, b = random_spd_system(rng, n)
+            lu, piv = linalg._numpy_lu(a)
+            x = linalg._numpy_backsolve(lu, piv, b)
+            expected = linalg.lu_backsolve(linalg.lu_factorize(a), b)
+            np.testing.assert_allclose(x, expected, rtol=1e-10,
+                                       atol=1e-12)
+
+    def test_solves_permuted_system(self):
+        # A zero leading diagonal forces an actual row swap.
+        a = np.array([[0.0, 2.0], [3.0, 1.0]])
+        b = np.array([4.0, 5.0])
+        lu, piv = linalg._numpy_lu(a)
+        x = linalg._numpy_backsolve(lu, piv, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-12)
+
+    def test_multiple_rhs_columns(self):
+        rng = np.random.default_rng(7)
+        a, _ = random_spd_system(rng, 6)
+        rhs = rng.normal(size=(6, 3))
+        lu, piv = linalg._numpy_lu(a)
+        x = linalg._numpy_backsolve(lu, piv, rhs)
+        np.testing.assert_allclose(a @ x, rhs, atol=1e-10)
+
+    def test_input_matrix_not_mutated(self):
+        rng = np.random.default_rng(8)
+        a, _ = random_spd_system(rng, 5)
+        snapshot = a.copy()
+        linalg._numpy_lu(a)
+        np.testing.assert_array_equal(a, snapshot)
+
+
+class TestDoolittleSingularContract:
+    def test_zero_pivot_raises_like_lapack(self):
+        singular = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(np.linalg.LinAlgError,
+                           match="singular matrix"):
+            linalg._numpy_lu(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            linalg._numpy_lu(np.zeros((3, 3)))
+
+    def test_non_square_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            linalg._numpy_lu(np.ones((2, 3)))
+
+    def test_batch_returns_none_for_singular_sample(self):
+        rng = np.random.default_rng(9)
+        good, _ = random_spd_system(rng, 4)
+        stack = np.stack([good, np.zeros((4, 4)), good])
+        factors = linalg._numpy_lu_batch(stack)
+        assert factors[1] is None
+        assert factors[0] is not None and factors[2] is not None
+
+    def test_batch_factors_match_scalar_fallback(self):
+        rng = np.random.default_rng(10)
+        stack = np.stack([random_spd_system(rng, 5)[0] for _ in range(3)])
+        batch = linalg._numpy_lu_batch(stack)
+        for b, factors in enumerate(batch):
+            kind, lu, piv = factors
+            assert kind == "numpy"
+            lu_ref, piv_ref = linalg._numpy_lu(stack[b])
+            np.testing.assert_array_equal(lu, lu_ref)
+            np.testing.assert_array_equal(piv, piv_ref)
